@@ -1,0 +1,46 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test test-short race vet fuzz bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/sim/ ./internal/metrics/
+
+# Short fuzz passes over the trace decoders.
+fuzz:
+	$(GO) test -fuzz FuzzReader -fuzztime 15s ./internal/trace/
+	$(GO) test -fuzz FuzzJSONReader -fuzztime 15s ./internal/trace/
+	$(GO) test -fuzz FuzzRoundTrip -fuzztime 15s ./internal/trace/
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Full paper regeneration: every table and figure, 10 seeded runs per data
+# point, CSV series under results/.
+experiments:
+	$(GO) run ./cmd/experiments -csvdir results
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/custompolicy
+	$(GO) run ./examples/connectivity
+	$(GO) run ./examples/opportunistic
+	$(GO) run ./examples/customworkload
+
+clean:
+	rm -rf results test_output.txt bench_output.txt

@@ -1,0 +1,92 @@
+// Command experiments regenerates the paper's tables and figures: the same
+// rows and series, produced by the reproduction's simulator. Text tables go
+// to stdout; -plot also renders ASCII charts; -csvdir writes each figure's
+// series as CSV files.
+//
+// Usage:
+//
+//	experiments                      # run everything with paper methodology
+//	experiments -run fig4,fig5       # a subset
+//	experiments -runs 3              # fewer seeded runs per data point
+//	experiments -plot                # also draw each figure
+//	experiments -csvdir out/         # also write CSV series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"odbgc/internal/experiments"
+	"odbgc/internal/metrics"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		runList = fs.String("run", "", "comma-separated experiments (default: all); have: "+strings.Join(experiments.Names(), ","))
+		runs    = fs.Int("runs", 10, "seeded runs per data point")
+		conn    = fs.Int("conn", 3, "connectivity for the main experiments")
+		seed    = fs.Int64("seed", 1, "base seed")
+		csvdir  = fs.String("csvdir", "", "directory to write per-figure CSV series into")
+		plots   = fs.Bool("plot", false, "render each figure as an ASCII chart")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	names := experiments.Names()
+	if *runList != "" {
+		names = nil
+		for _, n := range strings.Split(*runList, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+
+	runner := experiments.NewRunner(experiments.Options{
+		Connectivity: *conn,
+		Runs:         *runs,
+		SeedBase:     *seed,
+	})
+	for _, name := range names {
+		start := time.Now()
+		rep, err := runner.Run(name)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprintln(stdout, rep)
+		if *plots {
+			if chart := rep.Plot(); chart != "" {
+				fmt.Fprintln(stdout, chart)
+			}
+		}
+		fmt.Fprintf(stdout, "(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+
+		if *csvdir != "" && len(rep.Series) > 0 {
+			if err := os.MkdirAll(*csvdir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(*csvdir, rep.ID+".csv")
+			csv := metrics.CSV(rep.XName, rep.Series...)
+			if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "wrote %s\n\n", path)
+		}
+	}
+	return nil
+}

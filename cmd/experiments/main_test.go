@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestExperimentsTable1(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-run", "table1", "-runs", "1"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "NumAtomicPerComp") || !strings.Contains(out, "took") {
+		t.Errorf("table1 output incomplete:\n%s", out)
+	}
+}
+
+func TestExperimentsCSVAndPlot(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-run", "fig2,fig7b", "-runs", "1", "-plot", "-csvdir", dir}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	// fig7b has series: CSV file plus a chart per series.
+	csv, err := os.ReadFile(filepath.Join(dir, "fig7b.csv"))
+	if err != nil {
+		t.Fatalf("fig7b.csv missing: %v", err)
+	}
+	if !strings.HasPrefix(string(csv), "collection,") {
+		t.Errorf("csv header wrong: %q", string(csv[:40]))
+	}
+	if !strings.Contains(stdout.String(), "fig7b: interval_overwrites") {
+		t.Errorf("plot missing from output")
+	}
+	// fig2 has no series: no CSV file expected.
+	if _, err := os.Stat(filepath.Join(dir, "fig2.csv")); err == nil {
+		t.Error("fig2.csv written despite having no series")
+	}
+}
+
+func TestExperimentsUnknownName(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-run", "fig99"}, &stdout, &stderr); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

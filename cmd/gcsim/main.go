@@ -1,0 +1,361 @@
+// Command gcsim runs one garbage-collection simulation over a trace file
+// with a chosen collection-rate policy, printing a per-collection log and a
+// run summary.
+//
+// Usage:
+//
+//	gcsim -policy saio -frac 0.10 trace.odbt
+//	gcsim -policy saga -frac 0.05 -estimator fgs-hb -history 0.8 trace.odbt
+//	gcsim -policy fixed -interval 200 -phases -dist trace.odbt
+//	gcsim -compare "saio:0.1,saga:0.1:oracle,pi:0.1,fixed:300,never"
+//
+// If no trace file is given, a fresh OO7 trace is generated in memory
+// (flags -conn and -seed control it); trace files are replayed as streams.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"odbgc/internal/core"
+	"odbgc/internal/gc"
+	"odbgc/internal/metrics"
+	"odbgc/internal/oo7"
+	"odbgc/internal/sim"
+	"odbgc/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "gcsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("gcsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		policy    = fs.String("policy", "saio", "rate policy: saio, saga, pi, coupled, fixed, never")
+		frac      = fs.Float64("frac", 0.10, "requested fraction for saio (I/O share) or saga/pi (garbage share)")
+		interval  = fs.Int("interval", 200, "fixed policy: pointer overwrites per collection")
+		estimator = fs.String("estimator", "fgs-hb", "garbage estimator: oracle, cgs-cb, fgs-hb, fgs-window, fgs-pp")
+		history   = fs.Float64("history", 0.8, "estimator history factor (or window length for fgs-window)")
+		hist      = fs.Int("chist", 0, "saio history size c_hist in collections")
+		slopeRef  = fs.Uint64("sloperef", 0, "saga time-weighted slope reference interval (0 = paper formula)")
+		selection = fs.String("selection", "updated-pointer", "partition selection: updated-pointer, hybrid, random, round-robin, oracle-max-garbage")
+		preamble  = fs.Int("preamble", 10, "cold-start collections excluded from summary means")
+		conn      = fs.Int("conn", 3, "connectivity when generating a trace in memory")
+		seed      = fs.Int64("seed", 1, "seed when generating a trace in memory")
+		fixups    = fs.Bool("fixups", false, "charge physical pointer-fixup I/O to the collector")
+		perColl   = fs.Bool("log", false, "print one line per collection")
+		every     = fs.Int("logevery", 1, "with -log, print every Nth collection")
+		phasesOut = fs.Bool("phases", false, "print a per-phase summary table")
+		dist      = fs.Bool("dist", false, "print collection yield and interval distributions")
+		compare   = fs.String("compare", "", `comma-separated policy specs to compare on the same trace, e.g. "saio:0.1,saga:0.1:fgs-hb,fixed:300,never"`)
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *compare != "" {
+		return runCompare(stdout, fs, *compare, *selection, *preamble, *conn, *seed, *fixups)
+	}
+
+	pol, err := buildPolicy(*policy, *frac, *interval, *estimator, *history, *hist, *slopeRef)
+	if err != nil {
+		return err
+	}
+	sel, err := gc.NewSelectionPolicy(*selection, *seed)
+	if err != nil {
+		return err
+	}
+	s, err := sim.New(sim.Config{
+		Policy:              pol,
+		Selection:           sel,
+		PreambleCollections: *preamble,
+		PhysicalFixups:      *fixups,
+	})
+	if err != nil {
+		return err
+	}
+
+	var res *sim.Result
+	switch fs.NArg() {
+	case 0:
+		tr, err := oo7.FullTrace(oo7.SmallPrime(*conn), *seed)
+		if err != nil {
+			return err
+		}
+		res, err = s.Run(tr)
+		if err != nil {
+			return err
+		}
+	case 1:
+		// Trace files are replayed as a stream: no need to hold the whole
+		// trace in memory.
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rd, err := trace.NewReader(f)
+		if err != nil {
+			return err
+		}
+		res, err = s.RunStream(rd)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("usage: gcsim [flags] [trace.odbt]")
+	}
+
+	if *perColl {
+		step := *every
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < len(res.Collections); i += step {
+			c := res.Collections[i]
+			fmt.Fprintf(stdout, "#%4d %-9s ow=%7d interval=%5d part=%3d reclaimed=%7dB live=%7dB garbage=%.3f gcio=%d\n",
+				c.Index, c.Phase, c.Clock.Overwrites, c.Interval, c.Partition,
+				c.ReclaimedBytes, c.LiveBytes, c.ActualGarbageFrac, c.IO.GCIO())
+		}
+	}
+
+	printSummary(stdout, res)
+	if *phasesOut {
+		printPhaseSummaries(stdout, res)
+	}
+	if *dist {
+		if err := printDistributions(stdout, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printDistributions renders yield and interval histograms over the run's
+// collections.
+func printDistributions(w io.Writer, res *sim.Result) error {
+	if len(res.Collections) == 0 {
+		fmt.Fprintln(w, "no collections: nothing to plot")
+		return nil
+	}
+	maxYield, maxInterval := 1.0, 1.0
+	for _, c := range res.Collections {
+		if v := float64(c.ReclaimedBytes); v > maxYield {
+			maxYield = v
+		}
+		if v := float64(c.Interval); v > maxInterval {
+			maxInterval = v
+		}
+	}
+	yield, err := metrics.NewHistogram(0, maxYield+1, 10)
+	if err != nil {
+		return err
+	}
+	interval, err := metrics.NewHistogram(0, maxInterval+1, 10)
+	if err != nil {
+		return err
+	}
+	for _, c := range res.Collections {
+		yield.Add(float64(c.ReclaimedBytes))
+		interval.Add(float64(c.Interval))
+	}
+	fmt.Fprintf(w, "\ncollection yield distribution (bytes, mean %.0f):\n%s", yield.Mean(), yield.String())
+	fmt.Fprintf(w, "\ncollection interval distribution (overwrites, mean %.0f):\n%s", interval.Mean(), interval.String())
+	return nil
+}
+
+// printPhaseSummaries renders the per-phase breakdown.
+func printPhaseSummaries(w io.Writer, res *sim.Result) {
+	t := &metrics.Table{Header: []string{"phase", "events", "collections", "reclaimed B", "app I/O", "gc I/O", "mean garbage %"}}
+	for _, ps := range res.PhaseSummaries {
+		t.AddRow(ps.Label, fmt.Sprint(ps.Events), fmt.Sprint(ps.Collections),
+			fmt.Sprint(ps.Reclaimed), fmt.Sprint(ps.IO.AppIO()), fmt.Sprint(ps.IO.GCIO()),
+			fmt.Sprintf("%.2f", ps.GarbageFrac*100))
+	}
+	fmt.Fprint(w, t.String())
+}
+
+// runCompare runs several policies on the same in-memory trace and prints a
+// comparison table. Specs: name[:frac-or-interval[:estimator]].
+func runCompare(w io.Writer, fs *flag.FlagSet, specs, selection string, preamble, conn int, seed int64, fixups bool) error {
+	if fs.NArg() > 1 {
+		return fmt.Errorf("usage: gcsim -compare ... [trace.odbt]")
+	}
+	var tr *trace.Trace
+	var err error
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		tr, err = trace.ReadAll(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		tr, err = oo7.FullTrace(oo7.SmallPrime(conn), seed)
+		if err != nil {
+			return err
+		}
+	}
+
+	t := &metrics.Table{Header: []string{"policy", "collections", "total I/O", "gc I/O %", "mean garbage %", "reclaimed %"}}
+	for _, spec := range strings.Split(specs, ",") {
+		pol, err := parsePolicySpec(strings.TrimSpace(spec))
+		if err != nil {
+			return err
+		}
+		sel, err := gc.NewSelectionPolicy(selection, seed)
+		if err != nil {
+			return err
+		}
+		s, err := sim.New(sim.Config{
+			Policy:              pol,
+			Selection:           sel,
+			PreambleCollections: preamble,
+			PhysicalFixups:      fixups,
+		})
+		if err != nil {
+			return err
+		}
+		res, err := s.Run(tr)
+		if err != nil {
+			return fmt.Errorf("%s: %w", pol.Name(), err)
+		}
+		reclaimedPct := 0.0
+		if res.TotalGarbage > 0 {
+			reclaimedPct = 100 * float64(res.TotalReclaimed) / float64(res.TotalGarbage)
+		}
+		t.AddRow(res.PolicyName, fmt.Sprint(len(res.Collections)),
+			fmt.Sprint(res.Final.TotalIO()),
+			fmt.Sprintf("%.2f", res.GCIOFrac*100),
+			fmt.Sprintf("%.2f", res.GarbageFrac*100),
+			fmt.Sprintf("%.1f", reclaimedPct))
+	}
+	fmt.Fprint(w, t.String())
+	return nil
+}
+
+// parsePolicySpec builds a policy from "name[:value[:estimator]]".
+func parsePolicySpec(spec string) (core.RatePolicy, error) {
+	parts := strings.Split(spec, ":")
+	name := parts[0]
+	value := ""
+	estName := "fgs-hb"
+	if len(parts) > 1 {
+		value = parts[1]
+	}
+	if len(parts) > 2 {
+		estName = parts[2]
+	}
+	if len(parts) > 3 {
+		return nil, fmt.Errorf("bad policy spec %q", spec)
+	}
+	parseFrac := func(def float64) (float64, error) {
+		if value == "" {
+			return def, nil
+		}
+		var f float64
+		if _, err := fmt.Sscanf(value, "%g", &f); err != nil {
+			return 0, fmt.Errorf("bad fraction %q in spec %q", value, spec)
+		}
+		return f, nil
+	}
+	switch name {
+	case "saio":
+		f, err := parseFrac(0.10)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewSAIO(core.SAIOConfig{Frac: f})
+	case "saga", "pi", "coupled":
+		f, err := parseFrac(0.10)
+		if err != nil {
+			return nil, err
+		}
+		est, err := core.NewEstimator(estName, 0)
+		if err != nil {
+			return nil, err
+		}
+		switch name {
+		case "pi":
+			return core.NewPIController(core.PIConfig{Frac: f}, est)
+		case "coupled":
+			return core.NewCoupled(core.CoupledConfig{IOFrac: f, GarbFrac: f}, est)
+		default:
+			return core.NewSAGA(core.SAGAConfig{Frac: f}, est)
+		}
+	case "fixed":
+		n := 200
+		if value != "" {
+			if _, err := fmt.Sscanf(value, "%d", &n); err != nil {
+				return nil, fmt.Errorf("bad interval %q in spec %q", value, spec)
+			}
+		}
+		return core.NewFixedRate(n)
+	case "never":
+		return core.NeverCollect{}, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q in spec %q", name, spec)
+	}
+}
+
+func printSummary(w io.Writer, res *sim.Result) {
+	fmt.Fprintf(w, "policy:            %s (selection %s)\n", res.PolicyName, res.SelectionName)
+	fmt.Fprintf(w, "events:            %d\n", res.Events)
+	fmt.Fprintf(w, "collections:       %d (preamble %d excluded from means)\n", len(res.Collections), res.EffectivePreamble)
+	fmt.Fprintf(w, "I/O:               app %d (r %d / w %d), gc %d (r %d / w %d), total %d\n",
+		res.Final.AppIO(), res.Final.AppReads, res.Final.AppWrites,
+		res.Final.GCIO(), res.Final.GCReads, res.Final.GCWrites, res.Final.TotalIO())
+	fmt.Fprintf(w, "gc I/O share:      %.2f%% of total I/O (measurement window)\n", res.GCIOFrac*100)
+	fmt.Fprintf(w, "garbage:           mean %.2f%% of database (sampled; min %.2f%% max %.2f%%)\n",
+		res.GarbageFrac*100, res.GarbageFracMin*100, res.GarbageFracMax*100)
+	fmt.Fprintf(w, "reclaimed:         %d of %d garbage bytes ever created\n", res.TotalReclaimed, res.TotalGarbage)
+	fmt.Fprintf(w, "final database:    %d bytes in %d partitions (%d garbage, %d of it pinned)\n",
+		res.FinalDBBytes, res.Partitions, res.FinalGarbage, res.FinalPinnedGarbage)
+	for _, m := range res.Phases {
+		fmt.Fprintf(w, "phase %-9s at event %d, collection %d, overwrite %d\n",
+			m.Label, m.EventIndex, m.Collections, m.Overwrites)
+	}
+}
+
+func buildPolicy(name string, frac float64, interval int, estimator string, history float64, chist int, slopeRef uint64) (core.RatePolicy, error) {
+	newEst := func() (core.Estimator, error) { return core.NewEstimator(estimator, history) }
+	switch name {
+	case "saio":
+		return core.NewSAIO(core.SAIOConfig{Frac: frac, Hist: chist})
+	case "saga":
+		est, err := newEst()
+		if err != nil {
+			return nil, err
+		}
+		return core.NewSAGA(core.SAGAConfig{Frac: frac, SlopeRef: slopeRef}, est)
+	case "pi":
+		est, err := newEst()
+		if err != nil {
+			return nil, err
+		}
+		return core.NewPIController(core.PIConfig{Frac: frac}, est)
+	case "coupled":
+		est, err := newEst()
+		if err != nil {
+			return nil, err
+		}
+		return core.NewCoupled(core.CoupledConfig{IOFrac: frac, GarbFrac: frac}, est)
+	case "fixed":
+		return core.NewFixedRate(interval)
+	case "never":
+		return core.NeverCollect{}, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q (have saio, saga, pi, coupled, fixed, never)", name)
+	}
+}

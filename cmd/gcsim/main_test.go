@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"odbgc/internal/oo7"
+	"odbgc/internal/trace"
+)
+
+// gcsim with no trace argument generates its own small run in memory, so
+// the tests drive the full pipeline through the CLI surface.
+
+func TestGcsimSAIOSummary(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-policy", "saio", "-frac", "0.15"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"policy:            saio(15%)", "collections:", "gc I/O share:", "phase Reorg2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGcsimPolicyVariants(t *testing.T) {
+	for _, args := range [][]string{
+		{"-policy", "saga", "-frac", "0.10", "-estimator", "oracle"},
+		{"-policy", "saga", "-estimator", "fgs-pp", "-sloperef", "100"},
+		{"-policy", "pi", "-frac", "0.10"},
+		{"-policy", "coupled", "-frac", "0.10"},
+		{"-policy", "fixed", "-interval", "500"},
+		{"-policy", "never"},
+		{"-policy", "fixed", "-interval", "400", "-selection", "round-robin", "-fixups"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if err := run(args, &stdout, &stderr); err != nil {
+			t.Errorf("%v: %v", args, err)
+		}
+	}
+}
+
+func TestGcsimPerCollectionLog(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-policy", "fixed", "-interval", "400", "-log", "-logevery", "10"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "#   1 ") {
+		t.Errorf("per-collection log missing:\n%s", stdout.String())
+	}
+}
+
+// TestGcsimStreamsTraceFile exercises the streaming path: a trace file on
+// disk is replayed without loading it whole.
+func TestGcsimStreamsTraceFile(t *testing.T) {
+	p := oo7.SmallPrime(3)
+	p.NumCompPerModule = 15
+	p.NumAssmLevels = 3
+	tr, err := oo7.FullTrace(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.odbt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteAll(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-policy", "saio", "-frac", "0.20", path}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "collections:") {
+		t.Errorf("summary missing:\n%s", stdout.String())
+	}
+}
+
+func TestGcsimCompare(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-compare", "saio:0.1,saga:0.1:oracle,fixed:400,never"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"saio(10%)", "saga(10%,oracle)", "fixed(400)", "never", "mean garbage %"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGcsimCompareSpecErrors(t *testing.T) {
+	for _, spec := range []string{"wat", "saio:x", "fixed:x", "saga:0.1:bogus", "saio:0.1:x:y"} {
+		var stdout, stderr bytes.Buffer
+		if err := run([]string{"-compare", spec}, &stdout, &stderr); err == nil {
+			t.Errorf("bad spec %q accepted", spec)
+		}
+	}
+}
+
+func TestGcsimPhasesTable(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-policy", "fixed", "-interval", "500", "-phases"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"GenDB", "Reorg1", "Traverse", "Reorg2", "mean garbage %"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("phase table missing %q", want)
+		}
+	}
+}
+
+func TestGcsimErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-policy", "wat"}, &stdout, &stderr); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if err := run([]string{"-policy", "saga", "-estimator", "wat"}, &stdout, &stderr); err == nil {
+		t.Error("unknown estimator accepted")
+	}
+	if err := run([]string{"-selection", "wat"}, &stdout, &stderr); err == nil {
+		t.Error("unknown selection accepted")
+	}
+	if err := run([]string{"a.odbt", "b.odbt"}, &stdout, &stderr); err == nil {
+		t.Error("two trace arguments accepted")
+	}
+	if err := run([]string{"/nonexistent/trace.odbt"}, &stdout, &stderr); err == nil {
+		t.Error("absent trace accepted")
+	}
+}
+
+func TestGcsimDistributions(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-policy", "fixed", "-interval", "400", "-dist"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "yield distribution") || !strings.Contains(out, "interval distribution") {
+		t.Errorf("distributions missing:\n%s", out)
+	}
+}

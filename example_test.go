@@ -1,0 +1,73 @@
+package odbgc_test
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"odbgc"
+)
+
+// The smallest end-to-end use: generate the paper's workload and let SAIO
+// hold collector I/O at 10% of total I/O.
+func ExampleSimulate() {
+	tr, err := odbgc.GenerateOO7Trace(odbgc.OO7Options{Connectivity: 3, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	policy, err := odbgc.NewSAIO(odbgc.SAIOConfig{Frac: 0.10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := odbgc.Simulate(tr, policy, odbgc.SimOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("requested 10%%, achieved within 2 points: %v\n", res.GCIOFrac > 0.08 && res.GCIOFrac < 0.12)
+	// Output: requested 10%, achieved within 2 points: true
+}
+
+// SAGA holds a garbage level instead, using the practical FGS/HB estimator.
+func ExampleNewSAGA() {
+	tr, err := odbgc.GenerateOO7Trace(odbgc.OO7Options{Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := odbgc.NewFGSHB(0.8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	policy, err := odbgc.NewSAGA(odbgc.SAGAConfig{Frac: 0.10}, est)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := odbgc.Simulate(tr, policy, odbgc.SimOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("garbage held near 10%%: %v\n", res.GarbageFrac > 0.05 && res.GarbageFrac < 0.20)
+	// Output: garbage held near 10%: true
+}
+
+// Traces round-trip through the compact binary format and can be replayed
+// as a stream without materializing.
+func ExampleSimulateStream() {
+	tr, err := odbgc.GenerateOO7Trace(odbgc.OO7Options{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := odbgc.WriteTrace(&buf, tr); err != nil {
+		log.Fatal(err)
+	}
+	policy, err := odbgc.NewFixedRate(300)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := odbgc.SimulateStream(&buf, policy, odbgc.SimOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streamed run collected: %v\n", len(res.Collections) > 0)
+	// Output: streamed run collected: true
+}

@@ -1,0 +1,75 @@
+// Customworkload: the OO7 generator is composable — beyond the paper's
+// fixed four-phase application, the full OO7 operation suite (update
+// traversals, queries, structural replacement) can be sequenced into
+// arbitrary workloads. This example builds a "working day" mix and watches
+// SAGA hold its garbage target through it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"odbgc"
+)
+
+func main() {
+	gen, err := odbgc.NewOO7Generator(odbgc.SmallPrime(3), 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Morning: build the database, then query-heavy traffic.
+	must(gen.GenDB())
+	must(gen.Q1(500)) // exact-match lookups
+	must(gen.Q4(200)) // document lookups
+	must(gen.T6())    // sparse traversal
+
+	// Midday: engineering changes — structural churn plus a reorganization.
+	must(gen.ReplaceComposites(25))
+	must(gen.Reorg1())
+	must(gen.T2(odbgc.T2Variant('a'))) // verification pass with updates
+
+	// Afternoon: analysis over the whole design.
+	must(gen.Traverse())
+	must(gen.Q7())
+	must(gen.ScanManual())
+
+	// Evening: more churn before the declustering reorganization.
+	must(gen.ReplaceComposites(25))
+	must(gen.Reorg2())
+
+	tr := gen.Trace()
+	if err := odbgc.ValidateTrace(tr); err != nil {
+		log.Fatal(err)
+	}
+	stats := odbgc.ComputeTraceStats(tr)
+	fmt.Printf("composed workload: %d events, %d overwrites, %.2f MB of garbage across %d phases\n",
+		stats.Events, stats.Overwrites, float64(stats.GarbageBytes)/(1<<20), len(stats.Phases))
+	fmt.Printf("phases: %v\n\n", stats.Phases)
+
+	est, err := odbgc.NewFGSHB(0.8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	policy, err := odbgc.NewSAGA(odbgc.SAGAConfig{Frac: 0.10}, est)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := odbgc.Simulate(tr, policy, odbgc.SimOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SAGA(10%%, FGS/HB) across the composed workload:\n")
+	fmt.Printf("  collections:  %d\n", len(res.Collections))
+	fmt.Printf("  mean garbage: %.2f%% (min %.2f%% / max %.2f%%)\n",
+		res.GarbageFrac*100, res.GarbageFracMin*100, res.GarbageFracMax*100)
+	fmt.Printf("  GC I/O share: %.2f%%\n", res.GCIOFrac*100)
+	fmt.Printf("  reclaimed:    %.2f of %.2f MB\n",
+		float64(res.TotalReclaimed)/(1<<20), float64(res.TotalGarbage)/(1<<20))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

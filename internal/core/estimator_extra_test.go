@@ -1,0 +1,224 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"odbgc/internal/gc"
+	"odbgc/internal/storage"
+)
+
+func TestFGSWindowMean(t *testing.T) {
+	e, err := NewFGSWindow(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.GPPO() != 0 {
+		t.Errorf("empty GPPO = %v", e.GPPO())
+	}
+	h := &fakeHeap{sumPO: 10}
+	for _, reclaimed := range []int{100, 200, 300} { // PO 1 each
+		e.ObserveCollection(h, collRes(reclaimed, 0, 0, 1))
+	}
+	if got := e.GPPO(); got != 200 {
+		t.Errorf("GPPO = %v, want mean 200", got)
+	}
+	// Fourth sample evicts the first: mean(200,300,400) = 300.
+	e.ObserveCollection(h, collRes(400, 0, 0, 1))
+	if got := e.GPPO(); got != 300 {
+		t.Errorf("GPPO = %v, want 300 after window slide", got)
+	}
+	if got := e.EstimateGarbage(h); got != 3000 {
+		t.Errorf("estimate = %v, want 3000", got)
+	}
+	if _, err := NewFGSWindow(0); err == nil {
+		t.Error("window 0 accepted")
+	}
+}
+
+// partFakeHeap extends fakeHeap with per-partition overwrite counts.
+type partFakeHeap struct {
+	fakeHeap
+	po map[storage.PartitionID]int
+}
+
+func (f *partFakeHeap) PartitionOverwrites(p storage.PartitionID) int { return f.po[p] }
+
+func partCollRes(part storage.PartitionID, reclaimed, po int) gc.CollectionResult {
+	return gc.CollectionResult{Partition: part, ReclaimedBytes: reclaimed, PartitionPO: po}
+}
+
+func TestFGSPerPartitionLearnsPerPartition(t *testing.T) {
+	e, err := NewFGSPerPartition(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &partFakeHeap{po: map[storage.PartitionID]int{0: 10, 1: 10}}
+	h.parts = 2
+	// Partition 0 yields 100 B/ow, partition 1 yields 10 B/ow.
+	e.ObserveCollection(h, partCollRes(0, 1000, 10))
+	e.ObserveCollection(h, partCollRes(1, 100, 10))
+	// est = 100*10 + 10*10 = 1100 — NOT a single global GPPO.
+	if got := e.EstimateGarbage(h); math.Abs(got-1100) > 1e-9 {
+		t.Errorf("estimate = %v, want 1100", got)
+	}
+	// Partitions with PO but no history use the global GPPO.
+	h.parts = 3
+	h.po[2] = 10
+	global := e.global.GPPO() // (100 then 0.5-smoothed with 10) = 55
+	want := 1100 + global*10
+	if got := e.EstimateGarbage(h); math.Abs(got-want) > 1e-9 {
+		t.Errorf("estimate with unseen partition = %v, want %v", got, want)
+	}
+	// Zero-PO partitions contribute nothing.
+	h.po[0] = 0
+	if got := e.EstimateGarbage(h); math.Abs(got-(100+global*10)) > 1e-9 {
+		t.Errorf("estimate with cleared partition = %v", got)
+	}
+}
+
+func TestFGSPerPartitionFallsBackWithoutPartitionState(t *testing.T) {
+	e, err := NewFGSPerPartition(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &fakeHeap{sumPO: 20}
+	e.ObserveCollection(h, collRes(500, 0, 0, 10)) // GPPO 50
+	// fakeHeap lacks PartitionOverwrites: global estimate 50*20.
+	if got := e.EstimateGarbage(h); got != 1000 {
+		t.Errorf("fallback estimate = %v, want 1000", got)
+	}
+	if _, err := NewFGSPerPartition(1.0); err == nil {
+		t.Error("history 1.0 accepted")
+	}
+}
+
+func TestNewEstimatorExtraNames(t *testing.T) {
+	for _, tc := range []struct{ name, want string }{
+		{"fgs-window", "fgs-window(8)"},
+		{"fgs-pp", "fgs-pp(0.80)"},
+	} {
+		e, err := NewEstimator(tc.name, 0)
+		if err != nil || e.Name() != tc.want {
+			t.Errorf("NewEstimator(%q) = %v, %v; want %q", tc.name, e, err, tc.want)
+		}
+	}
+	e, err := NewEstimator("fgs-window", 4)
+	if err != nil || e.Name() != "fgs-window(4)" {
+		t.Errorf("windowed: %v, %v", e, err)
+	}
+}
+
+func TestPIControllerValidation(t *testing.T) {
+	est := OracleEstimator{}
+	for _, bad := range []PIConfig{
+		{Frac: 0}, {Frac: 1}, {Frac: 0.1, Kp: -1}, {Frac: 0.1, DtMin: 10, DtMax: 2},
+	} {
+		if _, err := NewPIController(bad, est); err == nil {
+			t.Errorf("config %+v accepted", bad)
+		}
+	}
+	if _, err := NewPIController(PIConfig{Frac: 0.1}, nil); err == nil {
+		t.Error("nil estimator accepted")
+	}
+	p, err := NewPIController(PIConfig{Frac: 0.1}, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := p.Config()
+	if cfg.Kp != 2.0 || cfg.Ki != 0.3 || cfg.BaseInterval != 200 || cfg.DtMax != 1000 {
+		t.Errorf("defaults: %+v", cfg)
+	}
+}
+
+func TestPIControllerDirection(t *testing.T) {
+	est := OracleEstimator{}
+	p, err := NewPIController(PIConfig{Frac: 0.10, InitialInterval: 50}, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.ShouldCollect(Clock{Overwrites: 50}) {
+		t.Error("bootstrap ignored")
+	}
+	h := &fakeHeap{db: 100000}
+
+	// At target: interval = base.
+	h.actGarb = 10000
+	p.AfterCollection(Clock{Overwrites: 100}, h, collRes(0, 0, 0, 0))
+	atTarget := p.LastInterval()
+	if atTarget != 200 {
+		t.Errorf("interval at target = %d, want base 200", atTarget)
+	}
+
+	// Garbage over target: interval shrinks.
+	q, _ := NewPIController(PIConfig{Frac: 0.10}, est)
+	h.actGarb = 30000
+	q.AfterCollection(Clock{Overwrites: 100}, h, collRes(0, 0, 0, 0))
+	if q.LastInterval() >= atTarget {
+		t.Errorf("over target: interval %d not below %d", q.LastInterval(), atTarget)
+	}
+
+	// Garbage under target: interval grows.
+	r, _ := NewPIController(PIConfig{Frac: 0.10}, est)
+	h.actGarb = 2000
+	r.AfterCollection(Clock{Overwrites: 100}, h, collRes(0, 0, 0, 0))
+	if r.LastInterval() <= atTarget {
+		t.Errorf("under target: interval %d not above %d", r.LastInterval(), atTarget)
+	}
+}
+
+func TestPIControllerIntegralEliminatesBias(t *testing.T) {
+	// A persistent error accumulates in the integral term: interval keeps
+	// shrinking until it clamps at DtMin.
+	est := OracleEstimator{}
+	p, err := NewPIController(PIConfig{Frac: 0.10}, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &fakeHeap{db: 100000, actGarb: 15000} // fixed +50% error
+	var prev uint64 = 1 << 62
+	tnow := uint64(0)
+	for i := 0; i < 20; i++ {
+		tnow += 100
+		p.AfterCollection(Clock{Overwrites: tnow}, h, collRes(0, 0, 0, 0))
+		if p.LastInterval() > prev {
+			t.Fatalf("interval rose (%d -> %d) under persistent positive error", prev, p.LastInterval())
+		}
+		prev = p.LastInterval()
+	}
+	// Steady state with e = +0.5 and the integral clamped at 5:
+	// 200·exp(−(2.0·0.5 + 0.3·5)) ≈ 16 overwrites.
+	want := uint64(200 * math.Exp(-(2.0*0.5 + 0.3*5)))
+	if prev != want {
+		t.Errorf("interval converged to %d, want clamped steady state %d", prev, want)
+	}
+}
+
+func TestPIControllerAntiWindup(t *testing.T) {
+	est := OracleEstimator{}
+	p, err := NewPIController(PIConfig{Frac: 0.10, IntegralClamp: 5}, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &fakeHeap{db: 100000, actGarb: 90000}
+	tnow := uint64(0)
+	for i := 0; i < 50; i++ {
+		tnow += 10
+		p.AfterCollection(Clock{Overwrites: tnow}, h, collRes(0, 0, 0, 0))
+	}
+	// After the error disappears, the clamped integral lets the controller
+	// recover within a bounded number of steps rather than staying pinned.
+	h.actGarb = 0
+	recovered := false
+	for i := 0; i < 30; i++ {
+		tnow += 10
+		p.AfterCollection(Clock{Overwrites: tnow}, h, collRes(0, 0, 0, 0))
+		if p.LastInterval() > p.Config().DtMin {
+			recovered = true
+			break
+		}
+	}
+	if !recovered {
+		t.Error("controller failed to recover after windup (integral clamp ineffective)")
+	}
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"odbgc/internal/gc"
+)
+
+func TestOracleEstimatorPassthrough(t *testing.T) {
+	h := &fakeHeap{actGarb: 12345}
+	var e OracleEstimator
+	e.ObserveCollection(h, gc.CollectionResult{ReclaimedBytes: 999})
+	if got := e.EstimateGarbage(h); got != 12345 {
+		t.Errorf("estimate = %v, want exact 12345", got)
+	}
+}
+
+func TestCGSCBFormula(t *testing.T) {
+	h := &fakeHeap{parts: 7}
+	e := NewCGSCB()
+	if got := e.EstimateGarbage(h); got != 0 {
+		t.Errorf("estimate before any collection = %v, want 0", got)
+	}
+	e.ObserveCollection(h, collRes(1000, 0, 0, 5))
+	if got := e.EstimateGarbage(h); got != 7000 {
+		t.Errorf("estimate = %v, want C*p = 7000", got)
+	}
+	// Only the last collection matters (current behavior).
+	e.ObserveCollection(h, collRes(200, 0, 0, 5))
+	if got := e.EstimateGarbage(h); got != 1400 {
+		t.Errorf("estimate = %v, want 1400", got)
+	}
+	// Growing the partition count scales the estimate.
+	h.parts = 10
+	if got := e.EstimateGarbage(h); got != 2000 {
+		t.Errorf("estimate = %v, want 2000", got)
+	}
+}
+
+func TestFGSHBExponentialMean(t *testing.T) {
+	e, err := NewFGSHB(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &fakeHeap{sumPO: 100}
+	// First observation sets GPPO directly: 5000/10 = 500.
+	e.ObserveCollection(h, collRes(5000, 0, 0, 10))
+	if got := e.GPPO(); got != 500 {
+		t.Errorf("GPPO = %v, want 500", got)
+	}
+	if got := e.EstimateGarbage(h); got != 50000 {
+		t.Errorf("estimate = %v, want GPPO*sumPO = 50000", got)
+	}
+	// Second: gppo = 1000/10 = 100; smoothed = 0.8*500 + 0.2*100 = 420.
+	e.ObserveCollection(h, collRes(1000, 0, 0, 10))
+	if got := e.GPPO(); math.Abs(got-420) > 1e-9 {
+		t.Errorf("GPPO = %v, want 420", got)
+	}
+}
+
+func TestFGSHBZeroPOClamped(t *testing.T) {
+	e, err := NewFGSHB(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A collection with PO = 0 must not divide by zero; it is treated as 1.
+	e.ObserveCollection(&fakeHeap{}, collRes(300, 0, 0, 0))
+	if got := e.GPPO(); got != 300 {
+		t.Errorf("GPPO = %v, want 300", got)
+	}
+}
+
+func TestFGSHBHistoryZeroIsCurrentBehavior(t *testing.T) {
+	// h = 0 degenerates to FGS/CB: each observation replaces the estimate.
+	e, err := NewFGSHB(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.ObserveCollection(&fakeHeap{}, collRes(5000, 0, 0, 10))
+	e.ObserveCollection(&fakeHeap{}, collRes(1000, 0, 0, 10))
+	if got := e.GPPO(); got != 100 {
+		t.Errorf("GPPO = %v, want 100 (no history)", got)
+	}
+}
+
+func TestFGSHBValidation(t *testing.T) {
+	for _, bad := range []float64{-0.1, 1.0, 2.0} {
+		if _, err := NewFGSHB(bad); err == nil {
+			t.Errorf("history %v accepted", bad)
+		}
+	}
+}
+
+func TestNewEstimatorByName(t *testing.T) {
+	for _, tc := range []struct{ name, want string }{
+		{"oracle", "oracle"},
+		{"cgs-cb", "cgs-cb"},
+		{"fgs-hb", "fgs-hb(0.90)"},
+		{"", "fgs-hb(0.90)"},
+	} {
+		e, err := NewEstimator(tc.name, 0.9)
+		if err != nil {
+			t.Errorf("NewEstimator(%q): %v", tc.name, err)
+			continue
+		}
+		if e.Name() != tc.want {
+			t.Errorf("NewEstimator(%q).Name() = %q, want %q", tc.name, e.Name(), tc.want)
+		}
+	}
+	// Zero history defaults to the paper's 0.8.
+	e, err := NewEstimator("fgs-hb", 0)
+	if err != nil || e.Name() != "fgs-hb(0.80)" {
+		t.Errorf("default history: %v, %v", e, err)
+	}
+	if _, err := NewEstimator("psychic", 0); err == nil {
+		t.Error("unknown estimator accepted")
+	}
+}
+
+// Property: GPPO_h always lies within the range of observed GPPO samples
+// (an exponential mean cannot overshoot its inputs).
+func TestFGSHBBoundedProperty(t *testing.T) {
+	f := func(histPct uint8, samples []uint16) bool {
+		h := float64(histPct%100) / 100
+		e, err := NewFGSHB(h)
+		if err != nil {
+			return false
+		}
+		if len(samples) == 0 {
+			return true
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, s := range samples {
+			reclaimed := int(s)
+			e.ObserveCollection(&fakeHeap{}, collRes(reclaimed, 0, 0, 1))
+			v := float64(reclaimed)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+			if g := e.GPPO(); g < lo-1e-9 || g > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SAGA's scheduled interval always respects the clamps.
+func TestSAGAClampProperty(t *testing.T) {
+	f := func(events []uint32) bool {
+		h := &fakeHeap{db: 1 << 20, parts: 8}
+		est, err := NewFGSHB(0.8)
+		if err != nil {
+			return false
+		}
+		p, err := NewSAGA(SAGAConfig{Frac: 0.10, DtMin: 2, DtMax: 1000}, est)
+		if err != nil {
+			return false
+		}
+		tnow := uint64(0)
+		for _, ev := range events {
+			tnow += uint64(ev%500) + 1
+			h.actGarb = int(ev % (1 << 19))
+			h.collected += uint64(ev % 1000)
+			h.sumPO = int(ev % 4096)
+			p.AfterCollection(Clock{Overwrites: tnow}, h, collRes(int(ev%65536), 0, 0, int(ev%64)))
+			if iv := p.LastInterval(); iv < 2 || iv > 1000 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

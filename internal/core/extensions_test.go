@@ -1,0 +1,142 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCoupledValidation(t *testing.T) {
+	est := OracleEstimator{}
+	bad := []CoupledConfig{
+		{IOFrac: 0, GarbFrac: 0.1},
+		{IOFrac: 0.1, GarbFrac: 0},
+		{IOFrac: 0.1, GarbFrac: 0.1, MinFrac: 0.5, MaxFrac: 0.2},
+		{IOFrac: 0.1, GarbFrac: 0.1, MaxFrac: 1.5},
+	}
+	for _, cfg := range bad {
+		if _, err := NewCoupled(cfg, est); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	if _, err := NewCoupled(CoupledConfig{IOFrac: 0.1, GarbFrac: 0.1}, nil); err == nil {
+		t.Error("nil estimator accepted")
+	}
+	p, err := NewCoupled(CoupledConfig{IOFrac: 0.1, GarbFrac: 0.1}, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := p.Config()
+	if cfg.MinFrac != 0.025 || cfg.MaxFrac != 0.4 {
+		t.Errorf("defaults: %+v", cfg)
+	}
+	if !strings.Contains(p.Name(), "coupled") {
+		t.Errorf("name = %q", p.Name())
+	}
+}
+
+// TestCoupledScalesWithGarbagePressure: at goal the effective share equals
+// the nominal; above goal it rises; below goal it falls, within bounds.
+func TestCoupledScalesWithGarbagePressure(t *testing.T) {
+	est := OracleEstimator{}
+	mkPolicy := func() *Coupled {
+		p, err := NewCoupled(CoupledConfig{IOFrac: 0.10, GarbFrac: 0.10}, est)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := []struct {
+		garb    int
+		wantEff float64
+		// expected interval = 20 GCIO * (1-eff)/eff
+	}{
+		{10000, 0.10},  // exactly at goal: 10% of 100000
+		{20000, 0.20},  // double the goal: spend double
+		{5000, 0.05},   // half the goal: spend half
+		{100000, 0.40}, // clamped at MaxFrac (4x nominal)
+		{0, 0.025},     // clamped at MinFrac (nominal/4)
+	}
+	for _, tc := range cases {
+		p := mkPolicy()
+		h := &fakeHeap{db: 100000, actGarb: tc.garb}
+		p.AfterCollection(Clock{AppIO: 1000}, h, collRes(0, 10, 10, 0))
+		if got := p.LastEffectiveFrac(); got != tc.wantEff {
+			t.Errorf("garbage %d: effFrac = %v, want %v", tc.garb, got, tc.wantEff)
+		}
+	}
+}
+
+func TestCoupledSchedulesLikeSAIOAtGoal(t *testing.T) {
+	est := OracleEstimator{}
+	p, err := NewCoupled(CoupledConfig{IOFrac: 0.10, GarbFrac: 0.10, InitialInterval: 50}, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.ShouldCollect(Clock{AppIO: 50}) {
+		t.Error("bootstrap ignored")
+	}
+	h := &fakeHeap{db: 100000, actGarb: 10000}
+	// GCIO 40 at eff 10% -> interval 360, next at 1360.
+	p.AfterCollection(Clock{AppIO: 1000}, h, collRes(0, 40, 0, 0))
+	if p.ShouldCollect(Clock{AppIO: 1359}) || !p.ShouldCollect(Clock{AppIO: 1360}) {
+		t.Error("coupled interval at goal differs from SAIO's")
+	}
+}
+
+func TestOpportunisticValidation(t *testing.T) {
+	inner, _ := NewFixedRate(100)
+	est := OracleEstimator{}
+	if _, err := NewOpportunistic(nil, est, 0.05); err == nil {
+		t.Error("nil inner accepted")
+	}
+	if _, err := NewOpportunistic(inner, nil, 0.05); err == nil {
+		t.Error("nil estimator accepted")
+	}
+	if _, err := NewOpportunistic(inner, est, 1.5); err == nil {
+		t.Error("bad floor accepted")
+	}
+	p, err := NewOpportunistic(inner, est, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Inner() != inner {
+		t.Error("Inner() lost the wrapped policy")
+	}
+	if !strings.Contains(p.Name(), "opportunistic(fixed(100)") {
+		t.Errorf("name = %q", p.Name())
+	}
+}
+
+func TestOpportunisticDefersToInner(t *testing.T) {
+	inner, _ := NewFixedRate(100)
+	p, err := NewOpportunistic(inner, OracleEstimator{}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ShouldCollect(Clock{Overwrites: 99}) {
+		t.Error("collected before inner's interval")
+	}
+	if !p.ShouldCollect(Clock{Overwrites: 100}) {
+		t.Error("inner's interval ignored")
+	}
+}
+
+func TestOpportunisticIdlePredicate(t *testing.T) {
+	inner, _ := NewFixedRate(100)
+	p, err := NewOpportunistic(inner, OracleEstimator{}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &fakeHeap{db: 100000, actGarb: 10000} // 10% > 5% floor
+	if !p.ShouldCollectIdle(Clock{}, h) {
+		t.Error("idle collection refused above the floor")
+	}
+	h.actGarb = 4000 // 4% < 5%
+	if p.ShouldCollectIdle(Clock{}, h) {
+		t.Error("idle collection continued below the floor")
+	}
+	h.db = 0
+	if p.ShouldCollectIdle(Clock{}, h) {
+		t.Error("idle collection on an empty database")
+	}
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+
+	"odbgc/internal/core"
+	"odbgc/internal/metrics"
+	"odbgc/internal/sim"
+	"odbgc/internal/trace"
+	"odbgc/internal/workload"
+)
+
+// Churn probes the §5 robustness question — do applications other than OO7
+// violate the policies' assumptions? — on the directory/file churn
+// workload: leaf-object garbage (no clusters), hot/cold update skew, and
+// bursty phase structure.
+func (r *Runner) Churn() (*Report, error) {
+	opts := r.opts
+	traces := make([]*trace.Trace, opts.Runs)
+	for i := range traces {
+		tr, err := workload.Churn(workload.DefaultChurn(), opts.SeedBase+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		traces[i] = tr
+	}
+
+	rep := &Report{
+		ID:    "churn",
+		Title: "Policy accuracy on the non-OO7 churn workload",
+		XName: "requested_pct",
+		YName: "achieved %",
+	}
+	t := &metrics.Table{Header: []string{"policy", "requested %", "achieved %", "min %", "max %", "collections"}}
+
+	saio := &metrics.Series{Name: "saio_achieved"}
+	for _, frac := range []float64{0.10, 0.20, 0.30} {
+		frac := frac
+		mr, err := sim.RunMany(sim.RunnerConfig{
+			Traces: traces,
+			MakePolicy: func(int) (core.RatePolicy, error) {
+				return core.NewSAIO(core.SAIOConfig{Frac: frac})
+			},
+			PreambleCollections: opts.Preamble,
+		})
+		if err != nil {
+			return nil, err
+		}
+		saio.Add(frac*100, mr.GCIO.Mean*100)
+		t.AddRow("saio", fmt.Sprintf("%.0f", frac*100),
+			fmt.Sprintf("%.2f", mr.GCIO.Mean*100),
+			fmt.Sprintf("%.2f", mr.GCIO.Min*100),
+			fmt.Sprintf("%.2f", mr.GCIO.Max*100),
+			fmt.Sprintf("%.1f", mr.Collections.Mean))
+	}
+	rep.Series = append(rep.Series, saio)
+
+	variants := []struct {
+		label    string
+		estName  string
+		slopeRef uint64
+	}{
+		{"saga/oracle", "oracle", 0},
+		{"saga/fgs-hb", "fgs-hb", 0},
+		{"saga/fgs-hb+tw", "fgs-hb", 100}, // time-weighted slope smoothing
+	}
+	for _, v := range variants {
+		v := v
+		series := &metrics.Series{Name: v.label + "_achieved"}
+		for _, frac := range []float64{0.05, 0.10, 0.20} {
+			frac := frac
+			mr, err := sim.RunMany(sim.RunnerConfig{
+				Traces: traces,
+				MakePolicy: func(int) (core.RatePolicy, error) {
+					est, err := core.NewEstimator(v.estName, 0)
+					if err != nil {
+						return nil, err
+					}
+					return core.NewSAGA(core.SAGAConfig{Frac: frac, SlopeRef: v.slopeRef}, est)
+				},
+				PreambleCollections: opts.Preamble,
+			})
+			if err != nil {
+				return nil, err
+			}
+			series.Add(frac*100, mr.Garbage.Mean*100)
+			t.AddRow(v.label, fmt.Sprintf("%.0f", frac*100),
+				fmt.Sprintf("%.2f", mr.Garbage.Mean*100),
+				fmt.Sprintf("%.2f", mr.Garbage.Min*100),
+				fmt.Sprintf("%.2f", mr.Garbage.Max*100),
+				fmt.Sprintf("%.1f", mr.Collections.Mean))
+		}
+		rep.Series = append(rep.Series, series)
+	}
+	rep.Table = t
+	rep.Notes = append(rep.Notes,
+		"churn garbage is leaf objects, so the naive connectivity-based prediction §2.1 faults on OO7 is nearly exact here",
+		"finding: the paper's per-observation slope smoothing can trap SAGA/FGS-HB at low targets on this workload (estimator noise over Δt_min intervals flips the slope sign); the +tw variant weights slope samples by elapsed time and recovers",
+		"shape: SAIO and SAGA/oracle hold their targets despite the different garbage anatomy and the burst/quiet phase structure")
+	return rep, nil
+}

@@ -1,0 +1,574 @@
+// Package gc implements the partitioned copying garbage collector the paper
+// evaluates its rate policies in (the collector of Cook, Wolf, Zorn,
+// SIGMOD'94): a Cheney breadth-first copying collector that compacts one
+// partition at a time, with per-partition remembered sets so that pointers
+// entering a partition from outside act as collection roots.
+//
+// The package also maintains the two bookkeeping streams the rate policies
+// feed on:
+//
+//   - per-partition pointer-overwrite counters (the paper's fine-grain
+//     state, shared with the UPDATEDPOINTER partition-selection policy), and
+//   - oracle garbage accounting: the simulator reports exactly which
+//     objects each overwrite made unreachable, so "actual garbage" is known
+//     at all times. The collector itself never consults the oracle.
+package gc
+
+import (
+	"fmt"
+	"sort"
+
+	"odbgc/internal/objstore"
+	"odbgc/internal/storage"
+)
+
+// Heap couples the logical object store with its physical placement and
+// carries the collector state: remembered sets, overwrite counters, and the
+// oracle garbage ledger.
+type Heap struct {
+	store *objstore.Store
+	disk  *storage.Manager
+
+	// remset[p][dst][src] counts pointer slots in object src (placed
+	// outside partition p) that reference object dst (placed in p).
+	remset map[storage.PartitionID]map[objstore.OID]map[objstore.OID]int
+
+	// po[p] counts pointer overwrites whose old target lay in partition p
+	// since p was last collected (the paper's FGS state; also drives
+	// UPDATEDPOINTER selection).
+	po map[storage.PartitionID]int
+
+	// totalOverwrites is the SAGA clock: every non-initializing pointer
+	// overwrite ticks it once.
+	totalOverwrites uint64
+
+	// Oracle ledger. oracleDead holds objects known unreachable but not yet
+	// reclaimed; oracleDeadBytes indexes their bytes by partition.
+	oracleDead       map[objstore.OID]struct{}
+	oracleDeadBytes  map[storage.PartitionID]int
+	totalGarbage     uint64 // cumulative bytes of garbage ever created
+	totalCollected   uint64 // cumulative bytes reclaimed by the collector
+	totalCollections uint64
+
+	// physicalFixups, when true, charges collector I/O for rewriting every
+	// external object whose pointers into a compacted partition must be
+	// updated (a physical-pointer store). The default models the common
+	// ODBMS design of logical OIDs resolved through a resident object
+	// table, where relocation within a partition costs no extra page I/O.
+	physicalFixups bool
+}
+
+// NewHeap wraps a store and a storage manager. Both must start empty or the
+// heap's incremental bookkeeping will not match their contents.
+func NewHeap(store *objstore.Store, disk *storage.Manager) *Heap {
+	return &Heap{
+		store:           store,
+		disk:            disk,
+		remset:          make(map[storage.PartitionID]map[objstore.OID]map[objstore.OID]int),
+		po:              make(map[storage.PartitionID]int),
+		oracleDead:      make(map[objstore.OID]struct{}),
+		oracleDeadBytes: make(map[storage.PartitionID]int),
+	}
+}
+
+// Store returns the logical object store.
+func (h *Heap) Store() *objstore.Store { return h.store }
+
+// SetPhysicalFixups switches pointer-fixup I/O charging on or off (see the
+// physicalFixups field). Used by the fixup-cost ablation benchmark.
+func (h *Heap) SetPhysicalFixups(on bool) { h.physicalFixups = on }
+
+// Disk returns the physical storage manager.
+func (h *Heap) Disk() *storage.Manager { return h.disk }
+
+// Create allocates an object logically and physically.
+func (h *Heap) Create(oid objstore.OID, class objstore.Class, size, nslots int) error {
+	if _, err := h.store.CreateWithOID(oid, class, size, nslots); err != nil {
+		return err
+	}
+	if _, err := h.disk.Allocate(oid, size); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Access simulates a read of an object.
+func (h *Heap) Access(oid objstore.OID) error {
+	if h.store.Get(oid) == nil {
+		return fmt.Errorf("gc: access of absent object %v", oid)
+	}
+	return h.disk.Touch(oid, false)
+}
+
+// Update simulates a non-pointer write to an object.
+func (h *Heap) Update(oid objstore.OID) error {
+	if h.store.Get(oid) == nil {
+		return fmt.Errorf("gc: update of absent object %v", oid)
+	}
+	return h.disk.Touch(oid, true)
+}
+
+// Overwrite applies a pointer overwrite: slot i of src now points at dst
+// (possibly nil). init marks the initializing stores that wire up a freshly
+// created object; those maintain the graph and dirty pages but do not count
+// as overwrites for the rate policies (they cannot create garbage).
+// The recorded old value from the trace is checked against the store.
+func (h *Heap) Overwrite(src objstore.OID, slot int, wantOld, dst objstore.OID, init bool) error {
+	// Validate the recorded old value before mutating anything, so a
+	// corrupt trace cannot leave the slot half-applied.
+	o := h.store.Get(src)
+	if o == nil {
+		return fmt.Errorf("gc: overwrite on absent object %v", src)
+	}
+	if slot < 0 || slot >= len(o.Slots) {
+		return fmt.Errorf("gc: overwrite slot %d out of range on %v", slot, src)
+	}
+	if o.Slots[slot] != wantOld {
+		return fmt.Errorf("gc: overwrite %v[%d]: trace says old=%v, store has %v",
+			src, slot, wantOld, o.Slots[slot])
+	}
+	old, err := h.store.SetSlot(src, slot, dst)
+	if err != nil {
+		return err
+	}
+	if err := h.disk.Touch(src, true); err != nil {
+		return err
+	}
+	srcPart, ok := h.disk.PartitionOf(src)
+	if !ok {
+		return fmt.Errorf("gc: overwrite source %v has no placement", src)
+	}
+	if !old.IsNil() {
+		oldPart, ok := h.disk.PartitionOf(old)
+		if !ok {
+			return fmt.Errorf("gc: old target %v has no placement", old)
+		}
+		if oldPart != srcPart {
+			h.remsetRemove(oldPart, old, src)
+		}
+		if !init {
+			h.po[oldPart]++
+		}
+	}
+	if !dst.IsNil() {
+		dstPart, ok := h.disk.PartitionOf(dst)
+		if !ok {
+			return fmt.Errorf("gc: new target %v has no placement", dst)
+		}
+		if dstPart != srcPart {
+			h.remsetAdd(dstPart, dst, src)
+		}
+	}
+	if !init {
+		h.totalOverwrites++
+	}
+	return nil
+}
+
+func (h *Heap) remsetAdd(p storage.PartitionID, dst, src objstore.OID) {
+	m := h.remset[p]
+	if m == nil {
+		m = make(map[objstore.OID]map[objstore.OID]int)
+		h.remset[p] = m
+	}
+	srcs := m[dst]
+	if srcs == nil {
+		srcs = make(map[objstore.OID]int)
+		m[dst] = srcs
+	}
+	srcs[src]++
+}
+
+func (h *Heap) remsetRemove(p storage.PartitionID, dst, src objstore.OID) {
+	m := h.remset[p]
+	if m == nil {
+		return
+	}
+	srcs := m[dst]
+	if srcs == nil {
+		return
+	}
+	if srcs[src] <= 1 {
+		delete(srcs, src)
+		if len(srcs) == 0 {
+			delete(m, dst)
+		}
+	} else {
+		srcs[src]--
+	}
+}
+
+// ExternallyReferenced reports whether dst (in partition p) has remembered
+// external references.
+func (h *Heap) ExternallyReferenced(p storage.PartitionID, dst objstore.OID) bool {
+	return len(h.remset[p][dst]) > 0
+}
+
+// RecordOracleDead registers objects the trace oracle declared unreachable.
+// The collector will eventually rediscover and reclaim them by tracing.
+func (h *Heap) RecordOracleDead(dead []objstore.OID) error {
+	for _, oid := range dead {
+		if _, dup := h.oracleDead[oid]; dup {
+			return fmt.Errorf("gc: object %v declared dead twice", oid)
+		}
+		o := h.store.Get(oid)
+		if o == nil {
+			return fmt.Errorf("gc: oracle-dead object %v not in store", oid)
+		}
+		p, ok := h.disk.PartitionOf(oid)
+		if !ok {
+			return fmt.Errorf("gc: oracle-dead object %v has no placement", oid)
+		}
+		h.oracleDead[oid] = struct{}{}
+		h.oracleDeadBytes[p] += o.Size
+		h.totalGarbage += uint64(o.Size)
+	}
+	return nil
+}
+
+// ActualGarbageBytes returns the oracle's exact count of unreclaimed
+// garbage bytes in the database.
+func (h *Heap) ActualGarbageBytes() int {
+	n := 0
+	for _, b := range h.oracleDeadBytes {
+		n += b
+	}
+	return n
+}
+
+// OracleGarbageIn returns the exact garbage bytes in one partition.
+func (h *Heap) OracleGarbageIn(p storage.PartitionID) int { return h.oracleDeadBytes[p] }
+
+// PinnedGarbageBytes returns the bytes of known garbage that the collector
+// could not reclaim right now even if it collected the right partition:
+// dead objects held live by remembered-set entries (references from other
+// partitions, themselves possibly dead). This quantifies partitioned
+// collection's conservatism — cross-partition dead chains release one
+// segment per collection, and dead cross-partition cycles never release.
+func (h *Heap) PinnedGarbageBytes() int {
+	pinned := 0
+	for oid := range h.oracleDead {
+		p, ok := h.disk.PartitionOf(oid)
+		if !ok {
+			continue
+		}
+		if h.ExternallyReferenced(p, oid) {
+			pinned += h.store.MustGet(oid).Size
+		}
+	}
+	return pinned
+}
+
+// TotalGarbageBytes returns cumulative garbage ever created (oracle).
+func (h *Heap) TotalGarbageBytes() uint64 { return h.totalGarbage }
+
+// TotalCollectedBytes returns cumulative bytes reclaimed by the collector.
+func (h *Heap) TotalCollectedBytes() uint64 { return h.totalCollected }
+
+// Collections returns how many collections have run.
+func (h *Heap) Collections() uint64 { return h.totalCollections }
+
+// OverwriteClock returns the SAGA time base: total non-init overwrites.
+func (h *Heap) OverwriteClock() uint64 { return h.totalOverwrites }
+
+// PartitionOverwrites returns the FGS counter of one partition.
+func (h *Heap) PartitionOverwrites(p storage.PartitionID) int { return h.po[p] }
+
+// SumPartitionOverwrites returns Σ_p PO(p), the FGS state total.
+func (h *Heap) SumPartitionOverwrites() int {
+	n := 0
+	for _, v := range h.po {
+		n += v
+	}
+	return n
+}
+
+// DatabaseBytes returns occupied bytes (live + garbage): the SAGA notion of
+// database size.
+func (h *Heap) DatabaseBytes() int { return h.disk.OccupiedBytes() }
+
+// NumPartitions returns the number of allocated partitions (the CGS/CB
+// estimator's coarse-grain state).
+func (h *Heap) NumPartitions() int { return h.disk.NumPartitions() }
+
+// CollectionResult describes one collection.
+type CollectionResult struct {
+	Partition        storage.PartitionID
+	PartitionPO      int // FGS counter of the partition at collection time
+	ReclaimedBytes   int
+	ReclaimedObjects int
+	LiveBytes        int
+	LiveObjects      int
+	IO               storage.IOStats // I/O delta attributable to this collection
+}
+
+// Collect garbage-collects one partition: scan, Cheney copy from the
+// partition roots (database roots plus remembered external references),
+// compact survivors, fix external pointers, and flush collector-dirtied
+// pages. All I/O is charged to the collector.
+func (h *Heap) Collect(p storage.PartitionID) (CollectionResult, error) {
+	if p < 0 || int(p) >= h.disk.NumPartitions() {
+		return CollectionResult{}, fmt.Errorf("gc: collect of unknown partition %d", p)
+	}
+	before := h.disk.Stats()
+	prevClass := h.disk.SetIOClass(storage.IOGC)
+	defer h.disk.SetIOClass(prevClass)
+
+	// Scan the partition.
+	h.disk.ReadPartition(p)
+
+	members := h.disk.ObjectsIn(p)
+	memberSet := make(map[objstore.OID]struct{}, len(members))
+	for _, oid := range members {
+		memberSet[oid] = struct{}{}
+	}
+
+	// Partition roots: database roots and externally referenced objects.
+	var rootList []objstore.OID
+	for _, oid := range members {
+		if h.store.IsRoot(oid) || h.ExternallyReferenced(p, oid) {
+			rootList = append(rootList, oid)
+		}
+	}
+
+	// Cheney breadth-first copy within the partition. The live list is the
+	// copy order; pointers leaving the partition are not traversed.
+	live := make([]objstore.OID, 0, len(members))
+	seen := make(map[objstore.OID]struct{}, len(members))
+	queue := rootList
+	for _, oid := range rootList {
+		seen[oid] = struct{}{}
+	}
+	for len(queue) > 0 {
+		oid := queue[0]
+		queue = queue[1:]
+		live = append(live, oid)
+		for _, t := range h.store.MustGet(oid).Slots {
+			if t.IsNil() {
+				continue
+			}
+			if _, inPart := memberSet[t]; !inPart {
+				continue
+			}
+			if _, dup := seen[t]; dup {
+				continue
+			}
+			seen[t] = struct{}{}
+			queue = append(queue, t)
+		}
+	}
+
+	// Everything unreached is garbage. Tear down its bookkeeping before
+	// compaction removes its placement.
+	liveBytes := 0
+	for _, oid := range live {
+		liveBytes += h.store.MustGet(oid).Size
+	}
+	var deadList []objstore.OID
+	for _, oid := range members {
+		if _, ok := seen[oid]; !ok {
+			deadList = append(deadList, oid)
+		}
+	}
+	sort.Slice(deadList, func(i, j int) bool { return deadList[i] < deadList[j] })
+
+	reclaimedBytes := 0
+	for _, oid := range deadList {
+		o := h.store.MustGet(oid)
+		reclaimedBytes += o.Size
+		// A dead object's outgoing cross-partition references leave the
+		// remembered sets, which may unpin garbage in other partitions.
+		for _, t := range o.Slots {
+			if t.IsNil() {
+				continue
+			}
+			tp, ok := h.disk.PartitionOf(t)
+			if !ok {
+				return CollectionResult{}, fmt.Errorf("gc: dead object %v references unplaced %v", oid, t)
+			}
+			if tp != p {
+				h.remsetRemove(tp, t, oid)
+			}
+		}
+		// The oracle must have known: partitioned tracing is conservative
+		// with respect to true reachability.
+		if _, known := h.oracleDead[oid]; !known {
+			return CollectionResult{}, fmt.Errorf("gc: collector reclaimed %v which the oracle believes live", oid)
+		}
+		delete(h.oracleDead, oid)
+		h.oracleDeadBytes[p] -= o.Size
+		if err := h.store.Remove(oid); err != nil {
+			return CollectionResult{}, err
+		}
+	}
+	if len(deadList) > 0 && h.oracleDeadBytes[p] < 0 {
+		return CollectionResult{}, fmt.Errorf("gc: negative oracle garbage in partition %d", p)
+	}
+
+	// Compact survivors in copy order.
+	if _, err := h.disk.Compact(p, live, func(oid objstore.OID) int {
+		return h.store.MustGet(oid).Size
+	}); err != nil {
+		return CollectionResult{}, err
+	}
+
+	// Surviving objects moved. With physical pointers, every external
+	// referencing object must be rewritten; with logical OIDs (the
+	// default), only the resident object table changes, at no I/O cost.
+	if h.physicalFixups {
+		fixups := make(map[objstore.OID]struct{})
+		for _, srcs := range h.remset[p] {
+			for src := range srcs {
+				fixups[src] = struct{}{}
+			}
+		}
+		fixupList := make([]objstore.OID, 0, len(fixups))
+		for src := range fixups {
+			fixupList = append(fixupList, src)
+		}
+		sort.Slice(fixupList, func(i, j int) bool { return fixupList[i] < fixupList[j] })
+		for _, src := range fixupList {
+			if err := h.disk.Touch(src, true); err != nil {
+				return CollectionResult{}, err
+			}
+		}
+	}
+
+	// Write back what the collector dirtied.
+	h.disk.FlushGCDirty()
+
+	po := h.po[p]
+	h.po[p] = 0
+	h.totalCollected += uint64(reclaimedBytes)
+	h.totalCollections++
+
+	return CollectionResult{
+		Partition:        p,
+		PartitionPO:      po,
+		ReclaimedBytes:   reclaimedBytes,
+		ReclaimedObjects: len(deadList),
+		LiveBytes:        liveBytes,
+		LiveObjects:      len(live),
+		IO:               h.disk.Stats().Sub(before),
+	}, nil
+}
+
+// CheckInvariants cross-validates the heap's incremental bookkeeping against
+// ground truth recomputed from the store. Expensive; used in tests.
+func (h *Heap) CheckInvariants() error {
+	if err := h.disk.CheckInvariants(); err != nil {
+		return err
+	}
+	// Rebuild remembered sets from scratch and compare.
+	want := make(map[storage.PartitionID]map[objstore.OID]map[objstore.OID]int)
+	var rebuildErr error
+	h.store.ForEach(func(o *objstore.Object) {
+		if rebuildErr != nil {
+			return
+		}
+		srcPart, ok := h.disk.PartitionOf(o.OID)
+		if !ok {
+			rebuildErr = fmt.Errorf("gc: object %v in store but not placed", o.OID)
+			return
+		}
+		for _, t := range o.Slots {
+			if t.IsNil() {
+				continue
+			}
+			tPart, ok := h.disk.PartitionOf(t)
+			if !ok {
+				rebuildErr = fmt.Errorf("gc: object %v references unplaced %v", o.OID, t)
+				return
+			}
+			if tPart == srcPart {
+				continue
+			}
+			m := want[tPart]
+			if m == nil {
+				m = make(map[objstore.OID]map[objstore.OID]int)
+				want[tPart] = m
+			}
+			srcs := m[t]
+			if srcs == nil {
+				srcs = make(map[objstore.OID]int)
+				m[t] = srcs
+			}
+			srcs[o.OID]++
+		}
+	})
+	if rebuildErr != nil {
+		return rebuildErr
+	}
+	for p, m := range h.remset {
+		for dst, srcs := range m {
+			for src, n := range srcs {
+				if want[p][dst][src] != n {
+					return fmt.Errorf("gc: remset[%d][%v][%v]=%d, ground truth %d",
+						p, dst, src, n, want[p][dst][src])
+				}
+			}
+		}
+	}
+	for p, m := range want {
+		for dst, srcs := range m {
+			for src, n := range srcs {
+				if h.remset[p][dst][src] != n {
+					return fmt.Errorf("gc: remset[%d][%v][%v] missing entry with ground truth %d",
+						p, dst, src, n)
+				}
+			}
+		}
+	}
+	// Oracle ledger consistency.
+	sum := 0
+	for p, b := range h.oracleDeadBytes {
+		if b < 0 {
+			return fmt.Errorf("gc: negative oracle garbage %d in partition %d", b, p)
+		}
+		sum += b
+	}
+	check := 0
+	for oid := range h.oracleDead {
+		o := h.store.Get(oid)
+		if o == nil {
+			return fmt.Errorf("gc: oracle-dead object %v missing from store", oid)
+		}
+		check += o.Size
+	}
+	if sum != check {
+		return fmt.Errorf("gc: oracle garbage bytes %d disagree with dead set total %d", sum, check)
+	}
+	if h.totalGarbage-h.totalCollected != uint64(sum) {
+		return fmt.Errorf("gc: ledger mismatch: created %d - collected %d != outstanding %d",
+			h.totalGarbage, h.totalCollected, sum)
+	}
+	// Every oracle-dead object must be truly unreachable (soundness).
+	live := h.store.Reachable()
+	for oid := range h.oracleDead {
+		if _, isLive := live[oid]; isLive {
+			return fmt.Errorf("gc: oracle-dead object %v is reachable", oid)
+		}
+	}
+	return nil
+}
+
+// CheckOracleComplete verifies the converse of CheckInvariants' soundness
+// check: every unreachable object is known dead to the oracle. This holds
+// at the simulator's collection-safe points when replaying a well-formed
+// trace, but not in hand-built heaps with untracked garbage.
+func (h *Heap) CheckOracleComplete() error {
+	live := h.store.Reachable()
+	deadCount := 0
+	var sample objstore.OID
+	h.store.ForEach(func(o *objstore.Object) {
+		if _, isLive := live[o.OID]; !isLive {
+			deadCount++
+			sample = o.OID
+		}
+	})
+	if deadCount != len(h.oracleDead) {
+		return fmt.Errorf("gc: %d unreachable objects but oracle knows %d (e.g. %v)",
+			deadCount, len(h.oracleDead), sample)
+	}
+	return nil
+}

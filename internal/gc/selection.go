@@ -1,0 +1,188 @@
+package gc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"odbgc/internal/storage"
+)
+
+// SelectionPolicy decides which partition a collection should process.
+// Select returns false when no partition is worth collecting (e.g. no
+// overwrites have been observed anywhere), in which case the simulator
+// skips the collection.
+type SelectionPolicy interface {
+	Name() string
+	Select(h *Heap) (storage.PartitionID, bool)
+}
+
+// UpdatedPointer is the paper's partition-selection policy (CWZ94): collect
+// the partition with the largest count of overwritten pointers into it
+// since its last collection. It is effective at finding partitions with
+// more than average garbage, which is why the CGS/CB estimator
+// overestimates (§4.1.2).
+type UpdatedPointer struct{}
+
+// Name implements SelectionPolicy.
+func (UpdatedPointer) Name() string { return "updated-pointer" }
+
+// Select implements SelectionPolicy.
+func (UpdatedPointer) Select(h *Heap) (storage.PartitionID, bool) {
+	best := storage.PartitionID(-1)
+	bestPO := 0
+	for p := 0; p < h.disk.NumPartitions(); p++ {
+		id := storage.PartitionID(p)
+		if po := h.PartitionOverwrites(id); po > bestPO {
+			best, bestPO = id, po
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// RandomSelection picks a uniformly random allocated partition. The paper
+// mentions it as the selection policy under which CGS/CB would estimate
+// accurately.
+type RandomSelection struct {
+	rng *rand.Rand
+}
+
+// NewRandomSelection returns a seeded random selection policy.
+func NewRandomSelection(seed int64) *RandomSelection {
+	return &RandomSelection{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements SelectionPolicy.
+func (*RandomSelection) Name() string { return "random" }
+
+// Select implements SelectionPolicy.
+func (s *RandomSelection) Select(h *Heap) (storage.PartitionID, bool) {
+	n := h.disk.NumPartitions()
+	if n == 0 {
+		return 0, false
+	}
+	return storage.PartitionID(s.rng.Intn(n)), true
+}
+
+// RoundRobin cycles through partitions in order, a baseline that spreads
+// collection effort uniformly.
+type RoundRobin struct {
+	next storage.PartitionID
+}
+
+// Name implements SelectionPolicy.
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Select implements SelectionPolicy.
+func (s *RoundRobin) Select(h *Heap) (storage.PartitionID, bool) {
+	n := h.disk.NumPartitions()
+	if n == 0 {
+		return 0, false
+	}
+	if int(s.next) >= n {
+		s.next = 0
+	}
+	p := s.next
+	s.next++
+	return p, true
+}
+
+// OracleSelection collects the partition with the most actual garbage. It
+// is impractical in a real system (requires exact garbage knowledge) and
+// serves as an upper bound for selection quality in ablations.
+type OracleSelection struct{}
+
+// Name implements SelectionPolicy.
+func (OracleSelection) Name() string { return "oracle-max-garbage" }
+
+// Select implements SelectionPolicy.
+func (OracleSelection) Select(h *Heap) (storage.PartitionID, bool) {
+	best := storage.PartitionID(-1)
+	bestGarb := 0
+	for p := 0; p < h.disk.NumPartitions(); p++ {
+		id := storage.PartitionID(p)
+		if g := h.OracleGarbageIn(id); g > bestGarb {
+			best, bestGarb = id, g
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// Hybrid prefers UPDATEDPOINTER but falls back to a round-robin sweep when
+// greedy picks stop paying: if the last greedy collection yielded less
+// than MinYield bytes, the next selections sweep partitions in order until
+// one yields again. This repairs the FIFO-log livelock (greedy policies
+// re-collect a pinned partition at zero yield forever; see
+// workload.QueueParams) while preserving greedy behavior whenever it works.
+//
+// Hybrid needs yield feedback: the simulator reports each collection via
+// ObserveCollection.
+type Hybrid struct {
+	// MinYield is the bytes a greedy collection must reclaim for greedy
+	// mode to continue. Defaults to 1 (any yield at all) if zero.
+	MinYield int
+
+	greedy   UpdatedPointer
+	sweep    RoundRobin
+	sweeping bool
+	lastPick storage.PartitionID
+	havePick bool
+}
+
+// Name implements SelectionPolicy.
+func (h *Hybrid) Name() string { return "hybrid" }
+
+// Select implements SelectionPolicy.
+func (h *Hybrid) Select(heap *Heap) (storage.PartitionID, bool) {
+	var p storage.PartitionID
+	var ok bool
+	if h.sweeping {
+		p, ok = h.sweep.Select(heap)
+	} else {
+		p, ok = h.greedy.Select(heap)
+	}
+	h.lastPick, h.havePick = p, ok
+	return p, ok
+}
+
+// ObserveCollection feeds back the yield of the last selected collection.
+func (h *Hybrid) ObserveCollection(res CollectionResult) {
+	if !h.havePick || res.Partition != h.lastPick {
+		return
+	}
+	min := h.MinYield
+	if min <= 0 {
+		min = 1
+	}
+	h.sweeping = res.ReclaimedBytes < min
+}
+
+// YieldObserver is implemented by selection policies that adapt to
+// collection outcomes; the simulator feeds them every collection result.
+type YieldObserver interface {
+	ObserveCollection(res CollectionResult)
+}
+
+// NewSelectionPolicy constructs a selection policy by name. Seed is used by
+// stochastic policies only.
+func NewSelectionPolicy(name string, seed int64) (SelectionPolicy, error) {
+	switch name {
+	case "updated-pointer", "":
+		return UpdatedPointer{}, nil
+	case "random":
+		return NewRandomSelection(seed), nil
+	case "round-robin":
+		return &RoundRobin{}, nil
+	case "oracle-max-garbage":
+		return OracleSelection{}, nil
+	case "hybrid":
+		return &Hybrid{}, nil
+	default:
+		return nil, fmt.Errorf("gc: unknown selection policy %q", name)
+	}
+}

@@ -1,0 +1,236 @@
+package gc
+
+import (
+	"testing"
+
+	"odbgc/internal/objstore"
+	"odbgc/internal/storage"
+)
+
+// heapWithPartitions builds a heap with n single-page partitions, each
+// holding one rooted 400-byte object (OIDs 1..n).
+func heapWithPartitions(t *testing.T, n int) *Heap {
+	t.Helper()
+	disk, err := storage.NewManager(storage.Config{PageSize: 400, PagesPerPartition: 1, BufferPages: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHeap(objstore.NewStore(), disk)
+	for i := 1; i <= n; i++ {
+		mk(t, h, objstore.OID(i), 400, 1)
+		root(t, h, objstore.OID(i))
+	}
+	if disk.NumPartitions() != n {
+		t.Fatalf("setup: %d partitions, want %d", disk.NumPartitions(), n)
+	}
+	return h
+}
+
+// bumpPO drives the PO counter of the partition holding oid by overwriting
+// a pointer whose old target is oid.
+func bumpPO(t *testing.T, h *Heap, src, oid objstore.OID, times int) {
+	t.Helper()
+	for i := 0; i < times; i++ {
+		link(t, h, src, 0, oid)
+		unlink(t, h, src, 0, oid)
+	}
+}
+
+func TestUpdatedPointerPicksHottest(t *testing.T) {
+	h := heapWithPartitions(t, 3)
+	bumpPO(t, h, 1, 2, 2) // PO(partition of 2) = 2
+	bumpPO(t, h, 1, 3, 5) // PO(partition of 3) = 5
+
+	var up UpdatedPointer
+	p, ok := up.Select(h)
+	if !ok {
+		t.Fatal("no selection")
+	}
+	if want := mustPart(t, h, 3); p != want {
+		t.Errorf("selected %d, want %d", p, want)
+	}
+}
+
+func TestUpdatedPointerDeclinesWithoutOverwrites(t *testing.T) {
+	h := heapWithPartitions(t, 3)
+	var up UpdatedPointer
+	if _, ok := up.Select(h); ok {
+		t.Error("selected a partition with zero overwrites everywhere")
+	}
+}
+
+func TestUpdatedPointerTieBreaksLowest(t *testing.T) {
+	h := heapWithPartitions(t, 3)
+	bumpPO(t, h, 1, 2, 3)
+	bumpPO(t, h, 1, 3, 3)
+	var up UpdatedPointer
+	p, ok := up.Select(h)
+	if !ok {
+		t.Fatal("no selection")
+	}
+	lo := mustPart(t, h, 2)
+	if hi := mustPart(t, h, 3); hi < lo {
+		lo = hi
+	}
+	if p != lo {
+		t.Errorf("tie broke to %d, want lowest %d", p, lo)
+	}
+}
+
+func TestRandomSelectionDeterministicPerSeed(t *testing.T) {
+	h := heapWithPartitions(t, 5)
+	a := NewRandomSelection(42)
+	b := NewRandomSelection(42)
+	for i := 0; i < 20; i++ {
+		pa, oka := a.Select(h)
+		pb, okb := b.Select(h)
+		if oka != okb || pa != pb {
+			t.Fatalf("same-seed selections diverged at step %d", i)
+		}
+		if int(pa) >= h.Disk().NumPartitions() {
+			t.Fatalf("selected out-of-range partition %d", pa)
+		}
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	h := heapWithPartitions(t, 3)
+	rr := &RoundRobin{}
+	var got []storage.PartitionID
+	for i := 0; i < 6; i++ {
+		p, ok := rr.Select(h)
+		if !ok {
+			t.Fatal("no selection")
+		}
+		got = append(got, p)
+	}
+	want := []storage.PartitionID{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sequence %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOracleSelectionFindsGarbage(t *testing.T) {
+	h := heapWithPartitions(t, 3)
+	// Make object 2 garbage: it is rooted, so un-root then declare dead.
+	h.Store().RemoveRoot(2)
+	if err := h.RecordOracleDead([]objstore.OID{2}); err != nil {
+		t.Fatal(err)
+	}
+	var sel OracleSelection
+	p, ok := sel.Select(h)
+	if !ok {
+		t.Fatal("no selection")
+	}
+	if want := mustPart(t, h, 2); p != want {
+		t.Errorf("selected %d, want %d (the garbage partition)", p, want)
+	}
+}
+
+func TestOracleSelectionDeclinesWhenClean(t *testing.T) {
+	h := heapWithPartitions(t, 2)
+	var sel OracleSelection
+	if _, ok := sel.Select(h); ok {
+		t.Error("selected a partition with no garbage anywhere")
+	}
+}
+
+func TestSelectionOnEmptyHeap(t *testing.T) {
+	disk, err := storage.NewManager(storage.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHeap(objstore.NewStore(), disk)
+	for _, sel := range []SelectionPolicy{UpdatedPointer{}, NewRandomSelection(1), &RoundRobin{}, OracleSelection{}} {
+		if _, ok := sel.Select(h); ok {
+			t.Errorf("%s selected from an empty heap", sel.Name())
+		}
+	}
+}
+
+func TestNewSelectionPolicy(t *testing.T) {
+	for _, name := range []string{"updated-pointer", "random", "round-robin", "oracle-max-garbage", ""} {
+		sel, err := NewSelectionPolicy(name, 1)
+		if err != nil || sel == nil {
+			t.Errorf("NewSelectionPolicy(%q) = %v, %v", name, sel, err)
+		}
+	}
+	if _, err := NewSelectionPolicy("bogus", 1); err == nil {
+		t.Error("bogus policy accepted")
+	}
+	// The empty name defaults to the paper's UPDATEDPOINTER.
+	sel, _ := NewSelectionPolicy("", 1)
+	if sel.Name() != "updated-pointer" {
+		t.Errorf("default selection = %s", sel.Name())
+	}
+}
+
+func TestHybridSelection(t *testing.T) {
+	h := heapWithPartitions(t, 3)
+	bumpPO(t, h, 1, 2, 5)
+	hy := &Hybrid{}
+	// Greedy mode first: picks the hottest partition like UPDATEDPOINTER.
+	p, ok := hy.Select(h)
+	if !ok || p != mustPart(t, h, 2) {
+		t.Fatalf("greedy pick = %v/%v", p, ok)
+	}
+	// Zero yield on that pick flips it into sweep mode.
+	hy.ObserveCollection(CollectionResult{Partition: p, ReclaimedBytes: 0})
+	seen := map[storage.PartitionID]bool{}
+	for i := 0; i < 3; i++ {
+		p, ok := hy.Select(h)
+		if !ok {
+			t.Fatal("sweep declined")
+		}
+		seen[p] = true
+		hy.ObserveCollection(CollectionResult{Partition: p, ReclaimedBytes: 0})
+	}
+	if len(seen) != 3 {
+		t.Errorf("sweep did not cover all partitions: %v", seen)
+	}
+	// A productive collection returns it to greedy mode.
+	p, _ = hy.Select(h)
+	hy.ObserveCollection(CollectionResult{Partition: p, ReclaimedBytes: 5000})
+	bumpPO(t, h, 1, 3, 9)
+	p, ok = hy.Select(h)
+	if !ok || p != mustPart(t, h, 3) {
+		t.Errorf("did not return to greedy mode: %v/%v", p, ok)
+	}
+	// Feedback about other partitions (e.g. opportunistic collections the
+	// policy did not pick) is ignored.
+	hy.ObserveCollection(CollectionResult{Partition: 99, ReclaimedBytes: 0})
+	if _, ok := hy.Select(h); !ok {
+		t.Error("foreign feedback changed mode")
+	}
+}
+
+func TestPinnedGarbageBytes(t *testing.T) {
+	h := testHeap(t)
+	mk(t, h, 1, 100, 3)
+	mk(t, h, 2, 100, 1) // will die holding a ref to 3
+	mk(t, h, 10, 100, 0)
+	mk(t, h, 11, 100, 0)
+	mk(t, h, 3, 100, 0) // partition 1
+	root(t, h, 1)
+	link(t, h, 1, 1, 10)
+	link(t, h, 1, 2, 11)
+	link(t, h, 1, 0, 2)
+	link(t, h, 2, 0, 3)
+	unlink(t, h, 1, 0, 2)
+	if err := h.RecordOracleDead([]objstore.OID{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	// Object 3 is pinned by dead cross-partition referencer 2; object 2 is
+	// not pinned (its partition can reclaim it immediately).
+	if got := h.PinnedGarbageBytes(); got != 100 {
+		t.Errorf("pinned = %d, want 100", got)
+	}
+	if _, err := h.Collect(mustPart(t, h, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.PinnedGarbageBytes(); got != 0 {
+		t.Errorf("pinned after collecting the referencer = %d, want 0", got)
+	}
+}

@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram accumulates samples into fixed-width buckets over [Min, Max),
+// with underflow/overflow buckets at the ends. Used for distributions of
+// collection yields, intervals, and I/O costs.
+type Histogram struct {
+	min, max float64
+	buckets  []int
+	under    int
+	over     int
+	all      Mean
+}
+
+// NewHistogram returns a histogram with n buckets spanning [min, max).
+func NewHistogram(min, max float64, n int) (*Histogram, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("metrics: histogram needs at least one bucket, got %d", n)
+	}
+	if !(min < max) {
+		return nil, fmt.Errorf("metrics: histogram range [%g,%g) is empty", min, max)
+	}
+	return &Histogram{min: min, max: max, buckets: make([]int, n)}, nil
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	h.all.Add(v)
+	switch {
+	case v < h.min:
+		h.under++
+	case v >= h.max:
+		h.over++
+	default:
+		i := int((v - h.min) / (h.max - h.min) * float64(len(h.buckets)))
+		if i >= len(h.buckets) { // guard float roundoff at the upper edge
+			i = len(h.buckets) - 1
+		}
+		h.buckets[i]++
+	}
+}
+
+// N returns the total number of samples.
+func (h *Histogram) N() int { return h.all.N() }
+
+// Mean returns the sample mean (NaN when empty).
+func (h *Histogram) Mean() float64 { return h.all.Value() }
+
+// Bucket returns the count of bucket i and its [lo, hi) range.
+func (h *Histogram) Bucket(i int) (count int, lo, hi float64) {
+	w := (h.max - h.min) / float64(len(h.buckets))
+	return h.buckets[i], h.min + float64(i)*w, h.min + float64(i+1)*w
+}
+
+// Buckets returns the number of in-range buckets.
+func (h *Histogram) Buckets() int { return len(h.buckets) }
+
+// Outliers returns the underflow and overflow counts.
+func (h *Histogram) Outliers() (under, over int) { return h.under, h.over }
+
+// String renders the histogram with proportional bars.
+func (h *Histogram) String() string {
+	const barWidth = 40
+	peak := h.under
+	for _, c := range h.buckets {
+		if c > peak {
+			peak = c
+		}
+	}
+	if h.over > peak {
+		peak = h.over
+	}
+	bar := func(c int) string {
+		if peak == 0 {
+			return ""
+		}
+		return strings.Repeat("#", int(math.Round(float64(c)/float64(peak)*barWidth)))
+	}
+	// Wide ranges print integer bounds; narrow ones keep two decimals.
+	fmtBound := func(v float64) string {
+		if h.max-h.min >= 100 {
+			return fmt.Sprintf("%8.0f", v)
+		}
+		return fmt.Sprintf("%8.2f", v)
+	}
+	var b strings.Builder
+	if h.under > 0 {
+		fmt.Fprintf(&b, "%19s  %6d %s\n", "< "+strings.TrimSpace(fmtBound(h.min)), h.under, bar(h.under))
+	}
+	for i := range h.buckets {
+		c, lo, hi := h.Bucket(i)
+		fmt.Fprintf(&b, "[%s,%s)  %6d %s\n", fmtBound(lo), fmtBound(hi), c, bar(c))
+	}
+	if h.over > 0 {
+		fmt.Fprintf(&b, "%19s  %6d %s\n", ">= "+strings.TrimSpace(fmtBound(h.max)), h.over, bar(h.over))
+	}
+	return b.String()
+}

@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h, err := NewHistogram(0, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{-5, 0, 10, 25, 60, 99.999, 100, 1000} {
+		h.Add(v)
+	}
+	if h.N() != 8 {
+		t.Errorf("N = %d", h.N())
+	}
+	under, over := h.Outliers()
+	if under != 1 || over != 2 {
+		t.Errorf("outliers = %d/%d, want 1/2", under, over)
+	}
+	wantCounts := []int{2, 1, 1, 1} // [0,25): 0,10; [25,50): 25; [50,75): 60; [75,100): 99.999
+	for i, want := range wantCounts {
+		if c, _, _ := h.Bucket(i); c != want {
+			t.Errorf("bucket %d = %d, want %d", i, c, want)
+		}
+	}
+	if _, lo, hi := h.Bucket(1); lo != 25 || hi != 50 {
+		t.Errorf("bucket 1 range [%g,%g)", lo, hi)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("zero buckets accepted")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := NewHistogram(9, 5, 3); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h, err := NewHistogram(0, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(1)
+	h.Add(2)
+	h.Add(7)
+	h.Add(-3)
+	out := h.String()
+	if !strings.Contains(out, "< 0") || !strings.Contains(out, "#") {
+		t.Errorf("render missing parts:\n%s", out)
+	}
+	if strings.Count(strings.Split(out, "\n")[1], "#") == 0 {
+		t.Errorf("no bar for populated bucket:\n%s", out)
+	}
+}
+
+// Property: all samples land somewhere, and the mean matches a direct mean.
+func TestHistogramConservationProperty(t *testing.T) {
+	f := func(vs []float64) bool {
+		h, err := NewHistogram(-100, 100, 7)
+		if err != nil {
+			return false
+		}
+		var m Mean
+		n := 0
+		for _, v := range vs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			h.Add(v)
+			m.Add(v)
+			n++
+		}
+		total := 0
+		for i := 0; i < h.Buckets(); i++ {
+			c, _, _ := h.Bucket(i)
+			total += c
+		}
+		under, over := h.Outliers()
+		total += under + over
+		if total != n || h.N() != n {
+			return false
+		}
+		if n > 0 && math.Abs(h.Mean()-m.Value()) > 1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

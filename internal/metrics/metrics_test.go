@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanBasics(t *testing.T) {
+	var m Mean
+	if !math.IsNaN(m.Value()) || !math.IsNaN(m.Min()) || !math.IsNaN(m.Max()) {
+		t.Error("empty mean not NaN")
+	}
+	for _, v := range []float64{2, 4, 9} {
+		m.Add(v)
+	}
+	if m.N() != 3 || m.Value() != 5 || m.Min() != 2 || m.Max() != 9 {
+		t.Errorf("mean = %v [%v,%v] n=%d", m.Value(), m.Min(), m.Max(), m.N())
+	}
+}
+
+func TestMeanMerge(t *testing.T) {
+	var a, b Mean
+	a.Add(1)
+	a.Add(3)
+	b.Add(5)
+	b.Add(7)
+	a.Merge(b)
+	if a.N() != 4 || a.Value() != 4 || a.Min() != 1 || a.Max() != 7 {
+		t.Errorf("merged = %v [%v,%v] n=%d", a.Value(), a.Min(), a.Max(), a.N())
+	}
+	// Merging empty is a no-op; merging into empty copies.
+	var e Mean
+	a.Merge(e)
+	if a.N() != 4 {
+		t.Error("merge of empty changed state")
+	}
+	e.Merge(a)
+	if e.N() != 4 || e.Value() != 4 {
+		t.Error("merge into empty did not copy")
+	}
+}
+
+// Property: merging two accumulators equals accumulating the concatenation.
+func TestMeanMergeProperty(t *testing.T) {
+	f := func(xs, ys []float64) bool {
+		clean := func(vs []float64) []float64 {
+			out := vs[:0]
+			for _, v := range vs {
+				if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+					out = append(out, v)
+				}
+			}
+			return out
+		}
+		xs, ys = clean(xs), clean(ys)
+		var a, b, all Mean
+		for _, v := range xs {
+			a.Add(v)
+			all.Add(v)
+		}
+		for _, v := range ys {
+			b.Add(v)
+			all.Add(v)
+		}
+		a.Merge(b)
+		if a.N() != all.N() {
+			return false
+		}
+		if all.N() == 0 {
+			return true
+		}
+		return math.Abs(a.Value()-all.Value()) < 1e-6 &&
+			a.Min() == all.Min() && a.Max() == all.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggregated(t *testing.T) {
+	a := Aggregated([]float64{1, 2, math.NaN(), 3})
+	if a.N != 3 || a.Mean != 2 || a.Min != 1 || a.Max != 3 {
+		t.Errorf("aggregate = %+v", a)
+	}
+	empty := Aggregated(nil)
+	if empty.N != 0 || !math.IsNaN(empty.Mean) {
+		t.Errorf("empty aggregate = %+v", empty)
+	}
+	if !strings.Contains(a.String(), "2.0000") {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := &Series{Name: "y"}
+	s.Add(1, 10)
+	s.Add(2, 20)
+	if s.Len() != 2 || s.MeanY() != 15 {
+		t.Errorf("series = %+v meanY = %v", s, s.MeanY())
+	}
+	if !math.IsNaN((&Series{}).MeanY()) {
+		t.Error("empty MeanY not NaN")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	a := &Series{Name: "a"}
+	a.Add(1, 10)
+	a.Add(2, 20)
+	b := &Series{Name: "b"}
+	b.Add(1, 30)
+	got := CSV("x", a, b)
+	want := "x,a,b\n1,10,30\n2,20,\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Header: []string{"name", "value"}}
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "12345")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name ") || !strings.Contains(lines[0], "value") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "-----") {
+		t.Errorf("separator = %q", lines[1])
+	}
+	// Columns align: "value" column starts at the same offset in each row.
+	idx := strings.Index(lines[0], "value")
+	if lines[2][idx:idx+1] != "1" || lines[3][idx:idx+5] != "12345" {
+		t.Errorf("misaligned table:\n%s", out)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vs := []float64{4, 1, 3, 2}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, c := range cases {
+		if got := Percentile(vs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Error("empty percentile not NaN")
+	}
+	// Input must not be mutated (sorted copy).
+	if vs[0] != 4 {
+		t.Error("Percentile mutated input")
+	}
+}

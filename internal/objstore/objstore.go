@@ -1,0 +1,365 @@
+// Package objstore implements the logical object model used throughout the
+// simulator: objects identified by OIDs, carrying a class, a byte size, and a
+// fixed set of pointer slots to other objects.
+//
+// The object store is purely logical: it knows nothing about pages,
+// partitions, or I/O. The physical placement of objects is the job of
+// package storage; reachability-based reclamation is the job of package gc.
+// Keeping the layers separate mirrors the structure of the simulation system
+// described in Cook, Wolf, Zorn (CU-CS-647-93) that the paper builds on.
+package objstore
+
+import (
+	"fmt"
+	"sort"
+)
+
+// OID identifies an object for its entire lifetime. OIDs are never reused.
+// The zero OID is reserved and means "no object" (a nil pointer slot).
+type OID uint64
+
+// NilOID is the distinguished null object identifier.
+const NilOID OID = 0
+
+// IsNil reports whether the OID is the distinguished null identifier.
+func (o OID) IsNil() bool { return o == NilOID }
+
+// String formats the OID for diagnostics.
+func (o OID) String() string {
+	if o == NilOID {
+		return "nil"
+	}
+	return fmt.Sprintf("oid:%d", uint64(o))
+}
+
+// Class tags an object with its schema type. Classes matter only for
+// diagnostics and for workload generators that assign per-class sizes.
+type Class uint8
+
+// Classes used by the OO7 workload. User workloads may define their own
+// values; the object store treats Class as opaque.
+const (
+	ClassUnknown Class = iota
+	ClassModule
+	ClassAssembly
+	ClassCompositePart
+	ClassAtomicPart
+	ClassConnection
+	ClassDocument
+	ClassManual
+)
+
+var classNames = map[Class]string{
+	ClassUnknown:       "unknown",
+	ClassModule:        "module",
+	ClassAssembly:      "assembly",
+	ClassCompositePart: "composite",
+	ClassAtomicPart:    "atomic",
+	ClassConnection:    "connection",
+	ClassDocument:      "document",
+	ClassManual:        "manual",
+}
+
+// String returns a human-readable class name.
+func (c Class) String() string {
+	if n, ok := classNames[c]; ok {
+		return n
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Object is a logical database object: a size in bytes and pointer slots.
+// The slot array has fixed length per object; a slot holds NilOID when empty.
+type Object struct {
+	OID   OID
+	Class Class
+	Size  int   // total size in bytes, including pointer slots
+	Slots []OID // outgoing pointers
+}
+
+// Clone returns a deep copy of the object (slots are copied).
+func (o *Object) Clone() *Object {
+	c := *o
+	c.Slots = append([]OID(nil), o.Slots...)
+	return &c
+}
+
+// Store is the object table: the set of all live-or-garbage objects known to
+// the database, plus the persistent root set. A Store is not safe for
+// concurrent use; the simulator is single-threaded by design (the paper
+// assumes the database is locked during collection).
+type Store struct {
+	objects map[OID]*Object
+	roots   map[OID]struct{}
+	nextOID OID
+
+	totalBytes int // sum of sizes of all objects present in the table
+}
+
+// NewStore returns an empty object store.
+func NewStore() *Store {
+	return &Store{
+		objects: make(map[OID]*Object),
+		roots:   make(map[OID]struct{}),
+		nextOID: 1,
+	}
+}
+
+// NextOID returns the OID that the next Create call will assign.
+func (s *Store) NextOID() OID { return s.nextOID }
+
+// Len returns the number of objects in the table.
+func (s *Store) Len() int { return len(s.objects) }
+
+// TotalBytes returns the sum of the sizes of every object in the table,
+// whether live or garbage. This is the "occupied bytes" notion of database
+// size used by the SAGA policy targets.
+func (s *Store) TotalBytes() int { return s.totalBytes }
+
+// Create allocates a new object with the given class, size and slot count,
+// assigns it a fresh OID and enters it in the table. All slots start nil.
+func (s *Store) Create(class Class, size, nslots int) *Object {
+	if size < 0 {
+		panic("objstore: negative object size")
+	}
+	if nslots < 0 {
+		panic("objstore: negative slot count")
+	}
+	o := &Object{
+		OID:   s.nextOID,
+		Class: class,
+		Size:  size,
+		Slots: make([]OID, nslots),
+	}
+	s.nextOID++
+	s.objects[o.OID] = o
+	s.totalBytes += size
+	return o
+}
+
+// CreateWithOID enters an object with a caller-chosen OID, used when
+// replaying traces whose OIDs were assigned by the generator. It returns an
+// error if the OID is nil or already present. The internal OID counter is
+// advanced past the given OID so later Create calls cannot collide.
+func (s *Store) CreateWithOID(oid OID, class Class, size, nslots int) (*Object, error) {
+	if oid.IsNil() {
+		return nil, fmt.Errorf("objstore: cannot create object with nil OID")
+	}
+	if _, dup := s.objects[oid]; dup {
+		return nil, fmt.Errorf("objstore: duplicate OID %v", oid)
+	}
+	if size < 0 || nslots < 0 {
+		return nil, fmt.Errorf("objstore: invalid size %d or slot count %d", size, nslots)
+	}
+	o := &Object{OID: oid, Class: class, Size: size, Slots: make([]OID, nslots)}
+	s.objects[oid] = o
+	s.totalBytes += size
+	if oid >= s.nextOID {
+		s.nextOID = oid + 1
+	}
+	return o, nil
+}
+
+// Get returns the object with the given OID, or nil if absent.
+func (s *Store) Get(oid OID) *Object {
+	return s.objects[oid]
+}
+
+// MustGet returns the object with the given OID and panics if it is absent.
+// Use in simulator code paths where a missing object indicates a corrupted
+// trace rather than a recoverable condition.
+func (s *Store) MustGet(oid OID) *Object {
+	o := s.objects[oid]
+	if o == nil {
+		panic(fmt.Sprintf("objstore: no object %v", oid))
+	}
+	return o
+}
+
+// Remove deletes an object from the table (after it has been reclaimed by
+// the collector). Removing an absent OID is an error; reclaiming the same
+// object twice indicates a collector bug.
+func (s *Store) Remove(oid OID) error {
+	o := s.objects[oid]
+	if o == nil {
+		return fmt.Errorf("objstore: remove of absent object %v", oid)
+	}
+	delete(s.objects, oid)
+	delete(s.roots, oid)
+	s.totalBytes -= o.Size
+	return nil
+}
+
+// SetSlot overwrites pointer slot i of the object src to point at dst
+// (which may be NilOID). It returns the previous slot value.
+func (s *Store) SetSlot(src OID, i int, dst OID) (old OID, err error) {
+	o := s.objects[src]
+	if o == nil {
+		return NilOID, fmt.Errorf("objstore: set slot on absent object %v", src)
+	}
+	if i < 0 || i >= len(o.Slots) {
+		return NilOID, fmt.Errorf("objstore: slot %d out of range [0,%d) on %v", i, len(o.Slots), src)
+	}
+	if !dst.IsNil() {
+		if _, ok := s.objects[dst]; !ok {
+			return NilOID, fmt.Errorf("objstore: slot target %v does not exist", dst)
+		}
+	}
+	old = o.Slots[i]
+	o.Slots[i] = dst
+	return old, nil
+}
+
+// AddRoot marks an object as a persistent root. Roots are always reachable.
+func (s *Store) AddRoot(oid OID) error {
+	if _, ok := s.objects[oid]; !ok {
+		return fmt.Errorf("objstore: cannot root absent object %v", oid)
+	}
+	s.roots[oid] = struct{}{}
+	return nil
+}
+
+// RemoveRoot clears the root mark from an object. It is not an error if the
+// object was not a root.
+func (s *Store) RemoveRoot(oid OID) {
+	delete(s.roots, oid)
+}
+
+// IsRoot reports whether the object is in the persistent root set.
+func (s *Store) IsRoot(oid OID) bool {
+	_, ok := s.roots[oid]
+	return ok
+}
+
+// Roots returns the persistent root set in ascending OID order.
+func (s *Store) Roots() []OID {
+	out := make([]OID, 0, len(s.roots))
+	for oid := range s.roots {
+		out = append(out, oid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ForEach calls fn for every object in the table in ascending OID order.
+// The order is deterministic so that simulation replay is reproducible.
+func (s *Store) ForEach(fn func(*Object)) {
+	oids := make([]OID, 0, len(s.objects))
+	for oid := range s.objects {
+		oids = append(oids, oid)
+	}
+	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	for _, oid := range oids {
+		fn(s.objects[oid])
+	}
+}
+
+// Reachable computes the set of objects reachable from the persistent roots
+// by breadth-first traversal of pointer slots. It is O(objects) and intended
+// for validation, statistics, and tests — not for the simulation fast path.
+func (s *Store) Reachable() map[OID]struct{} {
+	seen := make(map[OID]struct{}, len(s.objects))
+	var queue []OID
+	for oid := range s.roots {
+		if _, ok := seen[oid]; !ok {
+			seen[oid] = struct{}{}
+			queue = append(queue, oid)
+		}
+	}
+	for len(queue) > 0 {
+		oid := queue[0]
+		queue = queue[1:]
+		o := s.objects[oid]
+		if o == nil {
+			continue
+		}
+		for _, t := range o.Slots {
+			if t.IsNil() {
+				continue
+			}
+			if _, ok := seen[t]; ok {
+				continue
+			}
+			if _, exists := s.objects[t]; !exists {
+				continue
+			}
+			seen[t] = struct{}{}
+			queue = append(queue, t)
+		}
+	}
+	return seen
+}
+
+// GarbageBytes returns the number of bytes occupied by objects that are not
+// reachable from the roots. Like Reachable, this is a whole-database scan
+// meant for validation; the simulator tracks garbage incrementally.
+func (s *Store) GarbageBytes() int {
+	live := s.Reachable()
+	garb := 0
+	for oid, o := range s.objects {
+		if _, ok := live[oid]; !ok {
+			garb += o.Size
+		}
+	}
+	return garb
+}
+
+// Stats summarizes the object table for diagnostics.
+type Stats struct {
+	Objects    int
+	TotalBytes int
+	Roots      int
+	ByClass    map[Class]ClassStats
+}
+
+// ClassStats summarizes one class within Stats.
+type ClassStats struct {
+	Count int
+	Bytes int
+}
+
+// Stats computes a summary of the object table.
+func (s *Store) Stats() Stats {
+	st := Stats{
+		Objects:    len(s.objects),
+		TotalBytes: s.totalBytes,
+		Roots:      len(s.roots),
+		ByClass:    make(map[Class]ClassStats),
+	}
+	for _, o := range s.objects {
+		cs := st.ByClass[o.Class]
+		cs.Count++
+		cs.Bytes += o.Size
+		st.ByClass[o.Class] = cs
+	}
+	return st
+}
+
+// AverageObjectSize returns the mean object size in bytes, or 0 for an empty
+// store. The paper reports ≈133 bytes for the OO7 Small' database.
+func (s *Store) AverageObjectSize() float64 {
+	if len(s.objects) == 0 {
+		return 0
+	}
+	return float64(s.totalBytes) / float64(len(s.objects))
+}
+
+// InDegrees computes, for every object, the number of pointer slots in other
+// objects that reference it. Used to validate the connectivity claims of the
+// OO7 generator (average connectivity ≈ 4 at NumConnPerAtomic = 3).
+func (s *Store) InDegrees() map[OID]int {
+	in := make(map[OID]int, len(s.objects))
+	for oid := range s.objects {
+		in[oid] = 0
+	}
+	for _, o := range s.objects {
+		for _, t := range o.Slots {
+			if !t.IsNil() {
+				if _, ok := s.objects[t]; ok {
+					in[t]++
+				}
+			}
+		}
+	}
+	return in
+}

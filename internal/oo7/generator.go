@@ -1,0 +1,421 @@
+package oo7
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"odbgc/internal/objstore"
+	"odbgc/internal/trace"
+)
+
+// Slot layout per class:
+//
+//	module:     [0] manual head, [1] root assembly
+//	manual seg: [0] next segment (nil for last)
+//	complex assembly: [0..NumAssmPerAssm)  child assemblies
+//	base assembly:    [0..NumCompPerAssm)  composite parts
+//	composite:  [0] document, [1..NumAtomicPerComp] atomic parts
+//	atomic:     [0..NumConnPerAtomic) owned connections
+//	connection: [0] target atomic part
+//	document:   no slots
+
+// Phase labels emitted in the trace, in application order (Figure 2).
+const (
+	PhaseGenDB    = "GenDB"
+	PhaseReorg1   = "Reorg1"
+	PhaseTraverse = "Traverse"
+	PhaseReorg2   = "Reorg2"
+)
+
+// Phases lists the four phases in order.
+var Phases = []string{PhaseGenDB, PhaseReorg1, PhaseTraverse, PhaseReorg2}
+
+// Generator synthesizes the OO7 application trace. It maintains an exact
+// mirror of the object graph so every overwrite event carries the precise
+// set of objects it disconnected.
+//
+// The generator emits events in strict top-down construction order: every
+// new object is wired to an already-reachable parent by the event(s)
+// immediately following its creation, so the only moments the graph is
+// inconsistent are directly after a create or initializing store. The
+// simulator treats those moments as collection-unsafe.
+type Generator struct {
+	p   Params
+	rng *rand.Rand
+	tr  *trace.Trace
+	st  *objstore.Store
+
+	modules []*moduleState
+	built   map[string]bool // phases already generated
+}
+
+type moduleState struct {
+	oid        objstore.OID
+	composites []*compositeState
+	// refs tracks which base-assembly slots reference each composite, so
+	// structural operations (ReplaceComposites) can sever them and detect
+	// when a composite becomes unreachable.
+	refs map[*compositeState][]slotRef
+}
+
+// slotRef identifies one pointer slot of one object.
+type slotRef struct {
+	obj  objstore.OID
+	slot int
+}
+
+type compositeState struct {
+	oid   objstore.OID
+	doc   objstore.OID
+	parts []objstore.OID // index i ↔ composite slot i+1; nil = vacant
+	// scope holds the composite's private objects (document, atomic parts,
+	// connections) that have not yet been declared garbage. Reachability
+	// within the composite is decidable locally because private objects
+	// are only ever referenced from within the composite.
+	scope map[objstore.OID]struct{}
+}
+
+// NewGenerator returns a generator for the given parameters and seed.
+func NewGenerator(p Params, seed int64) (*Generator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Generator{
+		p:     p,
+		rng:   rand.New(rand.NewSource(seed)),
+		tr:    &trace.Trace{},
+		st:    objstore.NewStore(),
+		built: make(map[string]bool),
+	}, nil
+}
+
+// Trace returns the trace generated so far.
+func (g *Generator) Trace() *trace.Trace { return g.tr }
+
+// Store exposes the generator's mirror object graph (for tests and stats).
+func (g *Generator) Store() *objstore.Store { return g.st }
+
+// Params returns the generator's parameters.
+func (g *Generator) Params() Params { return g.p }
+
+// FullTrace runs all four phases and returns the trace.
+func FullTrace(p Params, seed int64) (*trace.Trace, error) {
+	g, err := NewGenerator(p, seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.GenDB(); err != nil {
+		return nil, err
+	}
+	if err := g.Reorg1(); err != nil {
+		return nil, err
+	}
+	if err := g.Traverse(); err != nil {
+		return nil, err
+	}
+	if err := g.Reorg2(); err != nil {
+		return nil, err
+	}
+	return g.Trace(), nil
+}
+
+// --- event emission helpers -------------------------------------------------
+
+func (g *Generator) emitPhase(label string) {
+	// Quiescence precedes every phase after the first, modeling the idle
+	// window between workload phases.
+	if g.p.IdleBetweenPhases > 0 && label != PhaseGenDB {
+		g.tr.Append(trace.Event{Kind: trace.KindIdle, Size: g.p.IdleBetweenPhases})
+	}
+	g.tr.Append(trace.Event{Kind: trace.KindPhase, Label: label})
+}
+
+func (g *Generator) create(class objstore.Class, size, nslots int) objstore.OID {
+	o := g.st.Create(class, size, nslots)
+	g.tr.Append(trace.Event{
+		Kind: trace.KindCreate, OID: o.OID, Class: class, Size: size, Slots: nslots,
+	})
+	return o.OID
+}
+
+func (g *Generator) access(oid objstore.OID) {
+	g.tr.Append(trace.Event{Kind: trace.KindAccess, OID: oid})
+}
+
+func (g *Generator) update(oid objstore.OID) {
+	g.tr.Append(trace.Event{Kind: trace.KindUpdate, OID: oid})
+}
+
+func (g *Generator) addRoot(oid objstore.OID) {
+	if err := g.st.AddRoot(oid); err != nil {
+		panic(err) // generator bug: rooting an object it did not create
+	}
+	g.tr.Append(trace.Event{Kind: trace.KindRoot, OID: oid, Size: 1})
+}
+
+// initStore wires a slot during construction of new structure. The old
+// value must be nil and no garbage can result.
+func (g *Generator) initStore(src objstore.OID, slot int, dst objstore.OID) {
+	old, err := g.st.SetSlot(src, slot, dst)
+	if err != nil {
+		panic(err)
+	}
+	if !old.IsNil() {
+		panic(fmt.Sprintf("oo7: init store over non-nil slot %v[%d]", src, slot))
+	}
+	g.tr.Append(trace.Event{
+		Kind: trace.KindOverwrite, OID: src, Slot: slot, Old: objstore.NilOID, New: dst, Init: true,
+	})
+}
+
+// overwrite performs a real pointer overwrite. If scope is non-nil the
+// overwrite may disconnect objects private to that composite; the newly
+// unreachable ones are computed exactly and attached as the oracle
+// annotation.
+func (g *Generator) overwrite(src objstore.OID, slot int, dst objstore.OID, scope *compositeState) {
+	old, err := g.st.SetSlot(src, slot, dst)
+	if err != nil {
+		panic(err)
+	}
+	e := trace.Event{Kind: trace.KindOverwrite, OID: src, Slot: slot, Old: old, New: dst}
+	if scope != nil {
+		e.Dead = g.scopeDead(scope)
+	}
+	g.tr.Append(e)
+}
+
+// scopeDead recomputes reachability of the composite's private objects and
+// returns (and retires) the ones that just became unreachable.
+func (g *Generator) scopeDead(c *compositeState) []trace.DeadObject {
+	visited := map[objstore.OID]struct{}{c.oid: {}}
+	stack := []objstore.OID{c.oid}
+	for len(stack) > 0 {
+		oid := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range g.st.MustGet(oid).Slots {
+			if t.IsNil() {
+				continue
+			}
+			if _, inScope := c.scope[t]; !inScope {
+				continue
+			}
+			if _, seen := visited[t]; seen {
+				continue
+			}
+			visited[t] = struct{}{}
+			stack = append(stack, t)
+		}
+	}
+	var deadOIDs []objstore.OID
+	for oid := range c.scope {
+		if _, ok := visited[oid]; !ok {
+			deadOIDs = append(deadOIDs, oid)
+		}
+	}
+	if len(deadOIDs) == 0 {
+		return nil
+	}
+	sort.Slice(deadOIDs, func(i, j int) bool { return deadOIDs[i] < deadOIDs[j] })
+	dead := make([]trace.DeadObject, len(deadOIDs))
+	for i, oid := range deadOIDs {
+		dead[i] = trace.DeadObject{OID: oid, Size: g.st.MustGet(oid).Size}
+		delete(c.scope, oid)
+	}
+	return dead
+}
+
+// --- GenDB -------------------------------------------------------------------
+
+// GenDB generates the initial database: modules, manuals, assembly
+// hierarchies, and composite parts with their atomic parts, connections and
+// documents. Construction is strictly top-down from the rooted module.
+func (g *Generator) GenDB() error {
+	if g.built[PhaseGenDB] {
+		return fmt.Errorf("oo7: GenDB already generated")
+	}
+	g.built[PhaseGenDB] = true
+	g.emitPhase(PhaseGenDB)
+
+	for m := 0; m < g.p.NumModules; m++ {
+		g.modules = append(g.modules, g.genModule())
+	}
+	return nil
+}
+
+func (g *Generator) genModule() *moduleState {
+	mod := &moduleState{refs: make(map[*compositeState][]slotRef)}
+	mod.oid = g.create(objstore.ClassModule, g.p.ModuleBytes, 2)
+	g.addRoot(mod.oid)
+
+	g.genManual(mod.oid)
+
+	// Assign composite parts to base assembly slots before building: the
+	// first NumCompPerModule slots cover every composite index once (so no
+	// composite is born garbage), the rest are uniform random.
+	nBase := g.p.NumBaseAssemblies()
+	slots := nBase * g.p.NumCompPerAssm // >= NumCompPerModule, per Params.Validate
+	assign := make([]int, slots)
+	for i := range assign {
+		if i < g.p.NumCompPerModule {
+			assign[i] = i
+		} else {
+			assign[i] = g.rng.Intn(g.p.NumCompPerModule)
+		}
+	}
+	g.rng.Shuffle(len(assign), func(i, j int) { assign[i], assign[j] = assign[j], assign[i] })
+
+	mod.composites = make([]*compositeState, g.p.NumCompPerModule)
+
+	// Build the assembly tree top-down, breadth-first. Complex assemblies
+	// occupy levels 1..NumAssmLevels-1; the last level is base assemblies.
+	root := g.create(objstore.ClassAssembly, g.p.AssemblyBytes, g.assemblySlots(1))
+	g.overwrite(mod.oid, 1, root, nil)
+	frontier := []objstore.OID{root}
+	nextSlot := 0
+	for level := 2; level <= g.p.NumAssmLevels; level++ {
+		var next []objstore.OID
+		for _, parent := range frontier {
+			for k := 0; k < g.p.NumAssmPerAssm; k++ {
+				child := g.create(objstore.ClassAssembly, g.p.AssemblyBytes, g.assemblySlots(level))
+				g.overwrite(parent, k, child, nil)
+				next = append(next, child)
+			}
+		}
+		frontier = next
+	}
+	if g.p.NumAssmLevels == 1 {
+		// Degenerate single-level hierarchy: the root is the sole base.
+		frontier = []objstore.OID{root}
+	}
+	// frontier now holds the base assemblies; wire composites, building
+	// each composite at its first reference.
+	for _, base := range frontier {
+		for k := 0; k < g.p.NumCompPerAssm; k++ {
+			idx := assign[nextSlot]
+			nextSlot++
+			if mod.composites[idx] == nil {
+				mod.composites[idx] = g.genComposite(base, k)
+			} else {
+				g.overwrite(base, k, mod.composites[idx].oid, nil)
+			}
+			mod.refs[mod.composites[idx]] = append(mod.refs[mod.composites[idx]],
+				slotRef{obj: base, slot: k})
+		}
+	}
+	return mod
+}
+
+// assemblySlots returns the slot count of an assembly at the given level
+// (1-based; the deepest level holds base assemblies).
+func (g *Generator) assemblySlots(level int) int {
+	if level == g.p.NumAssmLevels {
+		return g.p.NumCompPerAssm
+	}
+	return g.p.NumAssmPerAssm
+}
+
+func (g *Generator) genManual(module objstore.OID) {
+	segs := g.p.ManualSegments()
+	remaining := g.p.ManualBytes
+	var prev objstore.OID
+	for i := 0; i < segs; i++ {
+		size := g.p.ManualSegBytes
+		if size > remaining {
+			size = remaining
+		}
+		remaining -= size
+		seg := g.create(objstore.ClassManual, size, 1)
+		if i == 0 {
+			g.overwrite(module, 0, seg, nil)
+		} else {
+			g.overwrite(prev, 0, seg, nil)
+		}
+		prev = seg
+	}
+}
+
+// genComposite builds one composite part top-down, immediately wired into
+// base assembly slot k. All internal wiring is initializing stores.
+func (g *Generator) genComposite(base objstore.OID, k int) *compositeState {
+	c := &compositeState{
+		parts: make([]objstore.OID, g.p.NumAtomicPerComp),
+		scope: make(map[objstore.OID]struct{}),
+	}
+	c.oid = g.create(objstore.ClassCompositePart, g.p.CompositeBytes, 1+g.p.NumAtomicPerComp)
+	g.overwrite(base, k, c.oid, nil)
+
+	c.doc = g.createDocument(c, func(head objstore.OID) {
+		g.initStore(c.oid, 0, head)
+	})
+
+	for i := 0; i < g.p.NumAtomicPerComp; i++ {
+		part := g.create(objstore.ClassAtomicPart, g.p.AtomicBytes, g.p.NumConnPerAtomic)
+		g.initStore(c.oid, 1+i, part)
+		c.parts[i] = part
+		c.scope[part] = struct{}{}
+	}
+	for i := 0; i < g.p.NumAtomicPerComp; i++ {
+		for k := 0; k < g.p.NumConnPerAtomic; k++ {
+			target := c.parts[g.randPartIndexExcept(c, i)]
+			conn := g.create(objstore.ClassConnection, g.p.ConnBytes, 1)
+			g.initStore(conn, 0, target)
+			g.initStore(c.parts[i], k, conn)
+			c.scope[conn] = struct{}{}
+		}
+	}
+	return c
+}
+
+// createDocument creates a composite's document as a chain of page-sized
+// segments (larger OO7 configurations have documents exceeding a page), all
+// registered in the composite's scope. wireHead attaches the head segment
+// to its reachable parent immediately after creation; subsequent segments
+// chain off the previous one. Returns the head segment.
+func (g *Generator) createDocument(c *compositeState, wireHead func(objstore.OID)) objstore.OID {
+	segBytes := g.p.ManualSegBytes
+	remaining := g.p.DocumentBytes
+	var head, prev objstore.OID
+	for remaining > 0 {
+		size := segBytes
+		if size > remaining {
+			size = remaining
+		}
+		remaining -= size
+		seg := g.create(objstore.ClassDocument, size, 1)
+		c.scope[seg] = struct{}{}
+		if head.IsNil() {
+			head = seg
+			wireHead(head)
+		} else {
+			g.initStore(prev, 0, seg)
+		}
+		prev = seg
+	}
+	return head
+}
+
+// randPartIndexExcept returns a random index of a non-vacant part slot,
+// excluding index self (no self-connections). It panics if no candidate
+// exists (Params.Validate guarantees at least two parts).
+func (g *Generator) randPartIndexExcept(c *compositeState, self int) int {
+	for tries := 0; tries < 1000; tries++ {
+		i := g.rng.Intn(len(c.parts))
+		if i != self && !c.parts[i].IsNil() {
+			return i
+		}
+	}
+	panic("oo7: no connectable atomic part found")
+}
+
+// randCurrentPartExcept returns a random live part OID, excluding the given
+// one.
+func (g *Generator) randCurrentPartExcept(c *compositeState, self objstore.OID) objstore.OID {
+	for tries := 0; tries < 1000; tries++ {
+		i := g.rng.Intn(len(c.parts))
+		if !c.parts[i].IsNil() && c.parts[i] != self {
+			return c.parts[i]
+		}
+	}
+	panic("oo7: no connectable atomic part found")
+}

@@ -1,0 +1,75 @@
+package oo7
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"odbgc/internal/objstore"
+)
+
+// Info summarizes the generated database structure: the derived quantities
+// the paper reports around Table 1 (database size in the 3.7–7.9 MB band
+// across connectivities, mean object size, mean connectivity ≈ 4).
+type Info struct {
+	Params        Params
+	Objects       int
+	Bytes         int
+	AvgObjectSize float64
+	// AvgInDegree is the mean number of pointers referencing an object,
+	// over all objects (the paper's "connectivity").
+	AvgInDegree float64
+	// AvgAtomicInDegree restricts the mean to atomic parts (≈ 1 composite
+	// reference + NumConnPerAtomic incoming connections).
+	AvgAtomicInDegree float64
+	ByClass           map[objstore.Class]objstore.ClassStats
+}
+
+// Info computes structure statistics from the generator's mirror graph.
+// Call after GenDB for the freshly generated database, or later for the
+// current state (including garbage not yet collected).
+func (g *Generator) Info() Info {
+	st := g.st.Stats()
+	in := g.st.InDegrees()
+	var total, atomicTotal, atomicCount int
+	g.st.ForEach(func(o *objstore.Object) {
+		total += in[o.OID]
+		if o.Class == objstore.ClassAtomicPart {
+			atomicTotal += in[o.OID]
+			atomicCount++
+		}
+	})
+	info := Info{
+		Params:        g.p,
+		Objects:       st.Objects,
+		Bytes:         st.TotalBytes,
+		AvgObjectSize: g.st.AverageObjectSize(),
+		ByClass:       st.ByClass,
+	}
+	if st.Objects > 0 {
+		info.AvgInDegree = float64(total) / float64(st.Objects)
+	}
+	if atomicCount > 0 {
+		info.AvgAtomicInDegree = float64(atomicTotal) / float64(atomicCount)
+	}
+	return info
+}
+
+// String renders the info as a small report.
+func (i Info) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "OO7 database: %d objects, %.2f MB, avg object %.1f B\n",
+		i.Objects, float64(i.Bytes)/(1<<20), i.AvgObjectSize)
+	fmt.Fprintf(&b, "connectivity: avg in-degree %.2f (atomic parts %.2f)\n",
+		i.AvgInDegree, i.AvgAtomicInDegree)
+	classes := make([]objstore.Class, 0, len(i.ByClass))
+	for c := range i.ByClass {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(a, b int) bool { return classes[a] < classes[b] })
+	for _, c := range classes {
+		cs := i.ByClass[c]
+		fmt.Fprintf(&b, "  %-12s %6d objects %10d bytes\n", c.String(), cs.Count, cs.Bytes)
+	}
+	return b.String()
+}

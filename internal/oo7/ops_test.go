@@ -1,0 +1,205 @@
+package oo7
+
+import (
+	"testing"
+
+	"odbgc/internal/objstore"
+	"odbgc/internal/trace"
+)
+
+// builtGenerator returns a generator with a small database built.
+func builtGenerator(t *testing.T) *Generator {
+	t.Helper()
+	p := SmallPrime(3)
+	p.NumCompPerModule = 20
+	p.NumAssmLevels = 4
+	g, err := NewGenerator(p, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.GenDB(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// opStats summarizes the events emitted after a mark.
+func opStats(g *Generator, mark int) trace.Stats {
+	sub := &trace.Trace{Events: g.Trace().Events[mark:]}
+	return trace.ComputeStats(sub)
+}
+
+func TestOpsRequireGenDB(t *testing.T) {
+	g, err := NewGenerator(SmallPrime(3), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.T2(T2A); err == nil {
+		t.Error("T2 before GenDB accepted")
+	}
+	if err := g.Q1(5); err == nil {
+		t.Error("Q1 before GenDB accepted")
+	}
+	if err := g.ReplaceComposites(1); err == nil {
+		t.Error("ReplaceComposites before GenDB accepted")
+	}
+}
+
+func TestT2Variants(t *testing.T) {
+	g := builtGenerator(t)
+	nComps := 20
+	nParts := nComps * g.Params().NumAtomicPerComp
+
+	for _, tc := range []struct {
+		variant     T2Variant
+		wantUpdates int
+	}{
+		{T2A, nComps},
+		{T2B, nParts},
+		{T2C, 4 * nParts},
+	} {
+		mark := g.Trace().Len()
+		if err := g.T2(tc.variant); err != nil {
+			t.Fatal(err)
+		}
+		s := opStats(g, mark)
+		if s.Updates != tc.wantUpdates {
+			t.Errorf("T2%c updates = %d, want %d", tc.variant, s.Updates, tc.wantUpdates)
+		}
+		if s.Overwrites != 0 || s.GarbageBytes != 0 {
+			t.Errorf("T2%c mutated pointers", tc.variant)
+		}
+	}
+	if err := g.T2('z'); err == nil {
+		t.Error("unknown T2 variant accepted")
+	}
+}
+
+func TestT6TouchesRootPartsOnly(t *testing.T) {
+	g := builtGenerator(t)
+	mark := g.Trace().Len()
+	if err := g.T6(); err != nil {
+		t.Fatal(err)
+	}
+	s := opStats(g, mark)
+	// module + assemblies + per composite (access + one part). Far fewer
+	// accesses than a full traversal.
+	if s.Updates != 0 || s.Overwrites != 0 {
+		t.Error("T6 performed writes")
+	}
+	full := builtGenerator(t)
+	fmark := full.Trace().Len()
+	if err := full.Traverse(); err != nil {
+		t.Fatal(err)
+	}
+	fs := opStats(full, fmark)
+	if s.Accesses >= fs.Accesses/3 {
+		t.Errorf("T6 accesses (%d) not sparse vs full traversal (%d)", s.Accesses, fs.Accesses)
+	}
+}
+
+func TestQueries(t *testing.T) {
+	g := builtGenerator(t)
+
+	mark := g.Trace().Len()
+	if err := g.Q1(25); err != nil {
+		t.Fatal(err)
+	}
+	if s := opStats(g, mark); s.Accesses != 25 {
+		t.Errorf("Q1 accesses = %d, want 25", s.Accesses)
+	}
+
+	mark = g.Trace().Len()
+	if err := g.Q4(10); err != nil {
+		t.Fatal(err)
+	}
+	if s := opStats(g, mark); s.Accesses != 20 { // doc + composite each
+		t.Errorf("Q4 accesses = %d, want 20", s.Accesses)
+	}
+
+	mark = g.Trace().Len()
+	if err := g.Q7(); err != nil {
+		t.Fatal(err)
+	}
+	if s := opStats(g, mark); s.Accesses != 20*g.Params().NumAtomicPerComp {
+		t.Errorf("Q7 accesses = %d, want %d", s.Accesses, 20*g.Params().NumAtomicPerComp)
+	}
+
+	mark = g.Trace().Len()
+	if err := g.ScanManual(); err != nil {
+		t.Fatal(err)
+	}
+	if s := opStats(g, mark); s.Accesses != g.Params().ManualSegments() {
+		t.Errorf("T8 accesses = %d, want %d segments", s.Accesses, g.Params().ManualSegments())
+	}
+
+	if err := g.Q1(-1); err == nil {
+		t.Error("negative Q1 count accepted")
+	}
+	if err := g.Q4(-1); err == nil {
+		t.Error("negative Q4 count accepted")
+	}
+}
+
+func TestReplaceCompositesCreatesSubtreeGarbage(t *testing.T) {
+	g := builtGenerator(t)
+	mark := g.Trace().Len()
+	if err := g.ReplaceComposites(30); err != nil {
+		t.Fatal(err)
+	}
+	s := opStats(g, mark)
+	if s.GarbageBytes == 0 {
+		t.Fatal("replacements created no garbage")
+	}
+	// Some displacement must have severed a composite's last reference,
+	// releasing a whole subtree (> 10 KB) in one overwrite.
+	foundBig := false
+	for _, e := range g.Trace().Events[mark:] {
+		if e.Kind == trace.KindOverwrite && e.DeadBytes() > 10000 {
+			foundBig = true
+			// The dead set must include exactly one composite part object.
+			comps := 0
+			for _, d := range e.Dead {
+				if g.Store().MustGet(d.OID).Class == objstore.ClassCompositePart {
+					comps++
+				}
+			}
+			if comps != 1 {
+				t.Errorf("big detachment contains %d composite objects", comps)
+			}
+		}
+	}
+	if !foundBig {
+		t.Error("no single-overwrite subtree detachment observed over 30 replacements")
+	}
+	// The whole trace, including structural churn, must stay consistent.
+	if err := trace.Validate(g.Trace()); err != nil {
+		t.Fatalf("trace invalid after replacements: %v", err)
+	}
+}
+
+func TestOpsComposeWithPhases(t *testing.T) {
+	g := builtGenerator(t)
+	if err := g.ReplaceComposites(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Reorg1(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.T2(T2A); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Traverse(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.ReplaceComposites(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Reorg2(); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Validate(g.Trace()); err != nil {
+		t.Fatalf("composed workload invalid: %v", err)
+	}
+	structureInvariants(t, g)
+}

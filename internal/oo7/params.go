@@ -1,0 +1,215 @@
+// Package oo7 synthesizes traces of the OO7 benchmark application used in
+// the paper's evaluation: the Small' database of Table 1 driven through the
+// four phases of Figure 2 (GenDB, Reorg1, Traverse, Reorg2), the workload
+// of Yong, Naughton, Yu with the paper's two modifications (phases 2 and 3
+// swapped; Reorg2 deletes half rather than all atomic parts).
+//
+// The generator maintains its own exact object graph, so every pointer
+// overwrite it emits carries the precise set of objects the overwrite made
+// unreachable. That oracle channel feeds the simulator's ground-truth
+// garbage accounting and the paper's "perfect estimator"; the simulated
+// collector never sees it.
+package oo7
+
+import "fmt"
+
+// Params are the OO7 database parameters (Table 1) plus the object sizes
+// and workload knobs this reproduction adds. All sizes are bytes.
+type Params struct {
+	// Table 1 parameters.
+	NumAtomicPerComp int // atomic parts per composite part
+	NumConnPerAtomic int // outgoing connections per atomic part (3/6/9)
+	DocumentBytes    int // document size (2000)
+	ManualBytes      int // manual size (100 KB)
+	NumCompPerModule int // composite parts per module (150 in Small')
+	NumAssmPerAssm   int // fan-out of complex assemblies (3)
+	NumAssmLevels    int // assembly levels including base level (6 in Small')
+	NumCompPerAssm   int // composite parts referenced per base assembly (3)
+	NumModules       int // modules (1)
+
+	// Object sizes. Chosen so the Small' database lands near the paper's
+	// reported size band with a mean object size near the reported 133
+	// bytes; see EXPERIMENTS.md for the calibration.
+	AtomicBytes    int
+	ConnBytes      int
+	CompositeBytes int
+	AssemblyBytes  int
+	ModuleBytes    int
+	ManualSegBytes int // the manual is stored as a chain of segments
+
+	// DocReplaceProb is the probability that a reorganization replaces a
+	// composite part's document, modeling the paper's observation that a
+	// single overwrite may disconnect very large objects such as OO7
+	// document nodes.
+	DocReplaceProb float64
+
+	// TraverseUpdateEvery, when > 0, makes the Traverse phase issue an
+	// update (non-pointer write) on every Nth atomic part it visits, akin
+	// to OO7's T2 traversals. 0 keeps Traverse read-only as in the paper.
+	TraverseUpdateEvery int
+
+	// IdleBetweenPhases, when > 0, emits that many quiescence ticks at
+	// each phase boundary after GenDB, modeling the idle windows between
+	// workload phases that §5's opportunistic extension exploits. 0 (the
+	// default) reproduces the paper's always-active workload.
+	IdleBetweenPhases int
+
+	// DeclusterBatch controls Reorg2: composites are processed in batches
+	// of this size — delete half the parts of every composite in the
+	// batch, then reinsert round-robin across the batch, so replacement
+	// parts of different composites interleave in allocation order and
+	// clustering is broken. Larger batches decluster more but create
+	// bigger garbage bursts. Defaults to 10 if zero.
+	DeclusterBatch int
+}
+
+// SmallPrime returns the paper's Small' parameters (Table 1, first column)
+// with the given atomic-part connectivity (3, 6, or 9).
+func SmallPrime(connectivity int) Params {
+	return Params{
+		NumAtomicPerComp: 20,
+		NumConnPerAtomic: connectivity,
+		DocumentBytes:    2000,
+		ManualBytes:      100 * 1024,
+		NumCompPerModule: 150,
+		NumAssmPerAssm:   3,
+		NumAssmLevels:    6,
+		NumCompPerAssm:   3,
+		NumModules:       1,
+
+		AtomicBytes:    300,
+		ConnBytes:      220,
+		CompositeBytes: 400,
+		AssemblyBytes:  200,
+		ModuleBytes:    300,
+		ManualSegBytes: 7900,
+
+		DocReplaceProb: 0.2,
+	}
+}
+
+// Small returns the original OO7 Small parameters (Table 1, second column):
+// 500 composite parts per module and 7 assembly levels.
+func Small(connectivity int) Params {
+	p := SmallPrime(connectivity)
+	p.NumCompPerModule = 500
+	p.NumAssmLevels = 7
+	return p
+}
+
+// Medium returns the OO7 Medium parameters (Carey, DeWitt, Naughton,
+// SIGMOD'93): 200 atomic parts per composite and 20000-byte documents.
+// Roughly 40x the Small' data volume; traces take correspondingly longer to
+// generate and replay.
+func Medium(connectivity int) Params {
+	p := Small(connectivity)
+	p.NumAtomicPerComp = 200
+	p.DocumentBytes = 20000
+	p.ManualBytes = 1 << 20
+	return p
+}
+
+// Validate checks the parameters for consistency.
+func (p Params) Validate() error {
+	switch {
+	case p.NumModules < 1:
+		return fmt.Errorf("oo7: NumModules %d must be >= 1", p.NumModules)
+	case p.NumAtomicPerComp < 2:
+		return fmt.Errorf("oo7: NumAtomicPerComp %d must be >= 2", p.NumAtomicPerComp)
+	case p.NumConnPerAtomic < 1:
+		return fmt.Errorf("oo7: NumConnPerAtomic %d must be >= 1", p.NumConnPerAtomic)
+	case p.NumConnPerAtomic >= p.NumAtomicPerComp:
+		return fmt.Errorf("oo7: NumConnPerAtomic %d must be < NumAtomicPerComp %d (no self-connections)",
+			p.NumConnPerAtomic, p.NumAtomicPerComp)
+	case p.NumCompPerModule < 1:
+		return fmt.Errorf("oo7: NumCompPerModule %d must be >= 1", p.NumCompPerModule)
+	case p.NumAssmPerAssm < 1:
+		return fmt.Errorf("oo7: NumAssmPerAssm %d must be >= 1", p.NumAssmPerAssm)
+	case p.NumAssmLevels < 1:
+		return fmt.Errorf("oo7: NumAssmLevels %d must be >= 1", p.NumAssmLevels)
+	case p.NumCompPerAssm < 1:
+		return fmt.Errorf("oo7: NumCompPerAssm %d must be >= 1", p.NumCompPerAssm)
+	case p.DocumentBytes <= 0 || p.ManualBytes <= 0:
+		return fmt.Errorf("oo7: document/manual sizes must be positive")
+	case p.AtomicBytes <= 0 || p.ConnBytes <= 0 || p.CompositeBytes <= 0 ||
+		p.AssemblyBytes <= 0 || p.ModuleBytes <= 0 || p.ManualSegBytes <= 0:
+		return fmt.Errorf("oo7: object sizes must be positive")
+	case p.DocReplaceProb < 0 || p.DocReplaceProb > 1:
+		return fmt.Errorf("oo7: DocReplaceProb %.3f must be in [0,1]", p.DocReplaceProb)
+	case p.TraverseUpdateEvery < 0:
+		return fmt.Errorf("oo7: TraverseUpdateEvery %d must be >= 0", p.TraverseUpdateEvery)
+	case p.DeclusterBatch < 0:
+		return fmt.Errorf("oo7: DeclusterBatch %d must be >= 0", p.DeclusterBatch)
+	case p.IdleBetweenPhases < 0:
+		return fmt.Errorf("oo7: IdleBetweenPhases %d must be >= 0", p.IdleBetweenPhases)
+	}
+	if slots := p.NumBaseAssemblies() * p.NumCompPerAssm; slots < p.NumCompPerModule {
+		return fmt.Errorf("oo7: %d base-assembly slots cannot reference all %d composite parts; raise NumAssmLevels/NumAssmPerAssm/NumCompPerAssm or lower NumCompPerModule",
+			slots, p.NumCompPerModule)
+	}
+	return nil
+}
+
+// declusterBatch returns the effective Reorg2 batch size.
+func (p Params) declusterBatch() int {
+	if p.DeclusterBatch == 0 {
+		return 10
+	}
+	return p.DeclusterBatch
+}
+
+// NumComplexAssemblies returns the count of complex (non-leaf) assemblies
+// per module: a full k-ary tree of NumAssmLevels-1 internal levels.
+func (p Params) NumComplexAssemblies() int {
+	n, lvl := 0, 1
+	for i := 0; i < p.NumAssmLevels-1; i++ {
+		n += lvl
+		lvl *= p.NumAssmPerAssm
+	}
+	return n
+}
+
+// NumBaseAssemblies returns the count of base (leaf) assemblies per module.
+func (p Params) NumBaseAssemblies() int {
+	n := 1
+	for i := 0; i < p.NumAssmLevels-1; i++ {
+		n *= p.NumAssmPerAssm
+	}
+	return n
+}
+
+// ManualSegments returns how many chained segments store the manual.
+func (p Params) ManualSegments() int {
+	return (p.ManualBytes + p.ManualSegBytes - 1) / p.ManualSegBytes
+}
+
+// DocSegments returns how many chained segments store one document (1 for
+// Small'/Small; more in Medium, whose documents exceed a page).
+func (p Params) DocSegments() int {
+	return (p.DocumentBytes + p.ManualSegBytes - 1) / p.ManualSegBytes
+}
+
+// ExpectedObjects returns the object count of a freshly generated database.
+func (p Params) ExpectedObjects() int {
+	atoms := p.NumCompPerModule * p.NumAtomicPerComp
+	conns := atoms * p.NumConnPerAtomic
+	perModule := 1 + p.ManualSegments() + p.NumComplexAssemblies() + p.NumBaseAssemblies() +
+		p.NumCompPerModule + // composite parts
+		p.NumCompPerModule*p.DocSegments() + // document segment chains
+		atoms + conns
+	return p.NumModules * perModule
+}
+
+// ExpectedBytes returns the byte size of a freshly generated database.
+func (p Params) ExpectedBytes() int {
+	atoms := p.NumCompPerModule * p.NumAtomicPerComp
+	conns := atoms * p.NumConnPerAtomic
+	segs := p.ManualSegments()
+	lastSeg := p.ManualBytes - (segs-1)*p.ManualSegBytes
+	perModule := p.ModuleBytes +
+		(segs-1)*p.ManualSegBytes + lastSeg +
+		(p.NumComplexAssemblies()+p.NumBaseAssemblies())*p.AssemblyBytes +
+		p.NumCompPerModule*(p.CompositeBytes+p.DocumentBytes) +
+		atoms*p.AtomicBytes + conns*p.ConnBytes
+	return p.NumModules * perModule
+}

@@ -1,0 +1,299 @@
+package oo7
+
+import (
+	"fmt"
+
+	"odbgc/internal/objstore"
+)
+
+// deletion records what a delete-half pass vacated in one composite, so the
+// reinsertion pass can refill exactly those slots.
+type deletion struct {
+	comp      *compositeState
+	partSlots []int // vacated part indices (composite slot = index+1)
+	rewires   []connSlot
+}
+
+// connSlot identifies a vacated connection slot of a surviving atomic part.
+type connSlot struct {
+	part objstore.OID
+	slot int
+}
+
+// Reorg1 deletes half the atomic parts of every composite and reinserts
+// them composite by composite, so each composite's replacement parts are
+// allocated together (clustering preserved).
+func (g *Generator) Reorg1() error {
+	return g.reorg(PhaseReorg1, true)
+}
+
+// Reorg2 deletes half the atomic parts of every composite, then reinserts
+// them round-robin across composites, breaking the co-location of a
+// composite's parts (the paper's declustering reorganization).
+func (g *Generator) Reorg2() error {
+	return g.reorg(PhaseReorg2, false)
+}
+
+func (g *Generator) reorg(label string, clustered bool) error {
+	if !g.built[PhaseGenDB] {
+		return fmt.Errorf("oo7: %s requires GenDB first", label)
+	}
+	if g.built[label] {
+		return fmt.Errorf("oo7: %s already generated", label)
+	}
+	g.built[label] = true
+	g.emitPhase(label)
+
+	if clustered {
+		for _, mod := range g.modules {
+			for _, c := range mod.composites {
+				d := g.deleteHalf(c)
+				for _, slot := range d.partSlots {
+					g.insertPart(c, slot)
+				}
+				g.rewire(d)
+			}
+		}
+		return nil
+	}
+
+	// Declustered: process composites in batches — delete across the whole
+	// batch, then interleave reinsertions round-robin so consecutive
+	// allocations belong to different composites and a composite's
+	// replacement parts scatter over partitions.
+	var all []*compositeState
+	for _, mod := range g.modules {
+		all = append(all, mod.composites...)
+	}
+	batch := g.p.declusterBatch()
+	for start := 0; start < len(all); start += batch {
+		end := start + batch
+		if end > len(all) {
+			end = len(all)
+		}
+		var dels []deletion
+		maxSlots := 0
+		for _, c := range all[start:end] {
+			d := g.deleteHalf(c)
+			dels = append(dels, d)
+			if len(d.partSlots) > maxSlots {
+				maxSlots = len(d.partSlots)
+			}
+		}
+		for round := 0; round < maxSlots; round++ {
+			for _, d := range dels {
+				if round < len(d.partSlots) {
+					g.insertPart(d.comp, d.partSlots[round])
+				}
+			}
+		}
+		for _, d := range dels {
+			g.rewire(d)
+		}
+	}
+	return nil
+}
+
+// deleteHalf removes half of a composite's current atomic parts: the
+// composite's slots to the victims are overwritten to nil, and surviving
+// parts' connections that target victims are severed. Victims, their owned
+// connections, and the severed connections become garbage — often as
+// clusters released by a single final overwrite, reproducing the paper's
+// observation that individual overwrites can detach large structures.
+func (g *Generator) deleteHalf(c *compositeState) deletion {
+	d := deletion{comp: c}
+
+	// Optionally replace the document: one overwrite disconnecting one
+	// large object (or segment chain, in larger configurations).
+	if g.p.DocReplaceProb > 0 && g.rng.Float64() < g.p.DocReplaceProb {
+		c.doc = g.createDocument(c, func(head objstore.OID) {
+			g.overwrite(c.oid, 0, head, c)
+		})
+	}
+
+	var current []int
+	for i, p := range c.parts {
+		if !p.IsNil() {
+			current = append(current, i)
+		}
+	}
+	k := len(current) / 2
+	if k == 0 {
+		return d
+	}
+	g.rng.Shuffle(len(current), func(i, j int) { current[i], current[j] = current[j], current[i] })
+	victims := current[:k]
+	victimSet := make(map[objstore.OID]struct{}, k)
+	victimOIDs := make([]objstore.OID, 0, k)
+	for _, idx := range victims {
+		victimSet[c.parts[idx]] = struct{}{}
+		victimOIDs = append(victimOIDs, c.parts[idx])
+	}
+
+	// Deletion order matters: all stores into a victim must happen while it
+	// is still reachable (the application's delete traversal holds it),
+	// and the composite-slot overwrite comes last, releasing each victim
+	// cluster in one final severing store.
+	//
+	// First, sever victims' connections to other victims. The application's
+	// delete of a part disconnects it fully; without this, declustered
+	// victims form dead cycles spanning partitions, which a partitioned
+	// collector can never reclaim (pointers leaving the collected partition
+	// are not traversed, and each side of the cycle keeps the other's
+	// remembered-set entry alive). Victims' connections to surviving parts
+	// are left in place — they die with their owner and point only at live
+	// objects, so they pin nothing.
+	for _, victim := range victimOIDs {
+		slots := g.st.MustGet(victim).Slots
+		for s, conn := range slots {
+			if conn.IsNil() {
+				continue
+			}
+			target := g.st.MustGet(conn).Slots[0]
+			if _, dead := victimSet[target]; dead {
+				g.overwrite(victim, s, objstore.NilOID, c)
+			}
+		}
+	}
+	// Second, sever survivors' connections into the victim set; those
+	// slots are refilled by the reinsertion pass.
+	for _, p := range c.parts {
+		if p.IsNil() {
+			continue
+		}
+		if _, dead := victimSet[p]; dead {
+			continue
+		}
+		slots := g.st.MustGet(p).Slots
+		for s, conn := range slots {
+			if conn.IsNil() {
+				continue
+			}
+			target := g.st.MustGet(conn).Slots[0]
+			if _, dead := victimSet[target]; dead {
+				g.overwrite(p, s, objstore.NilOID, c)
+				d.rewires = append(d.rewires, connSlot{part: p, slot: s})
+			}
+		}
+	}
+	// Finally, detach victims from the composite. Each overwrite may
+	// release a whole cluster (the part plus its remaining connections).
+	for _, idx := range victims {
+		g.overwrite(c.oid, 1+idx, objstore.NilOID, c)
+		c.parts[idx] = objstore.NilOID
+		d.partSlots = append(d.partSlots, idx)
+	}
+	return d
+}
+
+// insertPart creates a replacement atomic part in the given composite slot,
+// with a full set of outgoing connections to random current parts.
+func (g *Generator) insertPart(c *compositeState, slot int) {
+	part := g.create(objstore.ClassAtomicPart, g.p.AtomicBytes, g.p.NumConnPerAtomic)
+	g.overwrite(c.oid, 1+slot, part, nil)
+	c.parts[slot] = part
+	c.scope[part] = struct{}{}
+	for k := 0; k < g.p.NumConnPerAtomic; k++ {
+		target := g.randCurrentPartExcept(c, part)
+		conn := g.create(objstore.ClassConnection, g.p.ConnBytes, 1)
+		g.initStore(conn, 0, target)
+		g.initStore(part, k, conn)
+		c.scope[conn] = struct{}{}
+	}
+}
+
+// rewire restores the out-degree of surviving parts whose connections were
+// severed, pointing new connections at random current parts.
+func (g *Generator) rewire(d deletion) {
+	c := d.comp
+	for _, r := range d.rewires {
+		target := g.randCurrentPartExcept(c, r.part)
+		conn := g.create(objstore.ClassConnection, g.p.ConnBytes, 1)
+		g.initStore(conn, 0, target)
+		g.overwrite(r.part, r.slot, conn, nil)
+		c.scope[conn] = struct{}{}
+	}
+}
+
+// Traverse emits the read-only depth-first traversal over all atomic parts:
+// down the assembly hierarchy, then within each composite following
+// connections from its first part, finally touching any parts unreachable
+// via connections. No pointers are modified, so the SAGA clock does not
+// advance during this phase — no garbage can be created (§4.1.2).
+func (g *Generator) Traverse() error {
+	if !g.built[PhaseGenDB] {
+		return fmt.Errorf("oo7: Traverse requires GenDB first")
+	}
+	if g.built[PhaseTraverse] {
+		return fmt.Errorf("oo7: Traverse already generated")
+	}
+	g.built[PhaseTraverse] = true
+	g.emitPhase(PhaseTraverse)
+
+	visitedComp := make(map[objstore.OID]bool)
+	sinceUpdate := 0
+	for _, mod := range g.modules {
+		g.access(mod.oid)
+		compByOID := make(map[objstore.OID]*compositeState, len(mod.composites))
+		for _, c := range mod.composites {
+			compByOID[c.oid] = c
+		}
+		// DFS over the assembly hierarchy.
+		root := g.st.MustGet(mod.oid).Slots[1]
+		stack := []objstore.OID{root}
+		for len(stack) > 0 {
+			oid := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			g.access(oid)
+			for i := len(g.st.MustGet(oid).Slots) - 1; i >= 0; i-- {
+				child := g.st.MustGet(oid).Slots[i]
+				if child.IsNil() {
+					continue
+				}
+				if c, isComp := compByOID[child]; isComp {
+					if !visitedComp[child] {
+						visitedComp[child] = true
+						g.traverseComposite(c, &sinceUpdate)
+					}
+					continue
+				}
+				stack = append(stack, child)
+			}
+		}
+	}
+	return nil
+}
+
+func (g *Generator) traverseComposite(c *compositeState, sinceUpdate *int) {
+	g.access(c.oid)
+	visited := make(map[objstore.OID]bool)
+	visitPart := func(p objstore.OID) {
+		g.access(p)
+		if g.p.TraverseUpdateEvery > 0 {
+			*sinceUpdate++
+			if *sinceUpdate >= g.p.TraverseUpdateEvery {
+				*sinceUpdate = 0
+				g.update(p)
+			}
+		}
+	}
+	var dfs func(p objstore.OID)
+	dfs = func(p objstore.OID) {
+		visited[p] = true
+		visitPart(p)
+		for _, conn := range g.st.MustGet(p).Slots {
+			if conn.IsNil() {
+				continue
+			}
+			g.access(conn)
+			if t := g.st.MustGet(conn).Slots[0]; !t.IsNil() && !visited[t] {
+				dfs(t)
+			}
+		}
+	}
+	for _, p := range c.parts {
+		if !p.IsNil() && !visited[p] {
+			dfs(p)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Package plot renders metric series as ASCII line charts, so the
+// experiment harness can reproduce the paper's *figures* — not just their
+// data — in a terminal.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"odbgc/internal/metrics"
+)
+
+// Options control chart geometry and scaling.
+type Options struct {
+	// Width and Height are the plotting area in characters (excluding
+	// axes). Defaults: 64 × 16.
+	Width, Height int
+	// Title is printed above the chart.
+	Title string
+	// XLabel and YLabel annotate the axes.
+	XLabel, YLabel string
+	// YMin/YMax fix the Y range; nil auto-scales to the data (with a 5%
+	// margin).
+	YMin, YMax *float64
+}
+
+// symbols assigns one mark per series, in order.
+var symbols = []byte{'*', 'o', '+', 'x', '#', '@', '%', '~'}
+
+// collision marks grid cells where multiple series coincide.
+const collision = '&'
+
+func (o *Options) applyDefaults() {
+	if o.Width <= 0 {
+		o.Width = 64
+	}
+	if o.Height <= 0 {
+		o.Height = 16
+	}
+}
+
+// Render draws the series onto one chart. Series may have different X
+// ranges; the union is plotted. Returns a multi-line string.
+func Render(opts Options, series ...*metrics.Series) string {
+	opts.applyDefaults()
+
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		for _, p := range s.Points {
+			if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+				continue
+			}
+			points++
+			xMin = math.Min(xMin, p.X)
+			xMax = math.Max(xMax, p.X)
+			yMin = math.Min(yMin, p.Y)
+			yMax = math.Max(yMax, p.Y)
+		}
+	}
+	if points == 0 {
+		return "(no data)\n"
+	}
+	if opts.YMin != nil {
+		yMin = *opts.YMin
+	}
+	if opts.YMax != nil {
+		yMax = *opts.YMax
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if opts.YMin == nil && opts.YMax == nil {
+		margin := (yMax - yMin) * 0.05
+		yMin -= margin
+		yMax += margin
+	}
+
+	w, h := opts.Width, opts.Height
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	put := func(x, y float64, mark byte) {
+		cx := int((x - xMin) / (xMax - xMin) * float64(w-1))
+		cy := int((y - yMin) / (yMax - yMin) * float64(h-1))
+		if cx < 0 || cx >= w || cy < 0 || cy >= h {
+			return
+		}
+		row := h - 1 - cy // row 0 is the top
+		switch grid[row][cx] {
+		case ' ', mark:
+			grid[row][cx] = mark
+		default:
+			grid[row][cx] = collision
+		}
+	}
+	for si, s := range series {
+		mark := symbols[si%len(symbols)]
+		for _, p := range s.Points {
+			if !math.IsNaN(p.X) && !math.IsNaN(p.Y) {
+				put(p.X, p.Y, mark)
+			}
+		}
+	}
+
+	var b strings.Builder
+	if opts.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opts.Title)
+	}
+	yTickRows := map[int]float64{}
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		row := int(math.Round((1 - frac) * float64(h-1)))
+		yTickRows[row] = yMin + frac*(yMax-yMin)
+	}
+	for row := 0; row < h; row++ {
+		if v, ok := yTickRows[row]; ok {
+			fmt.Fprintf(&b, "%9.2f +%s\n", v, string(grid[row]))
+		} else {
+			fmt.Fprintf(&b, "%9s |%s\n", "", string(grid[row]))
+		}
+	}
+	fmt.Fprintf(&b, "%9s +%s\n", "", strings.Repeat("-", w))
+	left := fmt.Sprintf("%g", xMin)
+	right := fmt.Sprintf("%g", xMax)
+	gap := w - len(left) - len(right)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&b, "%9s  %s%s%s\n", "", left, strings.Repeat(" ", gap), right)
+	if opts.XLabel != "" {
+		fmt.Fprintf(&b, "%9s  x: %s\n", "", opts.XLabel)
+	}
+	if opts.YLabel != "" {
+		fmt.Fprintf(&b, "%9s  y: %s\n", "", opts.YLabel)
+	}
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", symbols[si%len(symbols)], s.Name))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&b, "%9s  %s\n", "", strings.Join(legend, "   "))
+	}
+	return b.String()
+}

@@ -1,0 +1,101 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"odbgc/internal/metrics"
+)
+
+func line(name string, pts ...[2]float64) *metrics.Series {
+	s := &metrics.Series{Name: name}
+	for _, p := range pts {
+		s.Add(p[0], p[1])
+	}
+	return s
+}
+
+func TestRenderBasics(t *testing.T) {
+	s := line("diag", [2]float64{0, 0}, [2]float64{10, 10})
+	out := Render(Options{Width: 20, Height: 10, Title: "T", XLabel: "x", YLabel: "y"}, s)
+	if !strings.Contains(out, "T\n") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "x: x") || !strings.Contains(out, "y: y") {
+		t.Error("axis labels missing")
+	}
+	if !strings.Contains(out, "* diag") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no marks plotted")
+	}
+	lines := strings.Split(out, "\n")
+	// Title + height rows + x-axis + x range + labels + legend.
+	if len(lines) < 13 {
+		t.Errorf("too few lines: %d\n%s", len(lines), out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if out := Render(Options{}, &metrics.Series{Name: "e"}); out != "(no data)\n" {
+		t.Errorf("empty render = %q", out)
+	}
+}
+
+func TestRenderDiagonalShape(t *testing.T) {
+	s := line("d", [2]float64{0, 0}, [2]float64{5, 5}, [2]float64{10, 10})
+	out := Render(Options{Width: 21, Height: 11}, s)
+	rows := []string{}
+	for _, l := range strings.Split(out, "\n") {
+		if i := strings.IndexAny(l, "|+"); i >= 0 && len(l) > i+1 {
+			rows = append(rows, l[i+1:])
+		}
+	}
+	// The topmost marked row should have its mark to the right of the
+	// bottommost marked row's mark.
+	var top, bottom string
+	for _, r := range rows {
+		if strings.ContainsRune(r, '*') {
+			if top == "" {
+				top = r
+			}
+			bottom = r
+		}
+	}
+	if top == "" {
+		t.Fatalf("no marks:\n%s", out)
+	}
+	if strings.IndexByte(top, '*') <= strings.IndexByte(bottom, '*') {
+		t.Errorf("diagonal not rising:\n%s", out)
+	}
+}
+
+func TestRenderCollisionMark(t *testing.T) {
+	a := line("a", [2]float64{1, 1})
+	b := line("b", [2]float64{1, 1})
+	out := Render(Options{Width: 10, Height: 5}, a, b)
+	if !strings.Contains(out, string(collision)) {
+		t.Errorf("no collision mark:\n%s", out)
+	}
+}
+
+func TestRenderFixedYRange(t *testing.T) {
+	s := line("s", [2]float64{0, 50})
+	lo, hi := 0.0, 100.0
+	out := Render(Options{Width: 10, Height: 5, YMin: &lo, YMax: &hi}, s)
+	if !strings.Contains(out, "100.00") || !strings.Contains(out, "0.00") {
+		t.Errorf("fixed range ticks missing:\n%s", out)
+	}
+}
+
+func TestRenderNaNSkipped(t *testing.T) {
+	s := &metrics.Series{Name: "n"}
+	s.Add(1, math.NaN())
+	s.Add(2, 5)
+	out := Render(Options{Width: 10, Height: 5}, s)
+	if strings.Contains(out, "NaN") {
+		t.Errorf("NaN leaked into chart:\n%s", out)
+	}
+}

@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"testing"
+
+	"odbgc/internal/core"
+	"odbgc/internal/oo7"
+)
+
+// TestOpportunisticUsesQuiescence runs the OO7 workload with idle windows
+// between phases and verifies that the opportunistic wrapper scrubs garbage
+// down toward its floor during them, while the plain inner policy leaves
+// the garbage where its own schedule ended.
+func TestOpportunisticUsesQuiescence(t *testing.T) {
+	p := oo7.SmallPrime(3)
+	p.IdleBetweenPhases = 500
+	tr, err := oo7.FullTrace(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(opportunistic bool) *Result {
+		inner, err := core.NewSAIO(core.SAIOConfig{Frac: 0.10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pol core.RatePolicy = inner
+		if opportunistic {
+			pol, err = core.NewOpportunistic(inner, core.OracleEstimator{}, 0.02)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		s, err := New(Config{Policy: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	plain := run(false)
+	opp := run(true)
+	t.Logf("plain: %d collections, reclaimed %d; opportunistic: %d collections, reclaimed %d",
+		len(plain.Collections), plain.TotalReclaimed, len(opp.Collections), opp.TotalReclaimed)
+	if len(opp.Collections) <= len(plain.Collections) {
+		t.Errorf("opportunism added no collections (%d vs %d)", len(opp.Collections), len(plain.Collections))
+	}
+	if opp.TotalReclaimed <= plain.TotalReclaimed {
+		t.Errorf("opportunism reclaimed no extra garbage (%d vs %d)", opp.TotalReclaimed, plain.TotalReclaimed)
+	}
+}
+
+// TestIdleTicksIgnoredWithoutOpportunism: plain policies see no effect from
+// idle events.
+func TestIdleTicksIgnoredWithoutOpportunism(t *testing.T) {
+	base := oo7.SmallPrime(3)
+	withIdle := base
+	withIdle.IdleBetweenPhases = 500
+
+	run := func(p oo7.Params) *Result {
+		tr, err := oo7.FullTrace(p, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pol, err := core.NewFixedRate(300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(Config{Policy: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(base), run(withIdle)
+	if len(a.Collections) != len(b.Collections) || a.Final != b.Final {
+		t.Errorf("idle ticks changed a non-opportunistic run: %d/%d collections, %+v vs %+v",
+			len(a.Collections), len(b.Collections), a.Final, b.Final)
+	}
+}
+
+// TestCoupledPolicyEndToEnd: the §5 coupled policy runs the full workload
+// and spends I/O in proportion to garbage pressure, landing between its
+// bounds.
+func TestCoupledPolicyEndToEnd(t *testing.T) {
+	tr := smallTrace(t, 3, 8)
+	pol, err := core.NewCoupled(core.CoupledConfig{IOFrac: 0.10, GarbFrac: 0.10}, core.OracleEstimator{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("coupled: gcio=%.4f garbage=%.4f collections=%d",
+		res.GCIOFrac, res.GarbageFrac, len(res.Collections))
+	if len(res.Collections) < 10 {
+		t.Fatalf("too few collections: %d", len(res.Collections))
+	}
+	if res.GCIOFrac <= 0.02 || res.GCIOFrac >= 0.5 {
+		t.Errorf("coupled gcio share %.4f outside sane bounds", res.GCIOFrac)
+	}
+	// Compared with plain SAIO at the same nominal share, the coupled
+	// policy should hold garbage lower (it spends harder while garbage is
+	// above goal).
+	saio, err := core.NewSAIO(core.SAIOConfig{Frac: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(Config{Policy: saio})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := s2.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("plain SAIO: gcio=%.4f garbage=%.4f", res2.GCIOFrac, res2.GarbageFrac)
+	if res.GarbageFrac >= res2.GarbageFrac {
+		t.Errorf("coupled garbage %.4f not below plain SAIO %.4f", res.GarbageFrac, res2.GarbageFrac)
+	}
+}

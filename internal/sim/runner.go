@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"odbgc/internal/core"
+	"odbgc/internal/gc"
+	"odbgc/internal/metrics"
+	"odbgc/internal/oo7"
+	"odbgc/internal/storage"
+	"odbgc/internal/trace"
+)
+
+// RunnerConfig describes a multi-seed experiment: the same policy
+// configuration replayed over several independently generated traces, as in
+// §4.1 ("each data point shows the mean of 10 runs"). Runs execute in
+// parallel (they are independent by construction); results are ordered by
+// trace index regardless.
+type RunnerConfig struct {
+	// Traces are the per-seed input traces (use GenerateTraces).
+	Traces []*trace.Trace
+	// MakePolicy builds a fresh policy for run i. Required: policies carry
+	// controller state and must not be shared across runs.
+	MakePolicy func(run int) (core.RatePolicy, error)
+	// MakeSelection builds a fresh selection policy per run; nil means
+	// UPDATEDPOINTER for every run.
+	MakeSelection func(run int) (gc.SelectionPolicy, error)
+	// Storage geometry; zero value means storage.DefaultConfig().
+	Storage storage.Config
+	// PreambleCollections as in Config.
+	PreambleCollections int
+}
+
+// MultiResult aggregates per-run summaries.
+type MultiResult struct {
+	Runs []*Result
+	// GCIO aggregates the per-run collector I/O fraction.
+	GCIO metrics.Aggregate
+	// Garbage aggregates the per-run sampled mean garbage fraction.
+	Garbage metrics.Aggregate
+	// Collections aggregates per-run collection counts.
+	Collections metrics.Aggregate
+	// TotalIO aggregates per-run total I/O operations (whole run).
+	TotalIO metrics.Aggregate
+	// Reclaimed aggregates per-run total reclaimed bytes (whole run).
+	Reclaimed metrics.Aggregate
+}
+
+// RunMany executes one simulation per trace (in parallel) and aggregates
+// the summaries.
+func RunMany(cfg RunnerConfig) (*MultiResult, error) {
+	if len(cfg.Traces) == 0 {
+		return nil, fmt.Errorf("sim: RunMany requires at least one trace")
+	}
+	if cfg.MakePolicy == nil {
+		return nil, fmt.Errorf("sim: RunMany requires MakePolicy")
+	}
+
+	results := make([]*Result, len(cfg.Traces))
+	errs := make([]error, len(cfg.Traces))
+	var wg sync.WaitGroup
+	for i, tr := range cfg.Traces {
+		wg.Add(1)
+		go func(i int, tr *trace.Trace) {
+			defer wg.Done()
+			policy, err := cfg.MakePolicy(i)
+			if err != nil {
+				errs[i] = fmt.Errorf("sim: building policy for run %d: %w", i, err)
+				return
+			}
+			var sel gc.SelectionPolicy
+			if cfg.MakeSelection != nil {
+				sel, err = cfg.MakeSelection(i)
+				if err != nil {
+					errs[i] = fmt.Errorf("sim: building selection for run %d: %w", i, err)
+					return
+				}
+			}
+			s, err := New(Config{
+				Storage:             cfg.Storage,
+				Policy:              policy,
+				Selection:           sel,
+				PreambleCollections: cfg.PreambleCollections,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			res, err := s.Run(tr)
+			if err != nil {
+				errs[i] = fmt.Errorf("sim: run %d: %w", i, err)
+				return
+			}
+			results[i] = res
+		}(i, tr)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	out := &MultiResult{}
+	var gcio, garb, colls, totio, recl []float64
+	for _, res := range results {
+		out.Runs = append(out.Runs, res)
+		if res.MeasurementStarted {
+			gcio = append(gcio, res.GCIOFrac)
+			garb = append(garb, res.GarbageFrac)
+		}
+		colls = append(colls, float64(len(res.Collections)))
+		totio = append(totio, float64(res.Final.TotalIO()))
+		recl = append(recl, float64(res.TotalReclaimed))
+	}
+	out.GCIO = metrics.Aggregated(gcio)
+	out.Garbage = metrics.Aggregated(garb)
+	out.Collections = metrics.Aggregated(colls)
+	out.TotalIO = metrics.Aggregated(totio)
+	out.Reclaimed = metrics.Aggregated(recl)
+	return out, nil
+}
+
+// GenerateTraces builds n full four-phase OO7 traces with seeds base,
+// base+1, … base+n-1, in parallel (each generator is independent). Traces
+// are independent of policy configuration, so one set can be reused across
+// a whole parameter sweep.
+func GenerateTraces(p oo7.Params, base int64, n int) ([]*trace.Trace, error) {
+	traces := make([]*trace.Trace, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range traces {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr, err := oo7.FullTrace(p, base+int64(i))
+			if err != nil {
+				errs[i] = fmt.Errorf("sim: generating trace %d: %w", i, err)
+				return
+			}
+			traces[i] = tr
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return traces, nil
+}

@@ -1,0 +1,489 @@
+// Package sim replays application traces through the storage and collector
+// substrates, drives a collection-rate policy, and gathers the measurements
+// the paper reports: achieved collector-I/O percentage, achieved garbage
+// percentage (sampled at every application event), and per-collection time
+// series for the time-varying figures.
+//
+// Methodology follows §3.2/§4.1: metrics are sampled at each database event
+// (create, access, update, overwrite); the cold-start preamble — the first
+// PreambleCollections collections — is excluded from summary means; multiple
+// seeded runs are aggregated as mean with min/max bars.
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"odbgc/internal/core"
+	"odbgc/internal/gc"
+	"odbgc/internal/metrics"
+	"odbgc/internal/objstore"
+	"odbgc/internal/storage"
+	"odbgc/internal/trace"
+)
+
+// Config parameterizes a single simulation run.
+type Config struct {
+	// Storage geometry; zero value means storage.DefaultConfig().
+	Storage storage.Config
+	// Policy decides when to collect. Required.
+	Policy core.RatePolicy
+	// Selection decides what to collect; nil means UPDATEDPOINTER.
+	Selection gc.SelectionPolicy
+	// PreambleCollections is the cold-start prefix excluded from summary
+	// means, counted in collections. Negative disables the preamble; zero
+	// means the default of 10 (§3.2).
+	PreambleCollections int
+	// CheckEvery, when positive, cross-validates all incremental
+	// bookkeeping against ground truth every N events (slow; tests only).
+	CheckEvery int
+	// PhysicalFixups charges collector I/O for rewriting external objects
+	// whose pointers into a compacted partition must be updated, modeling
+	// physical (direct) pointers instead of the default logical-OID
+	// indirection. Used by the fixup-cost ablation.
+	PhysicalFixups bool
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Policy == nil {
+		return fmt.Errorf("sim: config requires a rate policy")
+	}
+	if c.Storage == (storage.Config{}) {
+		c.Storage = storage.DefaultConfig()
+	}
+	if c.Selection == nil {
+		c.Selection = gc.UpdatedPointer{}
+	}
+	if c.PreambleCollections == 0 {
+		c.PreambleCollections = 10
+	}
+	if c.PreambleCollections < 0 {
+		c.PreambleCollections = 0
+	}
+	return nil
+}
+
+// CollectionRecord captures one collection for the time-varying figures.
+type CollectionRecord struct {
+	Index     int    // collection number, 1-based
+	Phase     string // application phase during which it ran
+	Clock     core.Clock
+	Interval  uint64 // overwrites since the previous collection
+	Partition storage.PartitionID
+
+	ReclaimedBytes   int
+	ReclaimedObjects int
+	LiveBytes        int
+	PartitionPO      int
+	IO               storage.IOStats // this collection's I/O
+	CumulativeIO     storage.IOStats // run totals just after this collection
+
+	// Post-collection state.
+	DatabaseBytes      int
+	ActualGarbageBytes int
+	ActualGarbageFrac  float64
+
+	// SAGA diagnostics (zero for other policies).
+	EstimatedGarbageBytes float64
+	EstimatedGarbageFrac  float64
+	TargetGarbageFrac     float64
+	NextInterval          uint64
+}
+
+// PhaseMark records where an application phase began.
+type PhaseMark struct {
+	Label       string
+	EventIndex  int
+	Collections int    // collections completed when the phase began
+	Overwrites  uint64 // overwrite clock when the phase began
+}
+
+// PhaseSummary aggregates one application phase of a run.
+type PhaseSummary struct {
+	Label       string
+	Events      int
+	Collections int
+	Reclaimed   int             // bytes reclaimed by collections in this phase
+	IO          storage.IOStats // all I/O during the phase
+	// GarbageFrac is the event-sampled mean garbage fraction during the
+	// phase (NaN if the phase had no application events).
+	GarbageFrac float64
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	PolicyName    string
+	SelectionName string
+	Events        int
+
+	// Totals over the full run.
+	Final          storage.IOStats
+	Collections    []CollectionRecord
+	Phases         []PhaseMark
+	PhaseSummaries []PhaseSummary
+	FinalDBBytes   int
+	FinalGarbage   int
+	// FinalPinnedGarbage is the part of FinalGarbage held unreclaimable by
+	// cross-partition remembered-set entries (see gc.Heap.PinnedGarbageBytes).
+	FinalPinnedGarbage int
+	FinalLiveBytes     int
+	Partitions         int
+	TotalReclaimed     uint64
+	TotalGarbage       uint64
+
+	// Measurement window (post-preamble) summaries. The effective preamble
+	// adapts to short runs: min(configured, collections/2), mirroring the
+	// paper's per-configuration preamble lengths (§3.2).
+	EffectivePreamble int
+	MeasuredEvents    int
+	MeasuredIO        storage.IOStats
+	// GCIOFrac is collector I/O as a fraction of all I/O over the window —
+	// the quantity SAIO controls (Figure 4's y axis).
+	GCIOFrac float64
+	// GarbageFrac is the event-sampled mean garbage fraction of database
+	// size over the window — the quantity SAGA controls (Figure 5's y
+	// axis). GarbageFracMin/Max bound the samples.
+	GarbageFrac    float64
+	GarbageFracMin float64
+	GarbageFracMax float64
+	// MeasurementStarted reports whether any events fell inside the
+	// measurement window.
+	MeasurementStarted bool
+}
+
+// sagaDiag is implemented by policies exposing estimator diagnostics.
+type sagaDiag interface {
+	LastEstimate() float64
+	LastTarget() float64
+	LastInterval() uint64
+}
+
+// Simulator replays one trace. Create a fresh Simulator per run.
+type Simulator struct {
+	cfg   Config
+	store *objstore.Store
+	disk  *storage.Manager
+	heap  *gc.Heap
+
+	curPhase    string
+	collectSafe bool
+	step        int
+
+	// Per-phase accumulation.
+	phaseAcc    *PhaseSummary
+	phaseGarb   metrics.Mean
+	phaseIOBase storage.IOStats
+	// garbBuckets[k] accumulates garbage-fraction samples taken while k
+	// collections had completed, so the preamble cut can be chosen after
+	// the run (short runs get shorter preambles).
+	garbBuckets []metrics.Mean
+	res         *Result
+}
+
+// New constructs a simulator.
+func New(cfg Config) (*Simulator, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Storage.Validate(); err != nil {
+		return nil, err
+	}
+	store := objstore.NewStore()
+	disk, err := storage.NewManager(cfg.Storage)
+	if err != nil {
+		return nil, err
+	}
+	heap := gc.NewHeap(store, disk)
+	heap.SetPhysicalFixups(cfg.PhysicalFixups)
+	return &Simulator{
+		cfg:         cfg,
+		store:       store,
+		disk:        disk,
+		heap:        heap,
+		collectSafe: true,
+		res: &Result{
+			PolicyName:    cfg.Policy.Name(),
+			SelectionName: cfg.Selection.Name(),
+		},
+	}, nil
+}
+
+// Heap exposes the simulator's heap for inspection in tests.
+func (s *Simulator) Heap() *gc.Heap { return s.heap }
+
+func (s *Simulator) clock() core.Clock {
+	st := s.disk.Stats()
+	return core.Clock{AppIO: st.AppIO(), GCIO: st.GCIO(), Overwrites: s.heap.OverwriteClock()}
+}
+
+// Run replays an in-memory trace and returns the run's result. A Simulator
+// must not be reused after Run returns.
+func (s *Simulator) Run(tr *trace.Trace) (*Result, error) {
+	for i := range tr.Events {
+		if err := s.Step(&tr.Events[i]); err != nil {
+			return nil, err
+		}
+	}
+	return s.Finish()
+}
+
+// EventSource yields successive trace events; io.EOF ends the stream.
+// *trace.Reader implements it.
+type EventSource interface {
+	Read() (trace.Event, error)
+}
+
+// RunStream replays events from a source (e.g. a trace file reader)
+// without materializing the whole trace in memory.
+func (s *Simulator) RunStream(src EventSource) (*Result, error) {
+	for {
+		e, err := src.Read()
+		if err == io.EOF {
+			return s.Finish()
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sim: reading event %d: %w", s.step, err)
+		}
+		if err := s.Step(&e); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Step applies one trace event, running a collection first if the policy
+// asks for one. Most callers use Run or RunStream; Step is exposed for
+// callers interleaving simulation with other work.
+func (s *Simulator) Step(e *trace.Event) error {
+	i := s.step
+	s.step++
+
+	// Collections happen between events, but never immediately after a
+	// create or initializing store: those are mid-construction moments
+	// where new structure is not yet wired to the graph.
+	if s.collectSafe && s.cfg.Policy.ShouldCollect(s.clock()) {
+		if err := s.collect(); err != nil {
+			return fmt.Errorf("sim: event %d: %w", i, err)
+		}
+	}
+
+	if err := s.apply(e, i); err != nil {
+		return fmt.Errorf("sim: event %d (%s): %w", i, e.String(), err)
+	}
+	s.collectSafe = !(e.Kind == trace.KindCreate || (e.Kind == trace.KindOverwrite && e.Init))
+
+	// Sample at each database event (application events only).
+	switch e.Kind {
+	case trace.KindCreate, trace.KindAccess, trace.KindUpdate, trace.KindOverwrite:
+		s.res.Events++
+		if s.phaseAcc != nil {
+			s.phaseAcc.Events++
+		}
+		if db := s.heap.DatabaseBytes(); db > 0 {
+			frac := float64(s.heap.ActualGarbageBytes()) / float64(db)
+			k := len(s.res.Collections)
+			for len(s.garbBuckets) <= k {
+				s.garbBuckets = append(s.garbBuckets, metrics.Mean{})
+			}
+			s.garbBuckets[k].Add(frac)
+			s.phaseGarb.Add(frac)
+		}
+	}
+
+	// Invariant checks compare against whole-graph reachability, which is
+	// only meaningful at collection-safe points (mid-construction, a
+	// just-created object is legitimately unreachable).
+	if s.cfg.CheckEvery > 0 && s.collectSafe && (i+1)%s.cfg.CheckEvery == 0 {
+		if err := s.heap.CheckInvariants(); err != nil {
+			return fmt.Errorf("sim: invariant check after event %d: %w", i, err)
+		}
+		if err := s.heap.CheckOracleComplete(); err != nil {
+			return fmt.Errorf("sim: oracle completeness after event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (s *Simulator) apply(e *trace.Event, idx int) error {
+	switch e.Kind {
+	case trace.KindCreate:
+		return s.heap.Create(e.OID, e.Class, e.Size, e.Slots)
+	case trace.KindAccess:
+		return s.heap.Access(e.OID)
+	case trace.KindUpdate:
+		return s.heap.Update(e.OID)
+	case trace.KindOverwrite:
+		if err := s.heap.Overwrite(e.OID, e.Slot, e.Old, e.New, e.Init); err != nil {
+			return err
+		}
+		if len(e.Dead) > 0 {
+			dead := make([]objstore.OID, len(e.Dead))
+			for i, d := range e.Dead {
+				dead[i] = d.OID
+			}
+			return s.heap.RecordOracleDead(dead)
+		}
+		return nil
+	case trace.KindPhase:
+		s.closePhase()
+		s.curPhase = e.Label
+		s.res.Phases = append(s.res.Phases, PhaseMark{
+			Label:       e.Label,
+			EventIndex:  idx,
+			Collections: len(s.res.Collections),
+			Overwrites:  s.heap.OverwriteClock(),
+		})
+		s.phaseAcc = &PhaseSummary{Label: e.Label}
+		s.phaseGarb = metrics.Mean{}
+		s.phaseIOBase = s.disk.Stats()
+		return nil
+	case trace.KindRoot:
+		if e.Size == 1 {
+			return s.store.AddRoot(e.OID)
+		}
+		s.store.RemoveRoot(e.OID)
+		return nil
+	case trace.KindIdle:
+		return s.idle(e.Size)
+	default:
+		return fmt.Errorf("unknown event kind %d", e.Kind)
+	}
+}
+
+// idle gives an opportunistic policy up to one collection per quiescence
+// tick, letting it run beyond its user-stated limits while the application
+// is not competing for I/O (§5).
+func (s *Simulator) idle(ticks int) error {
+	ic, ok := s.cfg.Policy.(interface {
+		ShouldCollectIdle(now core.Clock, h core.HeapState) bool
+	})
+	if !ok {
+		return nil
+	}
+	for i := 0; i < ticks; i++ {
+		if !s.collectSafe || !ic.ShouldCollectIdle(s.clock(), s.heap) {
+			return nil
+		}
+		if err := s.collect(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Simulator) collect() error {
+	part, ok := s.cfg.Selection.Select(s.heap)
+	now := s.clock()
+	if !ok {
+		// Nothing worth collecting; let the policy reschedule off an empty
+		// collection so it does not retrigger on every event.
+		s.cfg.Policy.AfterCollection(now, s.heap, gc.CollectionResult{})
+		return nil
+	}
+	prevOW := uint64(0)
+	if n := len(s.res.Collections); n > 0 {
+		prevOW = s.res.Collections[n-1].Clock.Overwrites
+	}
+	res, err := s.heap.Collect(part)
+	if err != nil {
+		return err
+	}
+	if yo, ok := s.cfg.Selection.(gc.YieldObserver); ok {
+		yo.ObserveCollection(res)
+	}
+	after := s.clock()
+	s.cfg.Policy.AfterCollection(after, s.heap, res)
+
+	rec := CollectionRecord{
+		Index:              len(s.res.Collections) + 1,
+		Phase:              s.curPhase,
+		Clock:              after,
+		Interval:           now.Overwrites - prevOW,
+		Partition:          res.Partition,
+		ReclaimedBytes:     res.ReclaimedBytes,
+		ReclaimedObjects:   res.ReclaimedObjects,
+		LiveBytes:          res.LiveBytes,
+		PartitionPO:        res.PartitionPO,
+		IO:                 res.IO,
+		CumulativeIO:       s.disk.Stats(),
+		DatabaseBytes:      s.heap.DatabaseBytes(),
+		ActualGarbageBytes: s.heap.ActualGarbageBytes(),
+	}
+	if rec.DatabaseBytes > 0 {
+		rec.ActualGarbageFrac = float64(rec.ActualGarbageBytes) / float64(rec.DatabaseBytes)
+	}
+	if d, ok := s.cfg.Policy.(sagaDiag); ok {
+		rec.EstimatedGarbageBytes = d.LastEstimate()
+		rec.NextInterval = d.LastInterval()
+		if rec.DatabaseBytes > 0 {
+			rec.EstimatedGarbageFrac = d.LastEstimate() / float64(rec.DatabaseBytes)
+			rec.TargetGarbageFrac = d.LastTarget() / float64(rec.DatabaseBytes)
+		}
+	}
+	s.res.Collections = append(s.res.Collections, rec)
+	if s.phaseAcc != nil {
+		s.phaseAcc.Collections++
+		s.phaseAcc.Reclaimed += res.ReclaimedBytes
+	}
+	return nil
+}
+
+// closePhase finalizes the current phase summary, if one is open.
+func (s *Simulator) closePhase() {
+	if s.phaseAcc == nil {
+		return
+	}
+	s.phaseAcc.IO = s.disk.Stats().Sub(s.phaseIOBase)
+	s.phaseAcc.GarbageFrac = s.phaseGarb.Value()
+	s.res.PhaseSummaries = append(s.res.PhaseSummaries, *s.phaseAcc)
+	s.phaseAcc = nil
+}
+
+// Finish validates final state and computes the run summary. Run and
+// RunStream call it automatically; callers driving Step directly call it
+// once at end of trace.
+func (s *Simulator) Finish() (*Result, error) {
+	s.closePhase()
+	if err := s.heap.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("sim: final invariant check: %w", err)
+	}
+	if err := s.heap.CheckOracleComplete(); err != nil {
+		return nil, fmt.Errorf("sim: final oracle completeness check: %w", err)
+	}
+	r := s.res
+	r.Final = s.disk.Stats()
+	r.FinalDBBytes = s.heap.DatabaseBytes()
+	r.FinalGarbage = s.heap.ActualGarbageBytes()
+	r.FinalPinnedGarbage = s.heap.PinnedGarbageBytes()
+	r.FinalLiveBytes = r.FinalDBBytes - r.FinalGarbage
+	r.Partitions = s.disk.NumPartitions()
+	r.TotalReclaimed = s.heap.TotalCollectedBytes()
+	r.TotalGarbage = s.heap.TotalGarbageBytes()
+
+	// Choose the effective preamble after the fact: the configured length,
+	// but never more than half the run's collections, so short runs still
+	// yield a measurement window.
+	p := s.cfg.PreambleCollections
+	if half := len(r.Collections) / 2; p > half {
+		p = half
+	}
+	r.EffectivePreamble = p
+
+	var baseline storage.IOStats
+	if p > 0 {
+		baseline = r.Collections[p-1].CumulativeIO
+	}
+	r.MeasuredIO = r.Final.Sub(baseline)
+	if tot := r.MeasuredIO.TotalIO(); tot > 0 {
+		r.GCIOFrac = float64(r.MeasuredIO.GCIO()) / float64(tot)
+	}
+	var garb metrics.Mean
+	for k := p; k < len(s.garbBuckets); k++ {
+		garb.Merge(s.garbBuckets[k])
+	}
+	r.MeasuredEvents = garb.N()
+	r.MeasurementStarted = garb.N() > 0
+	r.GarbageFrac = garb.Value()
+	r.GarbageFracMin = garb.Min()
+	r.GarbageFracMax = garb.Max()
+	return r, nil
+}

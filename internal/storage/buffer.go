@@ -1,0 +1,133 @@
+package storage
+
+import "container/list"
+
+// BufferPool is a page-granular LRU cache. It tracks residency and dirty
+// state only; page contents live in the logical object store. The pool is
+// deliberately simple — the paper's buffer is a plain LRU sized to one
+// partition (§3.1).
+type BufferPool struct {
+	capacity int
+	lru      *list.List               // front = most recently used
+	frames   map[PageID]*list.Element // page -> element whose Value is *frame
+}
+
+type frame struct {
+	page  PageID
+	dirty bool
+}
+
+// PinResult reports what a Pin did, so the Manager can charge I/O.
+type PinResult struct {
+	Hit       bool
+	ReadFault bool   // page was absent and had a disk image to read
+	WroteBack bool   // a dirty victim was evicted and written
+	Victim    PageID // valid when WroteBack
+}
+
+// NewBufferPool returns an LRU pool holding up to capacity pages.
+func NewBufferPool(capacity int) *BufferPool {
+	if capacity <= 0 {
+		panic("storage: buffer capacity must be positive")
+	}
+	return &BufferPool{
+		capacity: capacity,
+		lru:      list.New(),
+		frames:   make(map[PageID]*list.Element, capacity),
+	}
+}
+
+// Capacity returns the pool capacity in pages.
+func (b *BufferPool) Capacity() int { return b.capacity }
+
+// Len returns the number of resident pages.
+func (b *BufferPool) Len() int { return b.lru.Len() }
+
+// Pin makes the page resident and most-recently-used. dirty marks it dirty;
+// fresh indicates the page has no disk image (a brand-new or fully
+// rewritten page), so a miss does not cost a read.
+func (b *BufferPool) Pin(pg PageID, dirty, fresh bool) PinResult {
+	var res PinResult
+	if el, ok := b.frames[pg]; ok {
+		res.Hit = true
+		b.lru.MoveToFront(el)
+		if dirty {
+			el.Value.(*frame).dirty = true
+		}
+		return res
+	}
+	if !fresh {
+		res.ReadFault = true
+	}
+	if b.lru.Len() >= b.capacity {
+		victim := b.lru.Back()
+		vf := victim.Value.(*frame)
+		if vf.dirty {
+			res.WroteBack = true
+			res.Victim = vf.page
+		}
+		b.lru.Remove(victim)
+		delete(b.frames, vf.page)
+	}
+	b.frames[pg] = b.lru.PushFront(&frame{page: pg, dirty: dirty})
+	return res
+}
+
+// Contains reports whether the page is resident.
+func (b *BufferPool) Contains(pg PageID) bool {
+	_, ok := b.frames[pg]
+	return ok
+}
+
+// IsDirty reports whether the page is resident and dirty.
+func (b *BufferPool) IsDirty(pg PageID) bool {
+	el, ok := b.frames[pg]
+	return ok && el.Value.(*frame).dirty
+}
+
+// Clean clears the dirty bit of a resident page, returning true if the page
+// was resident and dirty (i.e. a write-back happened).
+func (b *BufferPool) Clean(pg PageID) bool {
+	el, ok := b.frames[pg]
+	if !ok {
+		return false
+	}
+	f := el.Value.(*frame)
+	if !f.dirty {
+		return false
+	}
+	f.dirty = false
+	return true
+}
+
+// Drop discards a resident page without write-back (its disk image is
+// obsolete, e.g. freed space after compaction). Returns true if resident.
+func (b *BufferPool) Drop(pg PageID) bool {
+	el, ok := b.frames[pg]
+	if !ok {
+		return false
+	}
+	b.lru.Remove(el)
+	delete(b.frames, pg)
+	return true
+}
+
+// DirtyPages returns the resident dirty pages in LRU order (oldest first).
+func (b *BufferPool) DirtyPages() []PageID {
+	var out []PageID
+	for el := b.lru.Back(); el != nil; el = el.Prev() {
+		if f := el.Value.(*frame); f.dirty {
+			out = append(out, f.page)
+		}
+	}
+	return out
+}
+
+// Pages returns all resident pages in LRU order (oldest first).
+func (b *BufferPool) Pages() []PageID {
+	out := make([]PageID, 0, b.lru.Len())
+	for el := b.lru.Back(); el != nil; el = el.Prev() {
+		out = append(out, el.Value.(*frame).page)
+	}
+	return out
+}

@@ -1,0 +1,555 @@
+// Package storage models the physical layer of the simulated object
+// database: fixed-size pages grouped into fixed-size partitions, a bump
+// allocator with page-granular placement, an LRU buffer pool, and I/O
+// accounting that distinguishes application I/O from garbage-collector I/O.
+//
+// Following the paper (§3.1):
+//   - partitions are 12 pages of 8 KB (96 KB) by default;
+//   - the buffer pool is sized to exactly one partition;
+//   - lack of free space never triggers a collection — a new partition is
+//     appended instead;
+//   - the collector compacts a partition in place, so objects never move
+//     between partitions.
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"odbgc/internal/objstore"
+)
+
+// Config sets the physical geometry. The zero value is not valid; use
+// DefaultConfig.
+type Config struct {
+	PageSize          int // bytes per page
+	PagesPerPartition int // pages per partition
+	BufferPages       int // buffer pool capacity in pages
+}
+
+// DefaultConfig is the geometry used throughout the paper: 8 KB pages,
+// 12-page (96 KB) partitions, and a buffer equal to one partition.
+func DefaultConfig() Config {
+	return Config{PageSize: 8192, PagesPerPartition: 12, BufferPages: 12}
+}
+
+// Validate checks the configuration for consistency.
+func (c Config) Validate() error {
+	if c.PageSize <= 0 {
+		return fmt.Errorf("storage: PageSize %d must be positive", c.PageSize)
+	}
+	if c.PagesPerPartition <= 0 {
+		return fmt.Errorf("storage: PagesPerPartition %d must be positive", c.PagesPerPartition)
+	}
+	if c.BufferPages <= 0 {
+		return fmt.Errorf("storage: BufferPages %d must be positive", c.BufferPages)
+	}
+	return nil
+}
+
+// PartitionBytes returns the capacity of one partition.
+func (c Config) PartitionBytes() int { return c.PageSize * c.PagesPerPartition }
+
+// PartitionID identifies a partition. Partitions are never deallocated.
+type PartitionID int
+
+// PageID identifies one page of one partition.
+type PageID struct {
+	Part  PartitionID
+	Index int
+}
+
+func (p PageID) String() string { return fmt.Sprintf("p%d/%d", p.Part, p.Index) }
+
+// Placement records where an object lives on disk.
+type Placement struct {
+	Part   PartitionID
+	Page   int // page index within the partition
+	Offset int // byte offset within the partition
+	Size   int
+}
+
+// IOClass attributes I/O operations to the application or the collector.
+type IOClass int
+
+// I/O attribution classes.
+const (
+	IOApp IOClass = iota
+	IOGC
+)
+
+// IOStats counts page reads and writes by attribution class.
+type IOStats struct {
+	AppReads  uint64
+	AppWrites uint64
+	GCReads   uint64
+	GCWrites  uint64
+}
+
+// AppIO returns total application I/O operations (reads + writes).
+func (s IOStats) AppIO() uint64 { return s.AppReads + s.AppWrites }
+
+// GCIO returns total collector I/O operations (reads + writes).
+func (s IOStats) GCIO() uint64 { return s.GCReads + s.GCWrites }
+
+// TotalIO returns all I/O operations.
+func (s IOStats) TotalIO() uint64 { return s.AppIO() + s.GCIO() }
+
+// Sub returns s - t field-wise; useful for per-interval deltas.
+func (s IOStats) Sub(t IOStats) IOStats {
+	return IOStats{
+		AppReads:  s.AppReads - t.AppReads,
+		AppWrites: s.AppWrites - t.AppWrites,
+		GCReads:   s.GCReads - t.GCReads,
+		GCWrites:  s.GCWrites - t.GCWrites,
+	}
+}
+
+// partition is the manager's internal per-partition state.
+type partition struct {
+	id      PartitionID
+	cursor  int // bump-allocation offset in bytes; only compaction lowers it
+	used    int // sum of sizes of objects placed here (live + garbage)
+	objects map[objstore.OID]struct{}
+}
+
+// usedPages returns how many pages the bump cursor has touched.
+func (p *partition) usedPages(pageSize int) int {
+	return (p.cursor + pageSize - 1) / pageSize
+}
+
+// Manager owns the partitions, the object placement table, and the buffer
+// pool. It is the single point through which the simulator performs
+// physical operations, so all I/O accounting happens here.
+type Manager struct {
+	cfg   Config
+	parts []*partition
+	place map[objstore.OID]Placement
+	buf   *BufferPool
+	stats IOStats
+	class IOClass
+
+	allocPart PartitionID // current allocation target
+
+	// gcDirty tracks pages dirtied while the I/O class is IOGC, so the
+	// collector can flush exactly what it wrote at the end of a collection.
+	gcDirty map[PageID]struct{}
+}
+
+// NewManager returns a Manager with no partitions allocated yet.
+func NewManager(cfg Config) (*Manager, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Manager{
+		cfg:     cfg,
+		place:   make(map[objstore.OID]Placement),
+		buf:     NewBufferPool(cfg.BufferPages),
+		gcDirty: make(map[PageID]struct{}),
+	}, nil
+}
+
+// Config returns the geometry.
+func (m *Manager) Config() Config { return m.cfg }
+
+// Stats returns a copy of the I/O counters.
+func (m *Manager) Stats() IOStats { return m.stats }
+
+// SetIOClass switches I/O attribution and returns the previous class.
+func (m *Manager) SetIOClass(c IOClass) IOClass {
+	prev := m.class
+	m.class = c
+	return prev
+}
+
+// IOClass returns the current attribution class.
+func (m *Manager) IOClass() IOClass { return m.class }
+
+// NumPartitions returns the number of allocated partitions.
+func (m *Manager) NumPartitions() int { return len(m.parts) }
+
+// OccupiedBytes returns the total bytes of objects placed across all
+// partitions (live + garbage). This is the SAGA notion of database size.
+func (m *Manager) OccupiedBytes() int {
+	n := 0
+	for _, p := range m.parts {
+		n += p.used
+	}
+	return n
+}
+
+// PartitionUsedBytes returns the occupied bytes of one partition.
+func (m *Manager) PartitionUsedBytes(id PartitionID) int {
+	if int(id) < 0 || int(id) >= len(m.parts) {
+		return 0
+	}
+	return m.parts[id].used
+}
+
+// PartitionFreeBytes returns the bytes still allocatable in a partition
+// (capacity minus the bump cursor; holes from garbage are not reusable
+// until the partition is compacted).
+func (m *Manager) PartitionFreeBytes(id PartitionID) int {
+	if int(id) < 0 || int(id) >= len(m.parts) {
+		return 0
+	}
+	return m.cfg.PartitionBytes() - m.parts[id].cursor
+}
+
+// PartitionOf returns the partition holding an object. The second result is
+// false if the object has no placement.
+func (m *Manager) PartitionOf(oid objstore.OID) (PartitionID, bool) {
+	pl, ok := m.place[oid]
+	return pl.Part, ok
+}
+
+// PlacementOf returns the full placement of an object.
+func (m *Manager) PlacementOf(oid objstore.OID) (Placement, bool) {
+	pl, ok := m.place[oid]
+	return pl, ok
+}
+
+// ObjectsIn returns the OIDs placed in a partition, in ascending order for
+// deterministic iteration.
+func (m *Manager) ObjectsIn(id PartitionID) []objstore.OID {
+	if int(id) < 0 || int(id) >= len(m.parts) {
+		return nil
+	}
+	p := m.parts[id]
+	out := make([]objstore.OID, 0, len(p.objects))
+	for oid := range p.objects {
+		out = append(out, oid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// charge records one read or write against the current I/O class.
+func (m *Manager) charge(read bool) {
+	switch {
+	case read && m.class == IOApp:
+		m.stats.AppReads++
+	case read && m.class == IOGC:
+		m.stats.GCReads++
+	case !read && m.class == IOApp:
+		m.stats.AppWrites++
+	default:
+		m.stats.GCWrites++
+	}
+}
+
+// pin brings a page into the buffer, charging a read on a miss (unless the
+// page is fresh, i.e. has no disk image yet) and a write when a dirty
+// victim is evicted. If dirty is true the page is marked dirty.
+func (m *Manager) pin(pg PageID, dirty, fresh bool) {
+	res := m.buf.Pin(pg, dirty, fresh)
+	if res.ReadFault {
+		m.charge(true)
+	}
+	if res.WroteBack {
+		m.charge(false)
+		if m.class == IOApp {
+			// An app-triggered eviction may flush a page the collector
+			// dirtied; it is then clean on disk and no longer GC-pending.
+			delete(m.gcDirty, res.Victim)
+		}
+	}
+	if dirty && m.class == IOGC {
+		m.gcDirty[pg] = struct{}{}
+	}
+	if res.WroteBack && m.class == IOGC {
+		delete(m.gcDirty, res.Victim)
+	}
+}
+
+// newPartition appends an empty partition.
+func (m *Manager) newPartition() *partition {
+	p := &partition{
+		id:      PartitionID(len(m.parts)),
+		objects: make(map[objstore.OID]struct{}),
+	}
+	m.parts = append(m.parts, p)
+	return p
+}
+
+// fits reports whether an object of the given size can be bump-allocated in
+// partition p, accounting for the page-boundary skip (objects never span
+// pages).
+func (m *Manager) fits(p *partition, size int) bool {
+	off := p.cursor
+	if rem := m.cfg.PageSize - off%m.cfg.PageSize; size > rem {
+		off += rem // skip to next page boundary
+	}
+	return off+size <= m.cfg.PartitionBytes()
+}
+
+// Allocate places a new object. Objects larger than a page are rejected;
+// workload generators must split them (the OO7 manual is stored as a chain
+// of page-sized segments). Lack of space grows the database by one
+// partition; it never triggers collection.
+func (m *Manager) Allocate(oid objstore.OID, size int) (Placement, error) {
+	if size <= 0 {
+		return Placement{}, fmt.Errorf("storage: allocate %v with size %d", oid, size)
+	}
+	if size > m.cfg.PageSize {
+		return Placement{}, fmt.Errorf("storage: object %v size %d exceeds page size %d",
+			oid, size, m.cfg.PageSize)
+	}
+	if _, dup := m.place[oid]; dup {
+		return Placement{}, fmt.Errorf("storage: object %v already placed", oid)
+	}
+
+	var target *partition
+	if len(m.parts) > 0 {
+		if p := m.parts[m.allocPart]; m.fits(p, size) {
+			target = p
+		}
+	}
+	if target == nil {
+		for _, p := range m.parts {
+			if m.fits(p, size) {
+				target = p
+				break
+			}
+		}
+	}
+	if target == nil {
+		target = m.newPartition()
+	}
+	m.allocPart = target.id
+
+	off := target.cursor
+	if rem := m.cfg.PageSize - off%m.cfg.PageSize; size > rem {
+		off += rem
+	}
+	pl := Placement{
+		Part:   target.id,
+		Page:   off / m.cfg.PageSize,
+		Offset: off,
+		Size:   size,
+	}
+	fresh := off%m.cfg.PageSize == 0 // first object on the page: no disk image yet
+	target.cursor = off + size
+	target.used += size
+	target.objects[oid] = struct{}{}
+	m.place[oid] = pl
+
+	m.pin(PageID{pl.Part, pl.Page}, true, fresh)
+	return pl, nil
+}
+
+// Touch simulates an access to an object: its page is faulted in if absent
+// and marked dirty if write is true.
+func (m *Manager) Touch(oid objstore.OID, write bool) error {
+	pl, ok := m.place[oid]
+	if !ok {
+		return fmt.Errorf("storage: touch of unplaced object %v", oid)
+	}
+	m.pin(PageID{pl.Part, pl.Page}, write, false)
+	return nil
+}
+
+// ReadPartition faults in every used page of a partition, as the collector
+// does when scanning. Pages already buffered cost nothing.
+func (m *Manager) ReadPartition(id PartitionID) {
+	p := m.parts[id]
+	for i := 0; i < p.usedPages(m.cfg.PageSize); i++ {
+		m.pin(PageID{id, i}, false, false)
+	}
+}
+
+// CompactResult reports the outcome of a partition compaction.
+type CompactResult struct {
+	ReclaimedBytes   int
+	ReclaimedObjects int
+	LivePages        int // pages occupied after compaction
+}
+
+// Compact rewrites a partition so that exactly the objects in live remain,
+// packed from the start of the partition in the given order (the caller
+// supplies Cheney copy order). Every object in live must currently be
+// placed in the partition. Objects placed in the partition but absent from
+// live are reclaimed and lose their placement.
+//
+// I/O: the caller is expected to have scanned the partition already (see
+// ReadPartition); Compact marks the surviving pages dirty and drops stale
+// pages beyond the new live region from the buffer without write-back.
+func (m *Manager) Compact(id PartitionID, live []objstore.OID, sizeOf func(objstore.OID) int) (CompactResult, error) {
+	if int(id) < 0 || int(id) >= len(m.parts) {
+		return CompactResult{}, fmt.Errorf("storage: compact of unknown partition %d", id)
+	}
+	p := m.parts[id]
+	liveSet := make(map[objstore.OID]struct{}, len(live))
+	for _, oid := range live {
+		pl, ok := m.place[oid]
+		if !ok || pl.Part != id {
+			return CompactResult{}, fmt.Errorf("storage: live object %v not placed in partition %d", oid, id)
+		}
+		if _, dup := liveSet[oid]; dup {
+			return CompactResult{}, fmt.Errorf("storage: duplicate live object %v", oid)
+		}
+		liveSet[oid] = struct{}{}
+	}
+
+	var res CompactResult
+	oldPages := p.usedPages(m.cfg.PageSize)
+
+	// Capture original offsets before reclaiming: they order the fallback
+	// layout below.
+	oldOffset := make(map[objstore.OID]int, len(live))
+	for _, oid := range live {
+		oldOffset[oid] = m.place[oid].Offset
+	}
+
+	// Reclaim everything not in the live set.
+	for oid := range p.objects {
+		if _, keep := liveSet[oid]; !keep {
+			res.ReclaimedBytes += m.place[oid].Size
+			res.ReclaimedObjects++
+			delete(m.place, oid)
+			delete(p.objects, oid)
+		}
+	}
+
+	// Re-place survivors in copy order for reference locality. Copy order
+	// can pad page boundaries differently than the original layout and —
+	// rarely, in a nearly full partition — overflow it; in that case fall
+	// back to packing in original-offset order, which can only shrink
+	// every offset and therefore always fits.
+	order := live
+	if layoutEnd(order, sizeOf, m.cfg.PageSize) > m.cfg.PartitionBytes() {
+		order = append([]objstore.OID(nil), live...)
+		sort.Slice(order, func(i, j int) bool { return oldOffset[order[i]] < oldOffset[order[j]] })
+	}
+	p.cursor = 0
+	p.used = 0
+	for _, oid := range order {
+		size := sizeOf(oid)
+		off := p.cursor
+		if rem := m.cfg.PageSize - off%m.cfg.PageSize; size > rem {
+			off += rem
+		}
+		m.place[oid] = Placement{Part: id, Page: off / m.cfg.PageSize, Offset: off, Size: size}
+		p.cursor = off + size
+		p.used += size
+	}
+	if p.cursor > m.cfg.PartitionBytes() {
+		return CompactResult{}, fmt.Errorf("storage: compaction of partition %d overflowed (%d > %d bytes)",
+			id, p.cursor, m.cfg.PartitionBytes())
+	}
+
+	res.LivePages = p.usedPages(m.cfg.PageSize)
+	// Surviving pages now hold the compacted image: dirty them. They are
+	// fresh in the sense that their old disk image is obsolete, so a buffer
+	// miss must not charge a read.
+	for i := 0; i < res.LivePages; i++ {
+		m.pin(PageID{id, i}, true, true)
+	}
+	// Pages beyond the live region are free space; drop any buffered copies
+	// without write-back.
+	for i := res.LivePages; i < oldPages; i++ {
+		if m.buf.Drop(PageID{id, i}) {
+			delete(m.gcDirty, PageID{id, i})
+		}
+	}
+	return res, nil
+}
+
+// layoutEnd returns the bump-cursor position after packing the objects in
+// the given order with page-boundary skipping.
+func layoutEnd(order []objstore.OID, sizeOf func(objstore.OID) int, pageSize int) int {
+	cursor := 0
+	for _, oid := range order {
+		size := sizeOf(oid)
+		if rem := pageSize - cursor%pageSize; size > rem {
+			cursor += rem
+		}
+		cursor += size
+	}
+	return cursor
+}
+
+// FlushGCDirty writes back every page dirtied under the IOGC class that is
+// still buffered and dirty, charging the writes to the collector. The
+// collector calls this at the end of a collection so its write cost is
+// attributed to it rather than to later application evictions.
+func (m *Manager) FlushGCDirty() int {
+	pages := make([]PageID, 0, len(m.gcDirty))
+	for pg := range m.gcDirty {
+		pages = append(pages, pg)
+	}
+	sort.Slice(pages, func(i, j int) bool {
+		if pages[i].Part != pages[j].Part {
+			return pages[i].Part < pages[j].Part
+		}
+		return pages[i].Index < pages[j].Index
+	})
+	n := 0
+	prev := m.SetIOClass(IOGC)
+	for _, pg := range pages {
+		if m.buf.Clean(pg) {
+			m.charge(false)
+			n++
+		}
+		delete(m.gcDirty, pg)
+	}
+	m.SetIOClass(prev)
+	return n
+}
+
+// FlushAll writes back every dirty buffered page, charging the current I/O
+// class. Used at end of simulation to account for outstanding writes.
+func (m *Manager) FlushAll() int {
+	n := 0
+	for _, pg := range m.buf.DirtyPages() {
+		if m.buf.Clean(pg) {
+			m.charge(false)
+			n++
+		}
+		delete(m.gcDirty, pg)
+	}
+	return n
+}
+
+// BufferContents exposes the buffered page set for tests and diagnostics.
+func (m *Manager) BufferContents() []PageID { return m.buf.Pages() }
+
+// CheckInvariants validates internal consistency; used by tests and the
+// simulator's self-check mode. It verifies that placements and partition
+// object sets agree and that used byte counts match.
+func (m *Manager) CheckInvariants() error {
+	perPart := make(map[PartitionID]int)
+	for oid, pl := range m.place {
+		if int(pl.Part) < 0 || int(pl.Part) >= len(m.parts) {
+			return fmt.Errorf("storage: %v placed in unknown partition %d", oid, pl.Part)
+		}
+		p := m.parts[pl.Part]
+		if _, ok := p.objects[oid]; !ok {
+			return fmt.Errorf("storage: %v placed in partition %d but absent from its object set", oid, pl.Part)
+		}
+		if pl.Offset < 0 || pl.Offset+pl.Size > m.cfg.PartitionBytes() {
+			return fmt.Errorf("storage: %v placement out of range: %+v", oid, pl)
+		}
+		if pl.Offset/m.cfg.PageSize != pl.Page {
+			return fmt.Errorf("storage: %v page %d disagrees with offset %d", oid, pl.Page, pl.Offset)
+		}
+		if pl.Offset%m.cfg.PageSize+pl.Size > m.cfg.PageSize {
+			return fmt.Errorf("storage: %v spans a page boundary: %+v", oid, pl)
+		}
+		perPart[pl.Part] += pl.Size
+	}
+	for _, p := range m.parts {
+		if got := perPart[p.id]; got != p.used {
+			return fmt.Errorf("storage: partition %d used=%d but placements sum to %d", p.id, p.used, got)
+		}
+		for oid := range p.objects {
+			if pl, ok := m.place[oid]; !ok || pl.Part != p.id {
+				return fmt.Errorf("storage: partition %d lists %v but placement says %+v", p.id, oid, pl)
+			}
+		}
+		if p.cursor < 0 || p.cursor > m.cfg.PartitionBytes() {
+			return fmt.Errorf("storage: partition %d cursor %d out of range", p.id, p.cursor)
+		}
+	}
+	return nil
+}

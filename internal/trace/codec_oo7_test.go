@@ -1,0 +1,40 @@
+package trace_test
+
+import (
+	"bytes"
+	"testing"
+
+	"odbgc/internal/oo7"
+	"odbgc/internal/trace"
+)
+
+// TestBinaryRoundTripOO7 round-trips a full OO7 trace through the binary
+// codec and revalidates it. Lives in an external test package because the
+// OO7 generator depends on the trace package.
+func TestBinaryRoundTripOO7(t *testing.T) {
+	tr, err := oo7.FullTrace(oo7.SmallPrime(3), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteAll(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("binary size: %d bytes for %d events (%.1f B/event)",
+		buf.Len(), tr.Len(), float64(buf.Len())/float64(tr.Len()))
+	out, err := trace.ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != tr.Len() {
+		t.Fatalf("length mismatch: %d != %d", out.Len(), tr.Len())
+	}
+	for i := range tr.Events {
+		if tr.Events[i].String() != out.Events[i].String() {
+			t.Fatalf("event %d differs: %v vs %v", i, tr.Events[i].String(), out.Events[i].String())
+		}
+	}
+	if err := trace.Validate(out); err != nil {
+		t.Fatalf("round-tripped trace invalid: %v", err)
+	}
+}

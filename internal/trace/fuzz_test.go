@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReader ensures the binary decoder never panics or over-allocates on
+// corrupted input: it must either produce events or fail with an error.
+func FuzzReader(f *testing.F) {
+	// Seed with a valid encoding and a few mutations.
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, validChain()); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add([]byte("ODBT\x01\x00"))
+	f.Add([]byte{})
+	mutated := append([]byte(nil), valid...)
+	if len(mutated) > 10 {
+		mutated[8] ^= 0xff
+	}
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1<<20; i++ {
+			_, err := r.Read()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+		t.Fatal("reader produced over a million events from fuzz input")
+	})
+}
+
+// FuzzJSONReader does the same for the JSON-lines decoder.
+func FuzzJSONReader(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, validChain()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"kind":"create","oid":1,"size":-5}`))
+	f.Add([]byte(`{"kind":`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever decodes must re-encode without panicking.
+		var out bytes.Buffer
+		_ = WriteJSON(&out, tr)
+	})
+}
+
+// FuzzRoundTrip checks that any trace assembled from decoded events
+// re-encodes and re-decodes to the same event strings.
+func FuzzRoundTrip(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, validChain()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadAll(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var once bytes.Buffer
+		if err := WriteAll(&once, tr); err != nil {
+			t.Fatalf("re-encode of decoded trace failed: %v", err)
+		}
+		again, err := ReadAll(bytes.NewReader(once.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.Len() != tr.Len() {
+			t.Fatalf("round trip changed length: %d -> %d", tr.Len(), again.Len())
+		}
+		for i := range tr.Events {
+			if tr.Events[i].String() != again.Events[i].String() {
+				t.Fatalf("event %d changed: %q -> %q", i, tr.Events[i].String(), again.Events[i].String())
+			}
+		}
+	})
+}

@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"testing"
+
+	"odbgc/internal/trace"
+)
+
+func TestQueueValidates(t *testing.T) {
+	p := DefaultQueue()
+	p.WindowEntries = 500
+	p.Appends = 2000
+	tr, err := Queue(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Validate(tr); err != nil {
+		t.Fatalf("queue trace invalid: %v", err)
+	}
+	s := trace.ComputeStats(tr)
+	t.Logf("events=%d overwrites=%d garbage=%dB phases=%v", s.Events, s.Overwrites, s.GarbageBytes, s.Phases)
+	// Every append is matched by a trim, and the drain kills the rest:
+	// total dead objects == total entries created.
+	if s.GarbageObjects != p.WindowEntries+p.Appends {
+		t.Errorf("dead objects = %d, want %d", s.GarbageObjects, p.WindowEntries+p.Appends)
+	}
+	// After the drain, only the anchor survives.
+	if s.CreatedBytes-s.GarbageBytes != 64 {
+		t.Errorf("surviving bytes = %d, want the 64-byte anchor", s.CreatedBytes-s.GarbageBytes)
+	}
+}
+
+func TestQueueParamsValidation(t *testing.T) {
+	bad := []func(*QueueParams){
+		func(p *QueueParams) { p.WindowEntries = 1 },
+		func(p *QueueParams) { p.EntryBytesMax = p.EntryBytesMin - 1 },
+		func(p *QueueParams) { p.Appends = -1 },
+	}
+	for i, mutate := range bad {
+		p := DefaultQueue()
+		mutate(&p)
+		if _, err := Queue(p, 1); err == nil {
+			t.Errorf("bad params #%d accepted", i)
+		}
+	}
+}
+
+func TestQueueDeterministic(t *testing.T) {
+	p := DefaultQueue()
+	p.WindowEntries = 100
+	p.Appends = 300
+	a, err := Queue(p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Queue(p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ")
+	}
+	for i := range a.Events {
+		if a.Events[i].String() != b.Events[i].String() {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestQueueGarbageIsOneEntryPerTrim(t *testing.T) {
+	p := DefaultQueue()
+	p.WindowEntries = 50
+	p.Appends = 100
+	tr, err := Queue(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		if e.Kind == trace.KindOverwrite && len(e.Dead) > 1 {
+			t.Fatalf("event %d killed %d objects; queue trims one at a time", i, len(e.Dead))
+		}
+	}
+}
