@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race vet fuzz bench experiments examples clean
+.PHONY: all build test test-short test-race race vet fuzz bench experiments examples clean
 
 all: build vet test
 
@@ -18,6 +18,10 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+test-race:
+	$(GO) test -race ./...
+
+# Quicker race pass over just the concurrent packages.
 race:
 	$(GO) test -race ./internal/sim/ ./internal/metrics/
 

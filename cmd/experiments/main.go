@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"odbgc/internal/experiments"
+	"odbgc/internal/fault"
 	"odbgc/internal/metrics"
 )
 
@@ -42,8 +43,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		seed    = fs.Int64("seed", 1, "base seed")
 		csvdir  = fs.String("csvdir", "", "directory to write per-figure CSV series into")
 		plots   = fs.Bool("plot", false, "render each figure as an ASCII chart")
+		faultPr = fs.String("fault-profile", "off", "run every batch under a fault-injection profile: "+strings.Join(fault.ProfileNames(), ", "))
+		faultSd = fs.Int64("fault-seed", 1, "base seed for fault schedules (run i of a batch uses seed+i)")
+		ckptDir = fs.String("checkpoint-dir", "", "cache completed per-run results here so interrupted sweeps resume; delete after changing parameters")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	profile, err := fault.LookupProfile(*faultPr)
+	if err != nil {
 		return err
 	}
 
@@ -58,9 +67,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	runner := experiments.NewRunner(experiments.Options{
-		Connectivity: *conn,
-		Runs:         *runs,
-		SeedBase:     *seed,
+		Connectivity:  *conn,
+		Runs:          *runs,
+		SeedBase:      *seed,
+		FaultProfile:  profile,
+		FaultSeed:     *faultSd,
+		CheckpointDir: *ckptDir,
 	})
 	for _, name := range names {
 		start := time.Now()

@@ -8,6 +8,9 @@
 //	gcsim -policy saga -frac 0.05 -estimator fgs-hb -history 0.8 trace.odbt
 //	gcsim -policy fixed -interval 200 -phases -dist trace.odbt
 //	gcsim -compare "saio:0.1,saga:0.1:oracle,pi:0.1,fixed:300,never"
+//	gcsim -fault-profile flaky-io -fault-seed 7       # chaos run
+//	gcsim -stop-after 50000 -checkpoint run.ckpt      # save state and exit
+//	gcsim -resume run.ckpt                            # continue that run
 //
 // If no trace file is given, a fresh OO7 trace is generated in memory
 // (flags -conn and -seed control it); trace files are replayed as streams.
@@ -21,12 +24,29 @@ import (
 	"strings"
 
 	"odbgc/internal/core"
+	"odbgc/internal/fault"
 	"odbgc/internal/gc"
 	"odbgc/internal/metrics"
 	"odbgc/internal/oo7"
 	"odbgc/internal/sim"
 	"odbgc/internal/trace"
 )
+
+// memSource replays an in-memory trace as an event stream, so generated and
+// file-backed traces drive the simulator through the same loop.
+type memSource struct {
+	events []trace.Event
+	i      int
+}
+
+func (s *memSource) Read() (trace.Event, error) {
+	if s.i >= len(s.events) {
+		return trace.Event{}, io.EOF
+	}
+	e := s.events[s.i]
+	s.i++
+	return e, nil
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
@@ -56,16 +76,34 @@ func run(args []string, stdout, stderr io.Writer) error {
 		phasesOut = fs.Bool("phases", false, "print a per-phase summary table")
 		dist      = fs.Bool("dist", false, "print collection yield and interval distributions")
 		compare   = fs.String("compare", "", `comma-separated policy specs to compare on the same trace, e.g. "saio:0.1,saga:0.1:fgs-hb,fixed:300,never"`)
+		faultProf = fs.String("fault-profile", "off", "fault-injection profile: "+strings.Join(fault.ProfileNames(), ", "))
+		faultSeed = fs.Int64("fault-seed", 1, "seed for the fault schedule (independent of -seed)")
+		lenient   = fs.Bool("lenient", false, "tolerate a truncated trace file: run on the surviving prefix")
+		stopAfter = fs.Int("stop-after", 0, "stop after N events (0 = run to completion); with -checkpoint, save state there")
+		ckptPath  = fs.String("checkpoint", "", "with -stop-after, write a resumable checkpoint to this path and exit")
+		resumeCkp = fs.String("resume", "", "resume a run from a checkpoint file written by -checkpoint")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	profile, err := fault.LookupProfile(*faultProf)
+	if err != nil {
+		return err
+	}
+	faultsOn := profile.Storage() || profile.Estimator() || profile.Trace()
+
 	if *compare != "" {
+		if faultsOn || *ckptPath != "" || *resumeCkp != "" || *stopAfter != 0 {
+			return fmt.Errorf("-compare does not support fault injection or checkpointing; run policies one at a time")
+		}
 		return runCompare(stdout, fs, *compare, *selection, *preamble, *conn, *seed, *fixups)
 	}
+	if *ckptPath != "" && *stopAfter <= 0 {
+		return fmt.Errorf("-checkpoint needs -stop-after to say when to save")
+	}
 
-	pol, err := buildPolicy(*policy, *frac, *interval, *estimator, *history, *hist, *slopeRef)
+	pol, chaos, err := buildPolicy(*policy, *frac, *interval, *estimator, *history, *hist, *slopeRef, profile, *faultSeed)
 	if err != nil {
 		return err
 	}
@@ -73,27 +111,44 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	s, err := sim.New(sim.Config{
+	cfg := sim.Config{
 		Policy:              pol,
 		Selection:           sel,
 		PreambleCollections: *preamble,
 		PhysicalFixups:      *fixups,
-	})
-	if err != nil {
-		return err
+		FaultProfile:        profile,
+		FaultSeed:           *faultSeed,
 	}
 
-	var res *sim.Result
+	var s *sim.Simulator
+	skip := 0
+	if *resumeCkp != "" {
+		cp, err := sim.LoadCheckpoint(*resumeCkp)
+		if err != nil {
+			return err
+		}
+		s, err = sim.Resume(cfg, cp)
+		if err != nil {
+			return err
+		}
+		skip = cp.Step
+		fmt.Fprintf(stdout, "resumed at event %d from %s\n", skip, *resumeCkp)
+	} else {
+		s, err = sim.New(cfg)
+		if err != nil {
+			return err
+		}
+	}
+
+	var src sim.EventSource
+	var rd *trace.Reader
 	switch fs.NArg() {
 	case 0:
 		tr, err := oo7.FullTrace(oo7.SmallPrime(*conn), *seed)
 		if err != nil {
 			return err
 		}
-		res, err = s.Run(tr)
-		if err != nil {
-			return err
-		}
+		src = &memSource{events: tr.Events}
 	case 1:
 		// Trace files are replayed as a stream: no need to hold the whole
 		// trace in memory.
@@ -102,16 +157,81 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		defer f.Close()
-		rd, err := trace.NewReader(f)
+		var r io.Reader = f
+		if profile.Trace() {
+			st, err := f.Stat()
+			if err != nil {
+				return err
+			}
+			r, err = fault.CorruptTrace(f, st.Size(), profile, *faultSeed)
+			if err != nil {
+				return err
+			}
+		}
+		rd, err = trace.NewReader(r)
 		if err != nil {
 			return err
 		}
-		res, err = s.RunStream(rd)
-		if err != nil {
-			return err
-		}
+		rd.Lenient = *lenient
+		src = rd
 	default:
 		return fmt.Errorf("usage: gcsim [flags] [trace.odbt]")
+	}
+
+	// On resume, spool past the events the checkpointed run already consumed.
+	for i := 0; i < skip; i++ {
+		if _, err := src.Read(); err != nil {
+			return fmt.Errorf("checkpoint cursor %d is past the end of this trace (event %d: %v)", skip, i, err)
+		}
+	}
+
+	n, done := skip, false
+	for !done && (*stopAfter <= 0 || n < *stopAfter) {
+		e, err := src.Read()
+		if err == io.EOF {
+			done = true
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("reading event %d: %w", n, err)
+		}
+		if err := s.Step(&e); err != nil {
+			return err
+		}
+		n++
+	}
+
+	if !done && *ckptPath != "" {
+		// The heap may be mid-construction at the requested cursor; step on
+		// until the simulator accepts a checkpoint.
+		cp, err := s.Checkpoint()
+		for err != nil {
+			e, rerr := src.Read()
+			if rerr != nil {
+				return fmt.Errorf("no checkpointable state before trace end: %v", err)
+			}
+			if serr := s.Step(&e); serr != nil {
+				return serr
+			}
+			n++
+			cp, err = s.Checkpoint()
+		}
+		if err := sim.SaveCheckpoint(*ckptPath, cp); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "checkpointed %d events to %s; resume with -resume %s\n", n, *ckptPath, *ckptPath)
+		return nil
+	}
+	if done && *ckptPath != "" {
+		fmt.Fprintf(stdout, "trace ended at event %d, before -stop-after %d: no checkpoint written\n", n, *stopAfter)
+	}
+
+	res, err := s.Finish()
+	if err != nil {
+		return err
+	}
+	if rd != nil && rd.Truncated() {
+		fmt.Fprintf(stdout, "note: trace was truncated; ran on the surviving %d-event prefix\n", res.Events)
 	}
 
 	if *perColl {
@@ -128,6 +248,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	printSummary(stdout, res)
+	if inj := s.Injector(); inj != nil {
+		st := inj.Stats()
+		fmt.Fprintf(stdout, "fault injection:   %s: %d of %d storage ops failed transiently (%d bursts)\n",
+			profile.Name, st.Injected, st.Ops, st.Bursts)
+	}
+	if chaos != nil {
+		fmt.Fprintf(stdout, "estimator chaos:   %d signals dropped, %d garbled\n", chaos.Dropped(), chaos.Garbled())
+	}
 	if *phasesOut {
 		printPhaseSummaries(stdout, res)
 	}
@@ -328,34 +456,54 @@ func printSummary(w io.Writer, res *sim.Result) {
 	}
 }
 
-func buildPolicy(name string, frac float64, interval int, estimator string, history float64, chist int, slopeRef uint64) (core.RatePolicy, error) {
-	newEst := func() (core.Estimator, error) { return core.NewEstimator(estimator, history) }
+// buildPolicy constructs the requested policy. When the fault profile
+// corrupts the estimator signal, the estimator is wrapped in a chaos shim;
+// the returned *fault.ChaosEstimator (nil otherwise) lets the caller report
+// dropout counts.
+func buildPolicy(name string, frac float64, interval int, estimator string, history float64, chist int, slopeRef uint64, profile fault.Profile, faultSeed int64) (core.RatePolicy, *fault.ChaosEstimator, error) {
+	var chaos *fault.ChaosEstimator
+	newEst := func() (core.Estimator, error) {
+		est, err := core.NewEstimator(estimator, history)
+		if err != nil || !profile.Estimator() {
+			return est, err
+		}
+		chaos, err = fault.NewChaosEstimator(est, profile, faultSeed)
+		if err != nil {
+			return nil, err
+		}
+		return chaos, nil
+	}
 	switch name {
 	case "saio":
-		return core.NewSAIO(core.SAIOConfig{Frac: frac, Hist: chist})
+		pol, err := core.NewSAIO(core.SAIOConfig{Frac: frac, Hist: chist})
+		return pol, nil, err
 	case "saga":
 		est, err := newEst()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return core.NewSAGA(core.SAGAConfig{Frac: frac, SlopeRef: slopeRef}, est)
+		pol, err := core.NewSAGA(core.SAGAConfig{Frac: frac, SlopeRef: slopeRef}, est)
+		return pol, chaos, err
 	case "pi":
 		est, err := newEst()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return core.NewPIController(core.PIConfig{Frac: frac}, est)
+		pol, err := core.NewPIController(core.PIConfig{Frac: frac}, est)
+		return pol, chaos, err
 	case "coupled":
 		est, err := newEst()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return core.NewCoupled(core.CoupledConfig{IOFrac: frac, GarbFrac: frac}, est)
+		pol, err := core.NewCoupled(core.CoupledConfig{IOFrac: frac, GarbFrac: frac}, est)
+		return pol, chaos, err
 	case "fixed":
-		return core.NewFixedRate(interval)
+		pol, err := core.NewFixedRate(interval)
+		return pol, nil, err
 	case "never":
-		return core.NeverCollect{}, nil
+		return core.NeverCollect{}, nil, nil
 	default:
-		return nil, fmt.Errorf("unknown policy %q (have saio, saga, pi, coupled, fixed, never)", name)
+		return nil, nil, fmt.Errorf("unknown policy %q (have saio, saga, pi, coupled, fixed, never)", name)
 	}
 }

@@ -127,14 +127,12 @@ func (p *Coupled) ShouldCollect(now Clock) bool {
 func (p *Coupled) AfterCollection(now Clock, h HeapState, res gc.CollectionResult) {
 	p.armed = true
 	p.est.ObserveCollection(h, res)
-	est := p.est.EstimateGarbage(h)
-	if est < 0 {
-		est = 0
-	}
+	est, usable := sanitizeEstimate(p.est.EstimateGarbage(h))
 	target := p.cfg.GarbFrac * float64(h.DatabaseBytes())
 
+	// An unusable signal keeps the nominal share rather than ingesting NaN.
 	eff := p.cfg.IOFrac
-	if target > 0 {
+	if usable && target > 0 {
 		eff = p.cfg.IOFrac * (est / target)
 	}
 	if eff < p.cfg.MinFrac {
@@ -210,6 +208,9 @@ func (p *Opportunistic) ShouldCollectIdle(now Clock, h HeapState) bool {
 	if db <= 0 {
 		return false
 	}
-	est := p.est.EstimateGarbage(h)
+	est, usable := sanitizeEstimate(p.est.EstimateGarbage(h))
+	if !usable {
+		return false
+	}
 	return est/float64(db) > p.floor
 }

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"odbgc/internal/gc"
+)
+
+// scriptedEstimator returns a scripted sequence of estimates, repeating the
+// last one when exhausted.
+type scriptedEstimator struct {
+	vals []float64
+	i    int
+	obs  int
+}
+
+func (e *scriptedEstimator) Name() string { return "scripted" }
+func (e *scriptedEstimator) ObserveCollection(HeapState, gc.CollectionResult) {
+	e.obs++
+}
+func (e *scriptedEstimator) EstimateGarbage(HeapState) float64 {
+	v := e.vals[e.i]
+	if e.i < len(e.vals)-1 {
+		e.i++
+	}
+	return v
+}
+
+func TestFallbackTripAndRecover(t *testing.T) {
+	h := &fakeHeap{db: 100000, parts: 4}
+	primary := &scriptedEstimator{vals: []float64{
+		5000,                    // good
+		math.NaN(), math.Inf(1), // bad x2 -> trips at 2nd
+		4000, 4100, 4200, // good x3 -> recovers at 3rd
+		4300,
+	}}
+	fallback := &scriptedEstimator{vals: []float64{7000}}
+	fe, err := NewFallbackEstimator(primary, fallback, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res := collRes(1000, 10, 10, 5)
+	step := func() float64 {
+		fe.ObserveCollection(h, res)
+		return fe.EstimateGarbage(h)
+	}
+
+	if got := step(); got != 5000 || fe.Tripped() {
+		t.Fatalf("healthy primary: got %v tripped=%v", got, fe.Tripped())
+	}
+	step() // 1st bad sample: below TripAfter, passes through untripped
+	if fe.Tripped() {
+		t.Fatal("single bad sample tripped early")
+	}
+	if got := step(); got != 7000 || !fe.Tripped() {
+		t.Fatalf("after 2 bad samples: got %v tripped=%v, want fallback 7000", got, fe.Tripped())
+	}
+	if fe.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", fe.Trips())
+	}
+	// Two good readings: still serving fallback.
+	if got := step(); got != 7000 || !fe.Tripped() {
+		t.Fatalf("1 good reading: got %v tripped=%v", got, fe.Tripped())
+	}
+	if got := step(); got != 7000 || !fe.Tripped() {
+		t.Fatalf("2 good readings: got %v tripped=%v", got, fe.Tripped())
+	}
+	// Third good reading recovers and serves the primary again.
+	if got := step(); got != 4200 || fe.Tripped() {
+		t.Fatalf("3rd good reading: got %v tripped=%v, want primary 4200", got, fe.Tripped())
+	}
+	if fe.Recoveries() != 1 {
+		t.Fatalf("recoveries = %d, want 1", fe.Recoveries())
+	}
+	// Both wrapped estimators observed every collection.
+	if primary.obs != 6 || fallback.obs != 6 {
+		t.Fatalf("observations primary=%d fallback=%d, want 6 each", primary.obs, fallback.obs)
+	}
+}
+
+func TestFallbackRejectsImpossibleEstimates(t *testing.T) {
+	h := &fakeHeap{db: 1000, parts: 1}
+	primary := &scriptedEstimator{vals: []float64{5000}} // 5x the database size
+	fallback := &scriptedEstimator{vals: []float64{200}}
+	fe, err := NewFallbackEstimator(primary, fallback, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fe.EstimateGarbage(h); got != 200 || !fe.Tripped() {
+		t.Fatalf("impossible estimate served: got %v tripped=%v", got, fe.Tripped())
+	}
+}
+
+func TestFallbackBothSignalsGone(t *testing.T) {
+	h := &fakeHeap{db: 1000, parts: 1}
+	fe, err := NewFallbackEstimator(
+		&scriptedEstimator{vals: []float64{math.NaN()}},
+		&scriptedEstimator{vals: []float64{math.Inf(1)}}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fe.EstimateGarbage(h); got != 0 {
+		t.Fatalf("both signals unusable: got %v, want 0", got)
+	}
+}
+
+// TestSAGASurvivesNaNSignal: a NaN estimator must not poison SAGA's slope or
+// produce a NaN interval.
+func TestSAGASurvivesNaNSignal(t *testing.T) {
+	h := &fakeHeap{db: 100000, parts: 4, sumPO: 100}
+	est := &scriptedEstimator{vals: []float64{
+		3000, 4000, math.NaN(), math.NaN(), 5000,
+	}}
+	p, err := NewSAGA(SAGAConfig{Frac: 0.05}, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := collRes(1000, 10, 10, 5)
+	var now Clock
+	for i := 0; i < 5; i++ {
+		now.Overwrites += 100
+		p.AfterCollection(now, h, res)
+		if iv := p.LastInterval(); iv < p.Config().DtMin || iv > p.Config().DtMax {
+			t.Fatalf("step %d: interval %d outside clamp [%d,%d]",
+				i, iv, p.Config().DtMin, p.Config().DtMax)
+		}
+		if math.IsNaN(p.LastSlope()) || math.IsInf(p.LastSlope(), 0) {
+			t.Fatalf("step %d: slope poisoned: %v", i, p.LastSlope())
+		}
+		if math.IsNaN(p.LastEstimate()) {
+			t.Fatalf("step %d: NaN estimate recorded", i)
+		}
+	}
+	if p.BadSignals() != 2 {
+		t.Fatalf("bad signals = %d, want 2", p.BadSignals())
+	}
+}
+
+// TestPISurvivesNaNSignal: same for the PI controller's integral term.
+func TestPISurvivesNaNSignal(t *testing.T) {
+	h := &fakeHeap{db: 100000, parts: 4}
+	est := &scriptedEstimator{vals: []float64{3000, math.NaN(), 4000}}
+	p, err := NewPIController(PIConfig{Frac: 0.05}, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := collRes(1000, 10, 10, 5)
+	var now Clock
+	for i := 0; i < 3; i++ {
+		now.Overwrites += 100
+		p.AfterCollection(now, h, res)
+		if iv := p.LastInterval(); iv < p.Config().DtMin || iv > p.Config().DtMax {
+			t.Fatalf("step %d: interval %d outside clamp", i, iv)
+		}
+	}
+}

@@ -136,16 +136,15 @@ func (p *PIController) ShouldCollect(now Clock) bool {
 func (p *PIController) AfterCollection(now Clock, h HeapState, res gc.CollectionResult) {
 	p.armed = true
 	p.est.ObserveCollection(h, res)
-	est := p.est.EstimateGarbage(h)
-	if est < 0 {
-		est = 0
-	}
+	est, usable := sanitizeEstimate(p.est.EstimateGarbage(h))
 	target := p.cfg.Frac * float64(h.DatabaseBytes())
 	p.lastEstimate = est
 	p.lastTarget = target
 
+	// An unusable estimator signal contributes zero error: the controller
+	// coasts on its integral term instead of ingesting NaN.
 	var e float64
-	if target > 0 {
+	if usable && target > 0 {
 		e = est/target - 1
 	}
 	p.integral += e

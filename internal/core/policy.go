@@ -301,6 +301,7 @@ type SAGA struct {
 	lastInterval uint64
 	clampedMin   uint64 // how many times DtMin clamped the interval
 	clampedMax   uint64 // how many times DtMax clamped the interval
+	badSignals   uint64 // estimator outputs rejected as NaN/Inf/negative
 }
 
 // NewSAGA returns a SAGA policy using the given estimator.
@@ -342,6 +343,21 @@ func (p *SAGA) ClampCounts() (min, max uint64) { return p.clampedMin, p.clampedM
 // LastSlope returns the smoothed TotGarb'(t) estimate in bytes/overwrite.
 func (p *SAGA) LastSlope() float64 { return p.slope }
 
+// BadSignals reports how many estimator outputs the controller rejected as
+// unusable (NaN, infinite, or negative).
+func (p *SAGA) BadSignals() uint64 { return p.badSignals }
+
+// sanitizeEstimate clamps an estimator output to a physically meaningful
+// value: finite and non-negative. The second result reports whether the raw
+// value was usable; controllers skip model updates on unusable signals so a
+// dropped-out estimator cannot poison their state.
+func sanitizeEstimate(est float64) (float64, bool) {
+	if math.IsNaN(est) || math.IsInf(est, 0) || est < 0 {
+		return 0, false
+	}
+	return est, true
+}
+
 // ShouldCollect implements RatePolicy.
 func (p *SAGA) ShouldCollect(now Clock) bool {
 	if !p.armed {
@@ -354,35 +370,39 @@ func (p *SAGA) ShouldCollect(now Clock) bool {
 // AfterCollection implements RatePolicy.
 func (p *SAGA) AfterCollection(now Clock, h HeapState, res gc.CollectionResult) {
 	p.est.ObserveCollection(h, res)
-	est := p.est.EstimateGarbage(h)
-	if est < 0 {
-		est = 0
+	est, usable := sanitizeEstimate(p.est.EstimateGarbage(h))
+	if !usable {
+		p.badSignals++
 	}
 	target := p.cfg.Frac * float64(h.DatabaseBytes())
 	p.lastEstimate = est
 	p.lastTarget = target
 
 	// Slope of cumulative garbage creation, on the estimated series
-	// TotGarb ≈ TotColl + ActGarb_est, in bytes per overwrite.
+	// TotGarb ≈ TotColl + ActGarb_est, in bytes per overwrite. An unusable
+	// estimator signal contributes no slope sample — the previous smoothed
+	// slope carries the controller through the dropout.
 	tot := float64(h.TotalCollectedBytes()) + est
 	t := now.Overwrites
-	if p.havePrev && t > p.prevT {
-		dt := float64(t - p.prevT)
-		inst := (tot - p.prevTot) / dt
-		if p.haveSlope {
-			w := p.cfg.Weight
-			if p.cfg.SlopeRef > 0 {
-				// Time-weighted smoothing: short intervals (noisy inst)
-				// contribute little, long intervals dominate.
-				w = math.Pow(p.cfg.Weight, dt/float64(p.cfg.SlopeRef))
+	if usable {
+		if p.havePrev && t > p.prevT {
+			dt := float64(t - p.prevT)
+			inst := (tot - p.prevTot) / dt
+			if p.haveSlope {
+				w := p.cfg.Weight
+				if p.cfg.SlopeRef > 0 {
+					// Time-weighted smoothing: short intervals (noisy inst)
+					// contribute little, long intervals dominate.
+					w = math.Pow(p.cfg.Weight, dt/float64(p.cfg.SlopeRef))
+				}
+				p.slope = w*p.slope + (1-w)*inst
+			} else {
+				p.slope = inst
+				p.haveSlope = true
 			}
-			p.slope = w*p.slope + (1-w)*inst
-		} else {
-			p.slope = inst
-			p.haveSlope = true
 		}
+		p.prevT, p.prevTot, p.havePrev = t, tot, true
 	}
-	p.prevT, p.prevTot, p.havePrev = t, tot, true
 
 	currColl := float64(res.ReclaimedBytes)
 	garbDiff := est - target
@@ -392,12 +412,15 @@ func (p *SAGA) AfterCollection(now Clock, h HeapState, res gc.CollectionResult) 
 	// zero, or even negative" and relies on the [DtMin,DtMax] clamp.
 	// A negative Δt (collection overdue) clamps to DtMin.
 	var dt float64
-	if p.haveSlope && p.slope != 0 {
+	if p.haveSlope && p.slope != 0 && !math.IsNaN(p.slope) && !math.IsInf(p.slope, 0) {
 		dt = (currColl - garbDiff) / p.slope
 	} else {
 		// No slope information yet, or perfectly flat garbage creation:
 		// nothing to extrapolate; schedule far out and let the clamp bound
 		// it.
+		dt = float64(p.cfg.DtMax)
+	}
+	if math.IsNaN(dt) {
 		dt = float64(p.cfg.DtMax)
 	}
 	interval := uint64(0)

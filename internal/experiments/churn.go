@@ -36,7 +36,7 @@ func (r *Runner) Churn() (*Report, error) {
 	saio := &metrics.Series{Name: "saio_achieved"}
 	for _, frac := range []float64{0.10, 0.20, 0.30} {
 		frac := frac
-		mr, err := sim.RunMany(sim.RunnerConfig{
+		mr, err := r.runMany(sim.RunnerConfig{
 			Traces: traces,
 			MakePolicy: func(int) (core.RatePolicy, error) {
 				return core.NewSAIO(core.SAIOConfig{Frac: frac})
@@ -69,7 +69,7 @@ func (r *Runner) Churn() (*Report, error) {
 		series := &metrics.Series{Name: v.label + "_achieved"}
 		for _, frac := range []float64{0.05, 0.10, 0.20} {
 			frac := frac
-			mr, err := sim.RunMany(sim.RunnerConfig{
+			mr, err := r.runMany(sim.RunnerConfig{
 				Traces: traces,
 				MakePolicy: func(int) (core.RatePolicy, error) {
 					est, err := core.NewEstimator(v.estName, 0)

@@ -29,7 +29,7 @@ func (r *Runner) Estimators() (*Report, error) {
 		series := &metrics.Series{Name: "achieved_" + estName}
 		for _, frac := range []float64{0.05, 0.10, 0.20} {
 			frac := frac
-			mr, err := sim.RunMany(sim.RunnerConfig{
+			mr, err := r.runMany(sim.RunnerConfig{
 				Traces: traces,
 				MakePolicy: func(int) (core.RatePolicy, error) {
 					est, err := core.NewEstimator(estName, 0)
@@ -80,7 +80,7 @@ func (r *Runner) Controllers() (*Report, error) {
 			series := &metrics.Series{Name: fmt.Sprintf("achieved_%s_%s", ctl, estName)}
 			for _, frac := range []float64{0.05, 0.10, 0.20} {
 				frac := frac
-				mr, err := sim.RunMany(sim.RunnerConfig{
+				mr, err := r.runMany(sim.RunnerConfig{
 					Traces: traces,
 					MakePolicy: func(int) (core.RatePolicy, error) {
 						est, err := core.NewEstimator(estName, 0)

@@ -6,9 +6,11 @@ package experiments
 
 import (
 	"fmt"
+	"path/filepath"
 	"strings"
 
 	"odbgc/internal/core"
+	"odbgc/internal/fault"
 	"odbgc/internal/metrics"
 	"odbgc/internal/oo7"
 	"odbgc/internal/plot"
@@ -27,6 +29,18 @@ type Options struct {
 	SeedBase int64
 	// Preamble is the cold-start exclusion in collections (default 10).
 	Preamble int
+	// FaultProfile runs every batch under fault injection (see
+	// internal/fault); the zero value injects nothing.
+	FaultProfile fault.Profile
+	// FaultSeed is the base seed for fault schedules; run i of a batch uses
+	// FaultSeed+i.
+	FaultSeed int64
+	// CheckpointDir makes batches crash-safe at run granularity: completed
+	// per-run results are cached under CheckpointDir/<experiment>-batchNNN/
+	// and reruns load them instead of recomputing. The cache is keyed only
+	// by batch order, so delete the directory after changing any experiment
+	// parameter.
+	CheckpointDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -125,6 +139,25 @@ func (tc traceCache) get(conn int, base int64, n int) ([]*trace.Trace, error) {
 type Runner struct {
 	opts   Options
 	traces traceCache
+
+	// curExp and batch key the per-batch checkpoint subdirectories while an
+	// experiment runs.
+	curExp string
+	batch  int
+}
+
+// runMany is sim.RunMany with the runner's fault-injection and checkpoint
+// options applied. Each batch within an experiment gets its own checkpoint
+// subdirectory, numbered in execution order.
+func (r *Runner) runMany(cfg sim.RunnerConfig) (*sim.MultiResult, error) {
+	cfg.FaultProfile = r.opts.FaultProfile
+	cfg.FaultSeed = r.opts.FaultSeed
+	if r.opts.CheckpointDir != "" {
+		r.batch++
+		cfg.CheckpointDir = filepath.Join(r.opts.CheckpointDir,
+			fmt.Sprintf("%s-batch%03d", r.curExp, r.batch))
+	}
+	return sim.RunMany(cfg)
 }
 
 // NewRunner returns a Runner with the given options.
@@ -141,6 +174,7 @@ func Names() []string {
 
 // Run executes one experiment by name.
 func (r *Runner) Run(name string) (*Report, error) {
+	r.curExp, r.batch = name, 0
 	switch name {
 	case "table1":
 		return r.Table1()
@@ -301,7 +335,7 @@ func (r *Runner) Fig1() (*Report, error) {
 	}}
 	for _, rate := range rates {
 		rate := rate
-		mr, err := sim.RunMany(sim.RunnerConfig{
+		mr, err := r.runMany(sim.RunnerConfig{
 			Traces: traces,
 			MakePolicy: func(int) (core.RatePolicy, error) {
 				return core.NewFixedRate(rate)
@@ -352,7 +386,7 @@ func (r *Runner) Fig4() (*Report, error) {
 	t := &metrics.Table{Header: []string{"requested %", "achieved %", "min %", "max %", "collections"}}
 	for _, frac := range saioFracs {
 		frac := frac
-		mr, err := sim.RunMany(sim.RunnerConfig{
+		mr, err := r.runMany(sim.RunnerConfig{
 			Traces: traces,
 			MakePolicy: func(int) (core.RatePolicy, error) {
 				return core.NewSAIO(core.SAIOConfig{Frac: frac})
@@ -403,7 +437,7 @@ func (r *Runner) Fig5() (*Report, error) {
 		series := &metrics.Series{Name: "achieved_" + estName}
 		for _, frac := range sagaFracs {
 			frac := frac
-			mr, err := sim.RunMany(sim.RunnerConfig{
+			mr, err := r.runMany(sim.RunnerConfig{
 				Traces: traces,
 				MakePolicy: func(int) (core.RatePolicy, error) {
 					est, err := core.NewEstimator(estName, 0.8)
@@ -595,7 +629,7 @@ func (r *Runner) Fig8() (*Report, error) {
 		saio := &metrics.Series{Name: fmt.Sprintf("conn%d_saio_achieved", conn)}
 		for _, frac := range saioFracs {
 			frac := frac
-			mr, err := sim.RunMany(sim.RunnerConfig{
+			mr, err := r.runMany(sim.RunnerConfig{
 				Traces: traces,
 				MakePolicy: func(int) (core.RatePolicy, error) {
 					return core.NewSAIO(core.SAIOConfig{Frac: frac})
@@ -614,7 +648,7 @@ func (r *Runner) Fig8() (*Report, error) {
 			saga := &metrics.Series{Name: fmt.Sprintf("conn%d_saga_%s_achieved", conn, estName)}
 			for _, frac := range sagaFracs {
 				frac := frac
-				mr, err := sim.RunMany(sim.RunnerConfig{
+				mr, err := r.runMany(sim.RunnerConfig{
 					Traces: traces,
 					MakePolicy: func(int) (core.RatePolicy, error) {
 						est, err := core.NewEstimator(estName, 0.8)

@@ -1,0 +1,102 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+
+	"odbgc/internal/core"
+	"odbgc/internal/gc"
+)
+
+// ChaosEstimator wraps a garbage estimator and corrupts its output signal:
+// with configured probabilities an estimate becomes NaN (sensor dropout) or a
+// uniformly random garbage value in [0, 4×database size] (sensor noise). The
+// wrapped estimator still observes every collection, so its model stays warm
+// while the signal path misbehaves — exactly the failure the SAGA fallback
+// and sanitization paths must absorb.
+type ChaosEstimator struct {
+	inner       core.Estimator
+	nanProb     float64
+	garbageProb float64
+	rng         *rng
+	dropped     uint64
+	garbled     uint64
+}
+
+// NewChaosEstimator wraps inner with the profile's estimator-fault rates.
+func NewChaosEstimator(inner core.Estimator, p Profile, seed int64) (*ChaosEstimator, error) {
+	if p.EstNaNProb < 0 || p.EstGarbageProb < 0 || p.EstNaNProb+p.EstGarbageProb > 1 {
+		return nil, fmt.Errorf("fault: estimator fault probabilities %.3f+%.3f outside [0,1]",
+			p.EstNaNProb, p.EstGarbageProb)
+	}
+	return &ChaosEstimator{
+		inner:       inner,
+		nanProb:     p.EstNaNProb,
+		garbageProb: p.EstGarbageProb,
+		rng:         newRNG(seed),
+	}, nil
+}
+
+// Name implements core.Estimator.
+func (c *ChaosEstimator) Name() string {
+	return fmt.Sprintf("chaos(%s)", c.inner.Name())
+}
+
+// ObserveCollection implements core.Estimator; observations always reach the
+// wrapped estimator untouched.
+func (c *ChaosEstimator) ObserveCollection(h core.HeapState, res gc.CollectionResult) {
+	c.inner.ObserveCollection(h, res)
+}
+
+// EstimateGarbage implements core.Estimator.
+func (c *ChaosEstimator) EstimateGarbage(h core.HeapState) float64 {
+	r := c.rng.float64()
+	switch {
+	case r < c.nanProb:
+		c.dropped++
+		return math.NaN()
+	case r < c.nanProb+c.garbageProb:
+		c.garbled++
+		return c.rng.float64() * 4 * float64(h.DatabaseBytes())
+	default:
+		return c.inner.EstimateGarbage(h)
+	}
+}
+
+// Dropped returns how many estimates were replaced with NaN.
+func (c *ChaosEstimator) Dropped() uint64 { return c.dropped }
+
+// Garbled returns how many estimates were replaced with garbage values.
+func (c *ChaosEstimator) Garbled() uint64 { return c.garbled }
+
+type chaosState struct {
+	Inner   []byte
+	RNG     uint64
+	Dropped uint64
+	Garbled uint64
+}
+
+// SnapshotState implements core.Snapshotter so chaos runs checkpoint/resume
+// with a bit-identical fault stream.
+func (c *ChaosEstimator) SnapshotState() ([]byte, error) {
+	inner, err := core.SnapshotComponent(c.inner)
+	if err != nil {
+		return nil, err
+	}
+	return gobEncode(chaosState{Inner: inner, RNG: c.rng.state, Dropped: c.dropped, Garbled: c.garbled})
+}
+
+// RestoreState implements core.Snapshotter.
+func (c *ChaosEstimator) RestoreState(data []byte) error {
+	var st chaosState
+	if err := gobDecode(data, &st); err != nil {
+		return err
+	}
+	if err := core.RestoreComponent(c.inner, st.Inner); err != nil {
+		return err
+	}
+	c.rng.state = st.RNG
+	c.dropped = st.Dropped
+	c.garbled = st.Garbled
+	return nil
+}

@@ -1,0 +1,78 @@
+// Package fault is a deterministic, seedable fault injector for the
+// simulator's three signal paths:
+//
+//   - storage I/O: the Injector implements the storage.FaultInjector
+//     contract structurally (BeforeOp) and produces transient read/write
+//     errors with configurable probabilities and burst patterns;
+//   - the trace stream: CorruptReader wraps any io.Reader with truncation,
+//     bit-flip corruption, and premature EOF;
+//   - the estimator signal: ChaosEstimator wraps any core.Estimator and
+//     replaces its output with NaN or garbage values.
+//
+// Everything is driven by a splitmix64 generator whose entire state is one
+// exported uint64, so fault schedules are reproducible from a seed and
+// checkpoint/resume restores the exact fault stream. The same profile +
+// seed always yields the same faults, which is what makes chaos runs
+// regression-testable.
+package fault
+
+import (
+	"errors"
+	"fmt"
+)
+
+// TransientError marks an injected fault that is expected to succeed on
+// retry (the storage layer checks faults before mutating state, so the same
+// operation can safely run again). Use IsTransient to classify.
+type TransientError struct {
+	Op    string // operation kind: "read" or "write"
+	Seq   uint64 // how many operations the injector had seen when it fired
+	Burst bool   // whether the fault was part of a burst
+}
+
+// Error implements error.
+func (e *TransientError) Error() string {
+	kind := "fault"
+	if e.Burst {
+		kind = "burst fault"
+	}
+	return fmt.Sprintf("fault: transient %s %s at op %d", e.Op, kind, e.Seq)
+}
+
+// IsTransient reports whether err is (or wraps) an injected transient fault.
+func IsTransient(err error) bool {
+	var te *TransientError
+	return errors.As(err, &te)
+}
+
+// rng is a splitmix64 generator. Its entire state is the single uint64, so
+// snapshots are trivial and resumed runs replay the identical fault stream.
+type rng struct {
+	state uint64
+}
+
+func newRNG(seed int64) *rng {
+	// Scramble the seed once so small seeds (0, 1, 2...) do not yield
+	// correlated early outputs.
+	r := &rng{state: uint64(seed)}
+	r.next()
+	return r
+}
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform value in [0,1).
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// intn returns a uniform value in [0,n). n must be positive.
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}

@@ -1,0 +1,86 @@
+package fault
+
+import "fmt"
+
+// InjectorStats counts what the injector has done.
+type InjectorStats struct {
+	Ops      uint64 // operations inspected
+	Injected uint64 // faults returned
+	Bursts   uint64 // bursts started
+}
+
+// Injector produces deterministic transient storage faults. It satisfies the
+// storage.FaultInjector contract structurally: BeforeOp is called at the
+// entry of every storage operation, before any state mutates, so a returned
+// fault aborts the operation cleanly and a retry is safe.
+type Injector struct {
+	profile   Profile
+	rng       *rng
+	burstLeft int
+	stats     InjectorStats
+}
+
+// NewInjector builds an injector for the profile's storage-fault rates,
+// seeded so the fault schedule is reproducible.
+func NewInjector(profile Profile, seed int64) *Injector {
+	return &Injector{profile: profile, rng: newRNG(seed)}
+}
+
+// BeforeOp implements the storage.FaultInjector contract.
+func (in *Injector) BeforeOp(write bool) error {
+	in.stats.Ops++
+	op := "read"
+	prob := in.profile.ReadErrProb
+	if write {
+		op = "write"
+		prob = in.profile.WriteErrProb
+	}
+
+	// An active burst fails every operation regardless of kind.
+	if in.burstLeft > 0 {
+		in.burstLeft--
+		in.stats.Injected++
+		return &TransientError{Op: op, Seq: in.stats.Ops, Burst: true}
+	}
+	if in.profile.BurstProb > 0 && in.rng.float64() < in.profile.BurstProb {
+		in.stats.Bursts++
+		in.stats.Injected++
+		if in.profile.BurstLen > 1 {
+			in.burstLeft = in.profile.BurstLen - 1
+		}
+		return &TransientError{Op: op, Seq: in.stats.Ops, Burst: true}
+	}
+	if prob > 0 && in.rng.float64() < prob {
+		in.stats.Injected++
+		return &TransientError{Op: op, Seq: in.stats.Ops}
+	}
+	return nil
+}
+
+// Stats returns a copy of the injector's counters.
+func (in *Injector) Stats() InjectorStats { return in.stats }
+
+// InjectorState is the Injector's complete mutable state, exported so
+// checkpoints can capture it and a resumed run replays the identical fault
+// stream.
+type InjectorState struct {
+	RNG       uint64
+	BurstLeft int
+	Stats     InjectorStats
+}
+
+// Snapshot captures the injector's state.
+func (in *Injector) Snapshot() InjectorState {
+	return InjectorState{RNG: in.rng.state, BurstLeft: in.burstLeft, Stats: in.stats}
+}
+
+// Restore rewinds the injector to a previously captured state.
+func (in *Injector) Restore(st InjectorState) error {
+	if st.BurstLeft < 0 {
+		return fmt.Errorf("fault: negative burstLeft %d in injector state", st.BurstLeft)
+	}
+	in.rng.state = st.RNG
+	in.burstLeft = st.BurstLeft
+	in.stats = st.Stats
+	return nil
+}

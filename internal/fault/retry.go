@@ -1,0 +1,71 @@
+package fault
+
+import (
+	"fmt"
+	"time"
+)
+
+// RetryConfig bounds the retry loop for transient storage faults.
+type RetryConfig struct {
+	// MaxAttempts is the total number of tries (first attempt included).
+	// Zero means DefaultRetry.MaxAttempts.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles on each
+	// subsequent retry up to MaxDelay.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Sleep is called with each backoff delay. Nil means no waiting, which
+	// keeps simulations deterministic and instant — the backoff schedule is
+	// still computed and surfaced in the give-up error.
+	Sleep func(time.Duration)
+}
+
+// DefaultRetry tolerates any single burst shorter than 8 ops.
+var DefaultRetry = RetryConfig{
+	MaxAttempts: 8,
+	BaseDelay:   time.Millisecond,
+	MaxDelay:    100 * time.Millisecond,
+}
+
+// Do runs fn, retrying with exponential backoff while it fails with a
+// transient fault. Non-transient errors pass through immediately. When the
+// attempt budget is exhausted the last transient error is wrapped so callers
+// can still classify it with IsTransient.
+func (c RetryConfig) Do(op string, fn func() error) error {
+	attempts := c.MaxAttempts
+	if attempts <= 0 {
+		attempts = DefaultRetry.MaxAttempts
+	}
+	base := c.BaseDelay
+	if base <= 0 {
+		base = DefaultRetry.BaseDelay
+	}
+	maxDelay := c.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = DefaultRetry.MaxDelay
+	}
+
+	delay := base
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = fn()
+		if err == nil || !IsTransient(err) {
+			return err
+		}
+		if attempt >= attempts {
+			return fmt.Errorf("fault: %s gave up after %d attempts: %w", op, attempts, err)
+		}
+		if c.Sleep != nil {
+			c.Sleep(delay)
+		}
+		if delay *= 2; delay > maxDelay {
+			delay = maxDelay
+		}
+	}
+}
+
+// Retry is a convenience for DefaultRetry.Do, shaped to plug directly into
+// gc.Heap.SetRetry.
+func Retry(op string, fn func() error) error {
+	return DefaultRetry.Do(op, fn)
+}

@@ -56,6 +56,11 @@ type Heap struct {
 	// ODBMS design of logical OIDs resolved through a resident object
 	// table, where relocation within a partition costs no extra page I/O.
 	physicalFixups bool
+
+	// retry, when non-nil, wraps each retryable storage operation the
+	// collector issues. The simulator injects a transient-fault retrier here
+	// (see package fault); the heap itself stays ignorant of fault policy.
+	retry func(op string, fn func() error) error
 }
 
 // NewHeap wraps a store and a storage manager. Both must start empty or the
@@ -81,15 +86,30 @@ func (h *Heap) SetPhysicalFixups(on bool) { h.physicalFixups = on }
 // Disk returns the physical storage manager.
 func (h *Heap) Disk() *storage.Manager { return h.disk }
 
+// SetRetry installs a wrapper around the collector's retryable storage
+// operations (partition scans, compaction, flushes). A nil wrapper means
+// operations run exactly once. Storage operations fail before mutating any
+// state, so re-running fn after a transient error is safe.
+func (h *Heap) SetRetry(retry func(op string, fn func() error) error) { h.retry = retry }
+
+// withRetry runs one retryable storage operation through the injected
+// wrapper, if any.
+func (h *Heap) withRetry(op string, fn func() error) error {
+	if h.retry == nil {
+		return fn()
+	}
+	return h.retry(op, fn)
+}
+
 // Create allocates an object logically and physically.
 func (h *Heap) Create(oid objstore.OID, class objstore.Class, size, nslots int) error {
 	if _, err := h.store.CreateWithOID(oid, class, size, nslots); err != nil {
 		return err
 	}
-	if _, err := h.disk.Allocate(oid, size); err != nil {
+	return h.withRetry("alloc", func() error {
+		_, err := h.disk.Allocate(oid, size)
 		return err
-	}
-	return nil
+	})
 }
 
 // Access simulates a read of an object.
@@ -97,7 +117,7 @@ func (h *Heap) Access(oid objstore.OID) error {
 	if h.store.Get(oid) == nil {
 		return fmt.Errorf("gc: access of absent object %v", oid)
 	}
-	return h.disk.Touch(oid, false)
+	return h.withRetry("read", func() error { return h.disk.Touch(oid, false) })
 }
 
 // Update simulates a non-pointer write to an object.
@@ -105,7 +125,7 @@ func (h *Heap) Update(oid objstore.OID) error {
 	if h.store.Get(oid) == nil {
 		return fmt.Errorf("gc: update of absent object %v", oid)
 	}
-	return h.disk.Touch(oid, true)
+	return h.withRetry("update", func() error { return h.disk.Touch(oid, true) })
 }
 
 // Overwrite applies a pointer overwrite: slot i of src now points at dst
@@ -131,7 +151,7 @@ func (h *Heap) Overwrite(src objstore.OID, slot int, wantOld, dst objstore.OID, 
 	if err != nil {
 		return err
 	}
-	if err := h.disk.Touch(src, true); err != nil {
+	if err := h.withRetry("overwrite", func() error { return h.disk.Touch(src, true) }); err != nil {
 		return err
 	}
 	srcPart, ok := h.disk.PartitionOf(src)
@@ -253,7 +273,9 @@ func (h *Heap) PinnedGarbageBytes() int {
 			continue
 		}
 		if h.ExternallyReferenced(p, oid) {
-			pinned += h.store.MustGet(oid).Size
+			if o := h.store.Get(oid); o != nil {
+				pinned += o.Size
+			}
 		}
 	}
 	return pinned
@@ -315,7 +337,9 @@ func (h *Heap) Collect(p storage.PartitionID) (CollectionResult, error) {
 	defer h.disk.SetIOClass(prevClass)
 
 	// Scan the partition.
-	h.disk.ReadPartition(p)
+	if err := h.withRetry("scan", func() error { return h.disk.ReadPartition(p) }); err != nil {
+		return CollectionResult{}, err
+	}
 
 	members := h.disk.ObjectsIn(p)
 	memberSet := make(map[objstore.OID]struct{}, len(members))
@@ -343,7 +367,11 @@ func (h *Heap) Collect(p storage.PartitionID) (CollectionResult, error) {
 		oid := queue[0]
 		queue = queue[1:]
 		live = append(live, oid)
-		for _, t := range h.store.MustGet(oid).Slots {
+		o := h.store.Get(oid)
+		if o == nil {
+			return CollectionResult{}, fmt.Errorf("gc: placed object %v missing from store", oid)
+		}
+		for _, t := range o.Slots {
 			if t.IsNil() {
 				continue
 			}
@@ -359,10 +387,17 @@ func (h *Heap) Collect(p storage.PartitionID) (CollectionResult, error) {
 	}
 
 	// Everything unreached is garbage. Tear down its bookkeeping before
-	// compaction removes its placement.
+	// compaction removes its placement. Sizes are captured up front so the
+	// compaction callback below cannot encounter a missing object.
 	liveBytes := 0
+	liveSize := make(map[objstore.OID]int, len(live))
 	for _, oid := range live {
-		liveBytes += h.store.MustGet(oid).Size
+		o := h.store.Get(oid)
+		if o == nil {
+			return CollectionResult{}, fmt.Errorf("gc: live object %v missing from store", oid)
+		}
+		liveSize[oid] = o.Size
+		liveBytes += o.Size
 	}
 	var deadList []objstore.OID
 	for _, oid := range members {
@@ -374,7 +409,10 @@ func (h *Heap) Collect(p storage.PartitionID) (CollectionResult, error) {
 
 	reclaimedBytes := 0
 	for _, oid := range deadList {
-		o := h.store.MustGet(oid)
+		o := h.store.Get(oid)
+		if o == nil {
+			return CollectionResult{}, fmt.Errorf("gc: dead object %v missing from store", oid)
+		}
 		reclaimedBytes += o.Size
 		// A dead object's outgoing cross-partition references leave the
 		// remembered sets, which may unpin garbage in other partitions.
@@ -406,8 +444,9 @@ func (h *Heap) Collect(p storage.PartitionID) (CollectionResult, error) {
 	}
 
 	// Compact survivors in copy order.
-	if _, err := h.disk.Compact(p, live, func(oid objstore.OID) int {
-		return h.store.MustGet(oid).Size
+	if err := h.withRetry("compact", func() error {
+		_, err := h.disk.Compact(p, live, func(oid objstore.OID) int { return liveSize[oid] })
+		return err
 	}); err != nil {
 		return CollectionResult{}, err
 	}
@@ -428,14 +467,19 @@ func (h *Heap) Collect(p storage.PartitionID) (CollectionResult, error) {
 		}
 		sort.Slice(fixupList, func(i, j int) bool { return fixupList[i] < fixupList[j] })
 		for _, src := range fixupList {
-			if err := h.disk.Touch(src, true); err != nil {
+			if err := h.withRetry("fixup", func() error { return h.disk.Touch(src, true) }); err != nil {
 				return CollectionResult{}, err
 			}
 		}
 	}
 
 	// Write back what the collector dirtied.
-	h.disk.FlushGCDirty()
+	if err := h.withRetry("flush", func() error {
+		_, err := h.disk.FlushGCDirty()
+		return err
+	}); err != nil {
+		return CollectionResult{}, err
+	}
 
 	po := h.po[p]
 	h.po[p] = 0

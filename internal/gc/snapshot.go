@@ -1,0 +1,149 @@
+package gc
+
+import (
+	"fmt"
+	"sort"
+
+	"odbgc/internal/objstore"
+	"odbgc/internal/storage"
+)
+
+// RemsetEntry is one remembered-set counter in flattened, sortable form.
+type RemsetEntry struct {
+	Part  storage.PartitionID
+	Dst   objstore.OID
+	Src   objstore.OID
+	Count int
+}
+
+// PartitionCounter pairs a partition with an integer counter (overwrites or
+// oracle garbage bytes).
+type PartitionCounter struct {
+	Part  storage.PartitionID
+	Value int
+}
+
+// HeapSnapshot is a checkpointable image of the collector bookkeeping plus
+// the wrapped store and storage manager. Slices are sorted so the encoded
+// form is deterministic.
+type HeapSnapshot struct {
+	Store *objstore.StoreSnapshot
+	Disk  *storage.ManagerState
+
+	Remset          []RemsetEntry
+	Overwrites      []PartitionCounter // po, by partition
+	TotalOverwrites uint64
+
+	OracleDead      []objstore.OID // ascending
+	OracleDeadBytes []PartitionCounter
+
+	TotalGarbage     uint64
+	TotalCollected   uint64
+	TotalCollections uint64
+	PhysicalFixups   bool
+}
+
+func sortCounters(cs []PartitionCounter) {
+	sort.Slice(cs, func(i, j int) bool { return cs[i].Part < cs[j].Part })
+}
+
+// Snapshot captures the heap, its object store, and its storage manager.
+func (h *Heap) Snapshot() *HeapSnapshot {
+	st := &HeapSnapshot{
+		Store:            h.store.Snapshot(),
+		Disk:             h.disk.Snapshot(),
+		TotalOverwrites:  h.totalOverwrites,
+		TotalGarbage:     h.totalGarbage,
+		TotalCollected:   h.totalCollected,
+		TotalCollections: h.totalCollections,
+		PhysicalFixups:   h.physicalFixups,
+	}
+	for p, m := range h.remset {
+		for dst, srcs := range m {
+			for src, n := range srcs {
+				st.Remset = append(st.Remset, RemsetEntry{Part: p, Dst: dst, Src: src, Count: n})
+			}
+		}
+	}
+	sort.Slice(st.Remset, func(i, j int) bool {
+		a, b := st.Remset[i], st.Remset[j]
+		if a.Part != b.Part {
+			return a.Part < b.Part
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		return a.Src < b.Src
+	})
+	for p, n := range h.po {
+		if n != 0 {
+			st.Overwrites = append(st.Overwrites, PartitionCounter{Part: p, Value: n})
+		}
+	}
+	sortCounters(st.Overwrites)
+	for oid := range h.oracleDead {
+		st.OracleDead = append(st.OracleDead, oid)
+	}
+	sort.Slice(st.OracleDead, func(i, j int) bool { return st.OracleDead[i] < st.OracleDead[j] })
+	for p, b := range h.oracleDeadBytes {
+		if b != 0 {
+			st.OracleDeadBytes = append(st.OracleDeadBytes, PartitionCounter{Part: p, Value: b})
+		}
+	}
+	sortCounters(st.OracleDeadBytes)
+	return st
+}
+
+// RestoreHeap rebuilds a heap (with its store and storage manager) from a
+// snapshot and cross-validates the result.
+func RestoreHeap(st *HeapSnapshot) (*Heap, error) {
+	if st == nil {
+		return nil, fmt.Errorf("gc: nil heap snapshot")
+	}
+	store, err := objstore.RestoreStore(st.Store)
+	if err != nil {
+		return nil, err
+	}
+	disk, err := storage.RestoreManager(st.Disk)
+	if err != nil {
+		return nil, err
+	}
+	h := NewHeap(store, disk)
+	h.physicalFixups = st.PhysicalFixups
+	for _, e := range st.Remset {
+		if e.Count <= 0 {
+			return nil, fmt.Errorf("gc: non-positive remset count %d for %v->%v", e.Count, e.Src, e.Dst)
+		}
+		m := h.remset[e.Part]
+		if m == nil {
+			m = make(map[objstore.OID]map[objstore.OID]int)
+			h.remset[e.Part] = m
+		}
+		srcs := m[e.Dst]
+		if srcs == nil {
+			srcs = make(map[objstore.OID]int)
+			m[e.Dst] = srcs
+		}
+		srcs[e.Src] = e.Count
+	}
+	for _, c := range st.Overwrites {
+		h.po[c.Part] = c.Value
+	}
+	for _, oid := range st.OracleDead {
+		if store.Get(oid) == nil {
+			return nil, fmt.Errorf("gc: oracle-dead object %v missing from snapshot store", oid)
+		}
+		h.oracleDead[oid] = struct{}{}
+	}
+	for _, c := range st.OracleDeadBytes {
+		h.oracleDeadBytes[c.Part] = c.Value
+	}
+	h.totalOverwrites = st.TotalOverwrites
+	h.totalGarbage = st.TotalGarbage
+	h.totalCollected = st.TotalCollected
+	h.totalCollections = st.TotalCollections
+	if err := h.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("gc: restored heap inconsistent: %w", err)
+	}
+	return h, nil
+}

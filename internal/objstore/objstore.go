@@ -118,12 +118,12 @@ func (s *Store) TotalBytes() int { return s.totalBytes }
 
 // Create allocates a new object with the given class, size and slot count,
 // assigns it a fresh OID and enters it in the table. All slots start nil.
-func (s *Store) Create(class Class, size, nslots int) *Object {
+func (s *Store) Create(class Class, size, nslots int) (*Object, error) {
 	if size < 0 {
-		panic("objstore: negative object size")
+		return nil, fmt.Errorf("objstore: negative object size %d", size)
 	}
 	if nslots < 0 {
-		panic("objstore: negative slot count")
+		return nil, fmt.Errorf("objstore: negative slot count %d", nslots)
 	}
 	o := &Object{
 		OID:   s.nextOID,
@@ -134,7 +134,7 @@ func (s *Store) Create(class Class, size, nslots int) *Object {
 	s.nextOID++
 	s.objects[o.OID] = o
 	s.totalBytes += size
-	return o
+	return o, nil
 }
 
 // CreateWithOID enters an object with a caller-chosen OID, used when

@@ -6,10 +6,19 @@ import (
 	"testing/quick"
 )
 
+func mustCreate(t *testing.T, s *Store, class Class, size, nslots int) *Object {
+	t.Helper()
+	o, err := s.Create(class, size, nslots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
 func TestCreateAssignsSequentialOIDs(t *testing.T) {
 	s := NewStore()
-	a := s.Create(ClassAtomicPart, 100, 2)
-	b := s.Create(ClassConnection, 50, 1)
+	a := mustCreate(t, s, ClassAtomicPart, 100, 2)
+	b := mustCreate(t, s, ClassConnection, 50, 1)
 	if a.OID != 1 || b.OID != 2 {
 		t.Fatalf("OIDs = %v, %v; want 1, 2", a.OID, b.OID)
 	}
@@ -37,15 +46,15 @@ func TestCreateWithOID(t *testing.T) {
 		t.Error("negative size accepted")
 	}
 	// Counter advances past explicit OIDs.
-	if next := s.Create(ClassDocument, 1, 0); next.OID != 8 {
+	if next := mustCreate(t, s, ClassDocument, 1, 0); next.OID != 8 {
 		t.Errorf("Create after CreateWithOID(7) got OID %v, want 8", next.OID)
 	}
 }
 
 func TestSetSlot(t *testing.T) {
 	s := NewStore()
-	a := s.Create(ClassAtomicPart, 10, 2)
-	b := s.Create(ClassAtomicPart, 10, 0)
+	a := mustCreate(t, s, ClassAtomicPart, 10, 2)
+	b := mustCreate(t, s, ClassAtomicPart, 10, 0)
 
 	old, err := s.SetSlot(a.OID, 0, b.OID)
 	if err != nil || old != NilOID {
@@ -71,7 +80,7 @@ func TestSetSlot(t *testing.T) {
 
 func TestRemove(t *testing.T) {
 	s := NewStore()
-	a := s.Create(ClassDocument, 40, 0)
+	a := mustCreate(t, s, ClassDocument, 40, 0)
 	if err := s.AddRoot(a.OID); err != nil {
 		t.Fatal(err)
 	}
@@ -91,8 +100,8 @@ func TestRemove(t *testing.T) {
 
 func TestRoots(t *testing.T) {
 	s := NewStore()
-	a := s.Create(ClassModule, 10, 0)
-	b := s.Create(ClassModule, 10, 0)
+	a := mustCreate(t, s, ClassModule, 10, 0)
+	b := mustCreate(t, s, ClassModule, 10, 0)
 	if err := s.AddRoot(b.OID); err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +126,10 @@ func TestRoots(t *testing.T) {
 func buildChain(s *Store, n int) []OID {
 	oids := make([]OID, n)
 	for i := range oids {
-		o := s.Create(ClassAtomicPart, 10, 1)
+		o, err := s.Create(ClassAtomicPart, 10, 1)
+		if err != nil {
+			panic(err)
+		}
 		oids[i] = o.OID
 		if i > 0 {
 			if _, err := s.SetSlot(oids[i-1], 0, o.OID); err != nil {
@@ -134,7 +146,7 @@ func buildChain(s *Store, n int) []OID {
 func TestReachable(t *testing.T) {
 	s := NewStore()
 	chain := buildChain(s, 5)
-	orphan := s.Create(ClassDocument, 99, 0)
+	orphan := mustCreate(t, s, ClassDocument, 99, 0)
 
 	live := s.Reachable()
 	if len(live) != 5 {
@@ -162,8 +174,8 @@ func TestReachable(t *testing.T) {
 
 func TestReachableHandlesCycles(t *testing.T) {
 	s := NewStore()
-	a := s.Create(ClassAtomicPart, 10, 1)
-	b := s.Create(ClassAtomicPart, 10, 1)
+	a := mustCreate(t, s, ClassAtomicPart, 10, 1)
+	b := mustCreate(t, s, ClassAtomicPart, 10, 1)
 	if _, err := s.SetSlot(a.OID, 0, b.OID); err != nil {
 		t.Fatal(err)
 	}
@@ -188,9 +200,9 @@ func TestReachableHandlesCycles(t *testing.T) {
 
 func TestInDegrees(t *testing.T) {
 	s := NewStore()
-	a := s.Create(ClassAtomicPart, 10, 2)
-	b := s.Create(ClassAtomicPart, 10, 2)
-	c := s.Create(ClassAtomicPart, 10, 0)
+	a := mustCreate(t, s, ClassAtomicPart, 10, 2)
+	b := mustCreate(t, s, ClassAtomicPart, 10, 2)
+	c := mustCreate(t, s, ClassAtomicPart, 10, 0)
 	for _, e := range [][3]interface{}{{a.OID, 0, b.OID}, {a.OID, 1, c.OID}, {b.OID, 0, c.OID}} {
 		if _, err := s.SetSlot(e[0].(OID), e[1].(int), e[2].(OID)); err != nil {
 			t.Fatal(err)
@@ -204,9 +216,9 @@ func TestInDegrees(t *testing.T) {
 
 func TestStatsAndAverage(t *testing.T) {
 	s := NewStore()
-	s.Create(ClassAtomicPart, 100, 0)
-	s.Create(ClassAtomicPart, 200, 0)
-	s.Create(ClassDocument, 300, 0)
+	mustCreate(t, s, ClassAtomicPart, 100, 0)
+	mustCreate(t, s, ClassAtomicPart, 200, 0)
+	mustCreate(t, s, ClassDocument, 300, 0)
 	st := s.Stats()
 	if st.Objects != 3 || st.TotalBytes != 600 {
 		t.Errorf("Stats = %+v", st)
@@ -225,7 +237,7 @@ func TestStatsAndAverage(t *testing.T) {
 func TestForEachDeterministicOrder(t *testing.T) {
 	s := NewStore()
 	for i := 0; i < 50; i++ {
-		s.Create(ClassConnection, 1, 0)
+		mustCreate(t, s, ClassConnection, 1, 0)
 	}
 	var prev OID
 	s.ForEach(func(o *Object) {
@@ -238,8 +250,8 @@ func TestForEachDeterministicOrder(t *testing.T) {
 
 func TestClone(t *testing.T) {
 	s := NewStore()
-	a := s.Create(ClassAtomicPart, 10, 2)
-	b := s.Create(ClassAtomicPart, 10, 0)
+	a := mustCreate(t, s, ClassAtomicPart, 10, 2)
+	b := mustCreate(t, s, ClassAtomicPart, 10, 0)
 	if _, err := s.SetSlot(a.OID, 0, b.OID); err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +268,10 @@ func randomStore(seed int64, n int) *Store {
 	s := NewStore()
 	oids := make([]OID, 0, n)
 	for i := 0; i < n; i++ {
-		o := s.Create(ClassAtomicPart, 1+rng.Intn(100), rng.Intn(4))
+		o, err := s.Create(ClassAtomicPart, 1+rng.Intn(100), rng.Intn(4))
+		if err != nil {
+			panic(err)
+		}
 		oids = append(oids, o.OID)
 	}
 	for _, oid := range oids {

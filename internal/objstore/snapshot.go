@@ -1,0 +1,63 @@
+package objstore
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ObjectState is one object's checkpointable image.
+type ObjectState struct {
+	OID   OID
+	Class Class
+	Size  int
+	Slots []OID
+}
+
+// StoreSnapshot is a checkpointable image of a Store, with objects and roots
+// in ascending OID order so the encoded form is deterministic.
+type StoreSnapshot struct {
+	Objects []ObjectState
+	Roots   []OID
+	NextOID OID
+}
+
+// Snapshot captures the full object table and root set for checkpointing.
+func (s *Store) Snapshot() *StoreSnapshot {
+	st := &StoreSnapshot{NextOID: s.nextOID}
+	st.Objects = make([]ObjectState, 0, len(s.objects))
+	for _, o := range s.objects {
+		st.Objects = append(st.Objects, ObjectState{
+			OID:   o.OID,
+			Class: o.Class,
+			Size:  o.Size,
+			Slots: append([]OID(nil), o.Slots...),
+		})
+	}
+	sort.Slice(st.Objects, func(i, j int) bool { return st.Objects[i].OID < st.Objects[j].OID })
+	st.Roots = s.Roots()
+	return st
+}
+
+// RestoreStore rebuilds a Store from a snapshot, validating it first.
+func RestoreStore(st *StoreSnapshot) (*Store, error) {
+	if st == nil {
+		return nil, fmt.Errorf("objstore: nil store snapshot")
+	}
+	s := NewStore()
+	for _, os := range st.Objects {
+		if _, err := s.CreateWithOID(os.OID, os.Class, os.Size, len(os.Slots)); err != nil {
+			return nil, err
+		}
+		copy(s.objects[os.OID].Slots, os.Slots)
+	}
+	for _, r := range st.Roots {
+		if err := s.AddRoot(r); err != nil {
+			return nil, err
+		}
+	}
+	if st.NextOID < s.nextOID {
+		return nil, fmt.Errorf("objstore: snapshot NextOID %v below highest object OID", st.NextOID)
+	}
+	s.nextOID = st.NextOID
+	return s, nil
+}

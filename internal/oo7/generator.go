@@ -132,7 +132,10 @@ func (g *Generator) emitPhase(label string) {
 }
 
 func (g *Generator) create(class objstore.Class, size, nslots int) objstore.OID {
-	o := g.st.Create(class, size, nslots)
+	o, err := g.st.Create(class, size, nslots)
+	if err != nil {
+		panic(err) // generator bug: sizes and slot counts are generator-computed
+	}
 	g.tr.Append(trace.Event{
 		Kind: trace.KindCreate, OID: o.OID, Class: class, Size: size, Slots: nslots,
 	})

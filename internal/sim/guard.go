@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+)
+
+// ErrTimeout is returned (wrapped) by RunGuarded when the watchdog fires.
+var ErrTimeout = errors.New("sim: watchdog timeout")
+
+// RunGuarded replays events like RunStream but inside a crash barrier: a
+// panic anywhere in the simulation becomes an error with the stack attached,
+// and a run exceeding the timeout returns ErrTimeout instead of hanging the
+// caller. This is the entry point chaos tests and batch harnesses use — no
+// fault profile, however hostile, can take down the process through it.
+//
+// On timeout the simulation goroutine is abandoned (Go cannot kill it); the
+// Simulator must be discarded. A timeout of zero disables the watchdog.
+func (s *Simulator) RunGuarded(src EventSource, timeout time.Duration) (*Result, error) {
+	type outcome struct {
+		res *Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- outcome{err: fmt.Errorf("sim: panic during guarded run: %v\n%s", r, debug.Stack())}
+			}
+		}()
+		res, err := s.RunStream(src)
+		ch <- outcome{res: res, err: err}
+	}()
+
+	if timeout <= 0 {
+		o := <-ch
+		return o.res, o.err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-timer.C:
+		return nil, fmt.Errorf("sim: run exceeded %v: %w", timeout, ErrTimeout)
+	}
+}

@@ -1,16 +1,52 @@
 package sim
 
 import (
+	"encoding/gob"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 
 	"odbgc/internal/core"
+	"odbgc/internal/fault"
 	"odbgc/internal/gc"
 	"odbgc/internal/metrics"
 	"odbgc/internal/oo7"
 	"odbgc/internal/storage"
 	"odbgc/internal/trace"
 )
+
+// loadRunResult reads a cached per-run result; any error means "recompute".
+func loadRunResult(path string) (*Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var res Result
+	if err := gob.NewDecoder(f).Decode(&res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// saveRunResult writes a per-run result atomically (temp file + rename) so
+// an interrupted batch never leaves a torn cache entry behind.
+func saveRunResult(path string, res *Result) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".run-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := gob.NewEncoder(tmp).Encode(res); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
 
 // RunnerConfig describes a multi-seed experiment: the same policy
 // configuration replayed over several independently generated traces, as in
@@ -30,6 +66,17 @@ type RunnerConfig struct {
 	Storage storage.Config
 	// PreambleCollections as in Config.
 	PreambleCollections int
+	// FaultProfile, when it carries storage-fault rates, runs every
+	// simulation under fault injection; run i is seeded with FaultSeed+i so
+	// each run sees an independent but reproducible fault schedule.
+	FaultProfile fault.Profile
+	FaultSeed    int64
+	// CheckpointDir, when set, makes the batch crash-safe at run
+	// granularity: each completed run's Result is written to
+	// CheckpointDir/run-NNN.gob (atomically), and a rerun of the same batch
+	// loads those instead of recomputing. Delete the directory to force a
+	// full rerun.
+	CheckpointDir string
 }
 
 // MultiResult aggregates per-run summaries.
@@ -57,6 +104,12 @@ func RunMany(cfg RunnerConfig) (*MultiResult, error) {
 		return nil, fmt.Errorf("sim: RunMany requires MakePolicy")
 	}
 
+	if cfg.CheckpointDir != "" {
+		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("sim: creating checkpoint dir: %w", err)
+		}
+	}
+
 	results := make([]*Result, len(cfg.Traces))
 	errs := make([]error, len(cfg.Traces))
 	var wg sync.WaitGroup
@@ -64,6 +117,14 @@ func RunMany(cfg RunnerConfig) (*MultiResult, error) {
 		wg.Add(1)
 		go func(i int, tr *trace.Trace) {
 			defer wg.Done()
+			runPath := ""
+			if cfg.CheckpointDir != "" {
+				runPath = filepath.Join(cfg.CheckpointDir, fmt.Sprintf("run-%03d.gob", i))
+				if res, err := loadRunResult(runPath); err == nil {
+					results[i] = res
+					return
+				}
+			}
 			policy, err := cfg.MakePolicy(i)
 			if err != nil {
 				errs[i] = fmt.Errorf("sim: building policy for run %d: %w", i, err)
@@ -82,6 +143,8 @@ func RunMany(cfg RunnerConfig) (*MultiResult, error) {
 				Policy:              policy,
 				Selection:           sel,
 				PreambleCollections: cfg.PreambleCollections,
+				FaultProfile:        cfg.FaultProfile,
+				FaultSeed:           cfg.FaultSeed + int64(i),
 			})
 			if err != nil {
 				errs[i] = err
@@ -91,6 +154,12 @@ func RunMany(cfg RunnerConfig) (*MultiResult, error) {
 			if err != nil {
 				errs[i] = fmt.Errorf("sim: run %d: %w", i, err)
 				return
+			}
+			if runPath != "" {
+				if err := saveRunResult(runPath, res); err != nil {
+					errs[i] = fmt.Errorf("sim: checkpointing run %d: %w", i, err)
+					return
+				}
 			}
 			results[i] = res
 		}(i, tr)

@@ -15,6 +15,7 @@ import (
 	"io"
 
 	"odbgc/internal/core"
+	"odbgc/internal/fault"
 	"odbgc/internal/gc"
 	"odbgc/internal/metrics"
 	"odbgc/internal/objstore"
@@ -42,6 +43,19 @@ type Config struct {
 	// physical (direct) pointers instead of the default logical-OID
 	// indirection. Used by the fixup-cost ablation.
 	PhysicalFixups bool
+	// FaultProfile, when it carries storage-fault rates, installs a seeded
+	// fault injector on the storage manager and a bounded retry wrapper on
+	// the collector. Trace and estimator faults are wired by the caller
+	// (wrap the trace reader with fault.CorruptTrace and the estimator with
+	// fault.NewChaosEstimator) since the simulator never sees those layers'
+	// construction.
+	FaultProfile fault.Profile
+	// FaultSeed seeds the fault injector; runs with the same profile and
+	// seed replay the identical fault schedule.
+	FaultSeed int64
+	// Retry overrides the retry policy for transient storage faults; the
+	// zero value means fault.DefaultRetry.
+	Retry fault.RetryConfig
 }
 
 func (c *Config) applyDefaults() error {
@@ -160,10 +174,11 @@ type sagaDiag interface {
 
 // Simulator replays one trace. Create a fresh Simulator per run.
 type Simulator struct {
-	cfg   Config
-	store *objstore.Store
-	disk  *storage.Manager
-	heap  *gc.Heap
+	cfg      Config
+	store    *objstore.Store
+	disk     *storage.Manager
+	heap     *gc.Heap
+	injector *fault.Injector // nil unless the profile injects storage faults
 
 	curPhase    string
 	collectSafe bool
@@ -195,7 +210,7 @@ func New(cfg Config) (*Simulator, error) {
 	}
 	heap := gc.NewHeap(store, disk)
 	heap.SetPhysicalFixups(cfg.PhysicalFixups)
-	return &Simulator{
+	s := &Simulator{
 		cfg:         cfg,
 		store:       store,
 		disk:        disk,
@@ -205,8 +220,18 @@ func New(cfg Config) (*Simulator, error) {
 			PolicyName:    cfg.Policy.Name(),
 			SelectionName: cfg.Selection.Name(),
 		},
-	}, nil
+	}
+	if cfg.FaultProfile.Storage() {
+		s.injector = fault.NewInjector(cfg.FaultProfile, cfg.FaultSeed)
+		disk.SetFaultInjector(s.injector)
+		heap.SetRetry(cfg.Retry.Do)
+	}
+	return s, nil
 }
+
+// Injector returns the storage fault injector, or nil when the run has no
+// storage faults configured.
+func (s *Simulator) Injector() *fault.Injector { return s.injector }
 
 // Heap exposes the simulator's heap for inspection in tests.
 func (s *Simulator) Heap() *gc.Heap { return s.heap }

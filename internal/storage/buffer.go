@@ -1,6 +1,9 @@
 package storage
 
-import "container/list"
+import (
+	"container/list"
+	"fmt"
+)
 
 // BufferPool is a page-granular LRU cache. It tracks residency and dirty
 // state only; page contents live in the logical object store. The pool is
@@ -26,15 +29,15 @@ type PinResult struct {
 }
 
 // NewBufferPool returns an LRU pool holding up to capacity pages.
-func NewBufferPool(capacity int) *BufferPool {
+func NewBufferPool(capacity int) (*BufferPool, error) {
 	if capacity <= 0 {
-		panic("storage: buffer capacity must be positive")
+		return nil, fmt.Errorf("storage: buffer capacity %d must be positive", capacity)
 	}
 	return &BufferPool{
 		capacity: capacity,
 		lru:      list.New(),
 		frames:   make(map[PageID]*list.Element, capacity),
-	}
+	}, nil
 }
 
 // Capacity returns the pool capacity in pages.
@@ -121,6 +124,40 @@ func (b *BufferPool) DirtyPages() []PageID {
 		}
 	}
 	return out
+}
+
+// FrameState records one buffered page for checkpointing.
+type FrameState struct {
+	Page  PageID
+	Dirty bool
+}
+
+// Snapshot captures the resident pages in LRU order (oldest first) with
+// their dirty bits, for checkpointing.
+func (b *BufferPool) Snapshot() []FrameState {
+	out := make([]FrameState, 0, b.lru.Len())
+	for el := b.lru.Back(); el != nil; el = el.Prev() {
+		f := el.Value.(*frame)
+		out = append(out, FrameState{Page: f.page, Dirty: f.dirty})
+	}
+	return out
+}
+
+// Restore replaces the pool contents with a snapshot taken by Snapshot.
+// Frames are given oldest-first and must fit the capacity.
+func (b *BufferPool) Restore(frames []FrameState) error {
+	if len(frames) > b.capacity {
+		return fmt.Errorf("storage: restoring %d frames into a %d-page pool", len(frames), b.capacity)
+	}
+	b.lru.Init()
+	clear(b.frames)
+	for _, fs := range frames {
+		if _, dup := b.frames[fs.Page]; dup {
+			return fmt.Errorf("storage: duplicate page %v in buffer snapshot", fs.Page)
+		}
+		b.frames[fs.Page] = b.lru.PushFront(&frame{page: fs.Page, dirty: fs.Dirty})
+	}
+	return nil
 }
 
 // Pages returns all resident pages in LRU order (oldest first).

@@ -7,8 +7,17 @@ import (
 
 func pg(part, idx int) PageID { return PageID{Part: PartitionID(part), Index: idx} }
 
+func newPool(t *testing.T, capacity int) *BufferPool {
+	t.Helper()
+	b, err := NewBufferPool(capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
 func TestPinMissAndHit(t *testing.T) {
-	b := NewBufferPool(2)
+	b := newPool(t, 2)
 	res := b.Pin(pg(0, 0), false, false)
 	if res.Hit || !res.ReadFault || res.WroteBack {
 		t.Errorf("first pin = %+v, want miss+read", res)
@@ -23,7 +32,7 @@ func TestPinMissAndHit(t *testing.T) {
 }
 
 func TestFreshPageCostsNoRead(t *testing.T) {
-	b := NewBufferPool(2)
+	b := newPool(t, 2)
 	res := b.Pin(pg(0, 0), true, true)
 	if res.ReadFault {
 		t.Error("fresh page charged a read")
@@ -34,7 +43,7 @@ func TestFreshPageCostsNoRead(t *testing.T) {
 }
 
 func TestLRUEvictionOrder(t *testing.T) {
-	b := NewBufferPool(2)
+	b := newPool(t, 2)
 	b.Pin(pg(0, 0), false, false)
 	b.Pin(pg(0, 1), false, false)
 	b.Pin(pg(0, 0), false, false) // page 0 is now most recent
@@ -48,7 +57,7 @@ func TestLRUEvictionOrder(t *testing.T) {
 }
 
 func TestEvictionWritesBackDirty(t *testing.T) {
-	b := NewBufferPool(1)
+	b := newPool(t, 1)
 	b.Pin(pg(0, 0), true, true)
 	res := b.Pin(pg(0, 1), false, false)
 	if !res.WroteBack || res.Victim != pg(0, 0) {
@@ -62,7 +71,7 @@ func TestEvictionWritesBackDirty(t *testing.T) {
 }
 
 func TestDirtyBitSticky(t *testing.T) {
-	b := NewBufferPool(2)
+	b := newPool(t, 2)
 	b.Pin(pg(0, 0), true, true)
 	b.Pin(pg(0, 0), false, false) // a clean pin must not clear the bit
 	if !b.IsDirty(pg(0, 0)) {
@@ -71,7 +80,7 @@ func TestDirtyBitSticky(t *testing.T) {
 }
 
 func TestClean(t *testing.T) {
-	b := NewBufferPool(2)
+	b := newPool(t, 2)
 	b.Pin(pg(0, 0), true, true)
 	if !b.Clean(pg(0, 0)) {
 		t.Error("Clean on dirty page returned false")
@@ -88,7 +97,7 @@ func TestClean(t *testing.T) {
 }
 
 func TestDrop(t *testing.T) {
-	b := NewBufferPool(2)
+	b := newPool(t, 2)
 	b.Pin(pg(0, 0), true, true)
 	if !b.Drop(pg(0, 0)) {
 		t.Error("Drop on resident page returned false")
@@ -102,7 +111,7 @@ func TestDrop(t *testing.T) {
 }
 
 func TestDirtyPagesOrder(t *testing.T) {
-	b := NewBufferPool(3)
+	b := newPool(t, 3)
 	b.Pin(pg(0, 0), true, true)
 	b.Pin(pg(0, 1), false, true)
 	b.Pin(pg(0, 2), true, true)
@@ -116,20 +125,23 @@ func TestDirtyPagesOrder(t *testing.T) {
 	}
 }
 
-func TestZeroCapacityPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("NewBufferPool(0) did not panic")
-		}
-	}()
-	NewBufferPool(0)
+func TestZeroCapacityErrors(t *testing.T) {
+	if _, err := NewBufferPool(0); err == nil {
+		t.Error("NewBufferPool(0) did not error")
+	}
+	if _, err := NewBufferPool(-3); err == nil {
+		t.Error("NewBufferPool(-3) did not error")
+	}
 }
 
 // Property: residency never exceeds capacity, and a page pinned last is
 // always resident.
 func TestCapacityInvariantProperty(t *testing.T) {
 	f := func(ops []uint16) bool {
-		b := NewBufferPool(4)
+		b, err := NewBufferPool(4)
+		if err != nil {
+			return false
+		}
 		for _, op := range ops {
 			p := pg(int(op%3), int(op/3)%7)
 			b.Pin(p, op%5 == 0, op%7 == 0)

@@ -105,6 +105,17 @@ func (s IOStats) Sub(t IOStats) IOStats {
 	}
 }
 
+// FaultInjector is consulted at the entry of every physical operation the
+// Manager performs, before any state changes. Returning a non-nil error
+// aborts the operation; because nothing has mutated yet, the caller may
+// safely retry the same operation. Implementations decide transience (see
+// package fault); the Manager only propagates.
+type FaultInjector interface {
+	// BeforeOp is called with the operation's dominant direction: write for
+	// allocation, compaction, flushes, and dirtying touches; read otherwise.
+	BeforeOp(write bool) error
+}
+
 // partition is the manager's internal per-partition state.
 type partition struct {
 	id      PartitionID
@@ -134,6 +145,10 @@ type Manager struct {
 	// gcDirty tracks pages dirtied while the I/O class is IOGC, so the
 	// collector can flush exactly what it wrote at the end of a collection.
 	gcDirty map[PageID]struct{}
+
+	// fault, when non-nil, may inject an error at the entry of each physical
+	// operation (chaos testing; see package fault).
+	fault FaultInjector
 }
 
 // NewManager returns a Manager with no partitions allocated yet.
@@ -141,12 +156,28 @@ func NewManager(cfg Config) (*Manager, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	buf, err := NewBufferPool(cfg.BufferPages)
+	if err != nil {
+		return nil, err
+	}
 	return &Manager{
 		cfg:     cfg,
 		place:   make(map[objstore.OID]Placement),
-		buf:     NewBufferPool(cfg.BufferPages),
+		buf:     buf,
 		gcDirty: make(map[PageID]struct{}),
 	}, nil
+}
+
+// SetFaultInjector installs (or, with nil, removes) a fault injector. The
+// injector is consulted before each physical operation mutates any state.
+func (m *Manager) SetFaultInjector(f FaultInjector) { m.fault = f }
+
+// beforeOp consults the fault injector, if any.
+func (m *Manager) beforeOp(write bool) error {
+	if m.fault == nil {
+		return nil
+	}
+	return m.fault.BeforeOp(write)
 }
 
 // Config returns the geometry.
@@ -298,6 +329,9 @@ func (m *Manager) Allocate(oid objstore.OID, size int) (Placement, error) {
 	if _, dup := m.place[oid]; dup {
 		return Placement{}, fmt.Errorf("storage: object %v already placed", oid)
 	}
+	if err := m.beforeOp(true); err != nil {
+		return Placement{}, fmt.Errorf("storage: allocate %v: %w", oid, err)
+	}
 
 	var target *partition
 	if len(m.parts) > 0 {
@@ -345,17 +379,28 @@ func (m *Manager) Touch(oid objstore.OID, write bool) error {
 	if !ok {
 		return fmt.Errorf("storage: touch of unplaced object %v", oid)
 	}
+	if err := m.beforeOp(write); err != nil {
+		return fmt.Errorf("storage: touch %v: %w", oid, err)
+	}
 	m.pin(PageID{pl.Part, pl.Page}, write, false)
 	return nil
 }
 
 // ReadPartition faults in every used page of a partition, as the collector
-// does when scanning. Pages already buffered cost nothing.
-func (m *Manager) ReadPartition(id PartitionID) {
+// does when scanning. Pages already buffered cost nothing. An injected fault
+// aborts the scan before any page is pinned, so the call is retryable.
+func (m *Manager) ReadPartition(id PartitionID) error {
+	if int(id) < 0 || int(id) >= len(m.parts) {
+		return fmt.Errorf("storage: read of unknown partition %d", id)
+	}
+	if err := m.beforeOp(false); err != nil {
+		return fmt.Errorf("storage: scan partition %d: %w", id, err)
+	}
 	p := m.parts[id]
 	for i := 0; i < p.usedPages(m.cfg.PageSize); i++ {
 		m.pin(PageID{id, i}, false, false)
 	}
+	return nil
 }
 
 // CompactResult reports the outcome of a partition compaction.
@@ -377,6 +422,9 @@ type CompactResult struct {
 func (m *Manager) Compact(id PartitionID, live []objstore.OID, sizeOf func(objstore.OID) int) (CompactResult, error) {
 	if int(id) < 0 || int(id) >= len(m.parts) {
 		return CompactResult{}, fmt.Errorf("storage: compact of unknown partition %d", id)
+	}
+	if err := m.beforeOp(true); err != nil {
+		return CompactResult{}, fmt.Errorf("storage: compact partition %d: %w", id, err)
 	}
 	p := m.parts[id]
 	liveSet := make(map[objstore.OID]struct{}, len(live))
@@ -473,7 +521,10 @@ func layoutEnd(order []objstore.OID, sizeOf func(objstore.OID) int, pageSize int
 // still buffered and dirty, charging the writes to the collector. The
 // collector calls this at the end of a collection so its write cost is
 // attributed to it rather than to later application evictions.
-func (m *Manager) FlushGCDirty() int {
+func (m *Manager) FlushGCDirty() (int, error) {
+	if err := m.beforeOp(true); err != nil {
+		return 0, fmt.Errorf("storage: flush collector pages: %w", err)
+	}
 	pages := make([]PageID, 0, len(m.gcDirty))
 	for pg := range m.gcDirty {
 		pages = append(pages, pg)
@@ -494,12 +545,15 @@ func (m *Manager) FlushGCDirty() int {
 		delete(m.gcDirty, pg)
 	}
 	m.SetIOClass(prev)
-	return n
+	return n, nil
 }
 
 // FlushAll writes back every dirty buffered page, charging the current I/O
 // class. Used at end of simulation to account for outstanding writes.
-func (m *Manager) FlushAll() int {
+func (m *Manager) FlushAll() (int, error) {
+	if err := m.beforeOp(true); err != nil {
+		return 0, fmt.Errorf("storage: flush all: %w", err)
+	}
 	n := 0
 	for _, pg := range m.buf.DirtyPages() {
 		if m.buf.Clean(pg) {
@@ -508,7 +562,7 @@ func (m *Manager) FlushAll() int {
 		}
 		delete(m.gcDirty, pg)
 	}
-	return n
+	return n, nil
 }
 
 // BufferContents exposes the buffered page set for tests and diagnostics.

@@ -310,7 +310,9 @@ func TestReadPartitionFaultsUsedPages(t *testing.T) {
 	}
 	base := m.Stats()
 	m.SetIOClass(IOGC)
-	m.ReadPartition(0)
+	if err := m.ReadPartition(0); err != nil {
+		t.Fatal(err)
+	}
 	d := m.Stats().Sub(base)
 	// 4 used pages, at most 2 resident before: at least 2 reads, and the
 	// evictions of dirty pages charge writes.
@@ -329,7 +331,10 @@ func TestFlushGCDirty(t *testing.T) {
 		t.Fatal(err)
 	}
 	base := m.Stats()
-	n := m.FlushGCDirty()
+	n, err := m.FlushGCDirty()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if n != 1 {
 		t.Errorf("flushed %d pages, want 1", n)
 	}
@@ -337,8 +342,8 @@ func TestFlushGCDirty(t *testing.T) {
 		t.Errorf("flush charged %+v", d)
 	}
 	// Second flush is a no-op.
-	if n := m.FlushGCDirty(); n != 0 {
-		t.Errorf("second flush wrote %d pages", n)
+	if n, err := m.FlushGCDirty(); err != nil || n != 0 {
+		t.Errorf("second flush wrote %d pages (err %v)", n, err)
 	}
 }
 
@@ -350,7 +355,10 @@ func TestFlushAll(t *testing.T) {
 		}
 	}
 	base := m.Stats()
-	n := m.FlushAll()
+	n, err := m.FlushAll()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if n != 3 {
 		t.Errorf("FlushAll wrote %d pages, want 3", n)
 	}

@@ -30,6 +30,12 @@ const (
 	trailerByte   byte   = 0xFF
 )
 
+// ErrTruncated reports that a binary stream ended before its 0xFF trailer:
+// either cleanly between events or mid-event. Callers distinguish it from
+// other decode errors with errors.Is; a lenient Reader converts it into a
+// normal end of stream after yielding every complete event.
+var ErrTruncated = errors.New("trace: truncated stream (missing trailer)")
+
 // Writer streams events to an io.Writer in the binary format. Close must be
 // called to emit the trailer and flush buffered data.
 type Writer struct {
@@ -145,7 +151,20 @@ func (w *Writer) Close() error {
 type Reader struct {
 	br   *bufio.Reader
 	done bool
+
+	// Lenient, when set before reading, makes truncation non-fatal: a stream
+	// that ends without its trailer (cleanly between events or mid-event)
+	// yields the events read so far and then io.EOF instead of ErrTruncated.
+	// Truncated() reports whether that happened. Decode errors other than
+	// truncation (bad kinds, implausible lengths) remain fatal.
+	Lenient bool
+
+	truncated bool
 }
+
+// Truncated reports whether a lenient Reader hit end of stream without the
+// trailer. It is meaningful once Read has returned io.EOF.
+func (r *Reader) Truncated() bool { return r.truncated }
 
 // NewReader validates the header and returns a Reader.
 func NewReader(r io.Reader) (*Reader, error) {
@@ -176,7 +195,8 @@ func (r *Reader) Read() (Event, error) {
 	kb, err := r.br.ReadByte()
 	if err != nil {
 		if err == io.EOF {
-			return e, fmt.Errorf("trace: truncated stream (missing trailer): %w", io.ErrUnexpectedEOF)
+			// Clean event boundary, but no trailer: the stream was cut.
+			return e, r.truncation()
 		}
 		return e, err
 	}
@@ -245,12 +265,26 @@ func (r *Reader) Read() (Event, error) {
 		return e, fmt.Errorf("trace: unknown event kind byte %d", kb)
 	}
 	if err != nil {
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			// The stream ended inside an event: truncation. In lenient mode
+			// the partial event is discarded and the stream ends normally.
+			return Event{}, r.truncation()
 		}
 		return e, fmt.Errorf("trace: decoding %v event: %w", e.Kind, err)
 	}
 	return e, nil
+}
+
+// truncation converts an end-of-stream-without-trailer condition into the
+// mode-appropriate result: io.EOF when lenient, ErrTruncated otherwise.
+// Either way the Reader is finished.
+func (r *Reader) truncation() error {
+	r.done = true
+	r.truncated = true
+	if r.Lenient {
+		return io.EOF
+	}
+	return fmt.Errorf("%w: %w", ErrTruncated, io.ErrUnexpectedEOF)
 }
 
 // ReadAll decodes an entire stream into a Trace.
@@ -267,6 +301,29 @@ func ReadAll(r io.Reader) (*Trace, error) {
 		}
 		if err != nil {
 			return nil, err
+		}
+		t.Append(e)
+	}
+}
+
+// ReadAllLenient decodes a possibly-truncated stream, returning every
+// complete event read before the cut. The second result reports whether the
+// stream was in fact truncated. Errors other than truncation are returned
+// as-is.
+func ReadAllLenient(r io.Reader) (*Trace, bool, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return nil, false, err
+	}
+	tr.Lenient = true
+	t := &Trace{}
+	for {
+		e, err := tr.Read()
+		if err == io.EOF {
+			return t, tr.Truncated(), nil
+		}
+		if err != nil {
+			return nil, tr.Truncated(), err
 		}
 		t.Append(e)
 	}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"testing"
 )
@@ -24,6 +25,24 @@ func FuzzReader(f *testing.F) {
 		mutated[8] ^= 0xff
 	}
 	f.Add(mutated)
+	// Truncated headers: partial magic and magic without a version.
+	f.Add([]byte("O"))
+	f.Add([]byte("ODB"))
+	f.Add([]byte("ODBT"))
+	f.Add([]byte("ODBT\x01"))
+	// Mid-varint EOF: a create event cut inside a multi-byte varint. The
+	// OID varint 0x80 0x80 ... has continuation bits set with no terminator.
+	f.Add([]byte{'O', 'D', 'B', 'T', 0x01, 0x00, byte(KindCreate), 0x80, 0x80, 0x80})
+	// Mid-event EOF right after the kind byte.
+	f.Add([]byte{'O', 'D', 'B', 'T', 0x01, 0x00, byte(KindOverwrite)})
+	// Trailing garbage after a valid trailer.
+	f.Add(append(append([]byte(nil), valid...), 0x00, 0xde, 0xad, 0xbe, 0xef))
+	// Trailer replaced by an unknown kind byte.
+	if len(valid) > 0 {
+		noTrailer := append([]byte(nil), valid...)
+		noTrailer[len(noTrailer)-1] = 0x7e
+		f.Add(noTrailer)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := NewReader(bytes.NewReader(data))
@@ -36,6 +55,28 @@ func FuzzReader(f *testing.F) {
 				return
 			}
 			if err != nil {
+				// A lenient pass over the same bytes must terminate cleanly
+				// whenever the strict error was truncation, and must never
+				// yield more than the strict pass plus the partial event.
+				if errors.Is(err, ErrTruncated) {
+					lr, lerr := NewReader(bytes.NewReader(data))
+					if lerr != nil {
+						t.Fatalf("lenient NewReader failed after strict succeeded: %v", lerr)
+					}
+					lr.Lenient = true
+					for {
+						_, lerr = lr.Read()
+						if lerr != nil {
+							break
+						}
+					}
+					if lerr != io.EOF {
+						t.Fatalf("lenient reader on truncated input: %v, want io.EOF", lerr)
+					}
+					if !lr.Truncated() {
+						t.Fatal("lenient reader did not report truncation")
+					}
+				}
 				return
 			}
 		}

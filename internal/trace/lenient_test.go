@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestReaderErrTruncated checks that every way a stream can end without its
+// trailer surfaces as ErrTruncated, distinguishable with errors.Is.
+func TestReaderErrTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, validChain()); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{1, 2, 3, 5, len(full) / 3, len(full) / 2} {
+		r, err := NewReader(bytes.NewReader(full[:len(full)-cut]))
+		if err != nil {
+			continue // header itself truncated; NewReader already failed
+		}
+		for {
+			_, err = r.Read()
+			if err != nil {
+				break
+			}
+		}
+		if !errors.Is(err, ErrTruncated) {
+			t.Errorf("cut %d: err = %v, want ErrTruncated", cut, err)
+		}
+		if !r.Truncated() {
+			t.Errorf("cut %d: Truncated() = false after truncation error", cut)
+		}
+	}
+}
+
+// TestReaderLenientYieldsPrefix checks that a lenient reader returns every
+// complete event before the cut and then ends cleanly.
+func TestReaderLenientYieldsPrefix(t *testing.T) {
+	chain := validChain()
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, chain); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Cut at every byte position past the header; lenient decoding must
+	// never error and must yield a prefix of the original events.
+	for cut := 6; cut < len(full); cut++ {
+		got, truncated, err := ReadAllLenient(bytes.NewReader(full[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: lenient read failed: %v", cut, err)
+		}
+		if cut < len(full)-1 && !truncated {
+			t.Fatalf("cut %d: truncation not reported", cut)
+		}
+		if got.Len() > chain.Len() {
+			t.Fatalf("cut %d: lenient read invented events: %d > %d", cut, got.Len(), chain.Len())
+		}
+		for i := range got.Events {
+			if got.Events[i].String() != chain.Events[i].String() {
+				t.Fatalf("cut %d: event %d = %q, want %q",
+					cut, i, got.Events[i].String(), chain.Events[i].String())
+			}
+		}
+	}
+	// The full stream decodes without a truncation report.
+	got, truncated, err := ReadAllLenient(bytes.NewReader(full))
+	if err != nil || truncated {
+		t.Fatalf("full stream: err=%v truncated=%v", err, truncated)
+	}
+	if got.Len() != chain.Len() {
+		t.Fatalf("full stream decoded %d events, want %d", got.Len(), chain.Len())
+	}
+}
+
+// TestReaderLenientKeepsOtherErrorsFatal ensures lenient mode does not paper
+// over genuine corruption (an unknown event kind byte).
+func TestReaderLenientKeepsOtherErrorsFatal(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(&Event{Kind: KindIdle, Size: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Overwrite the trailer with a bogus kind byte followed by nothing.
+	data[len(data)-1] = 0x7E
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Lenient = true
+	if _, err := r.Read(); err != nil {
+		t.Fatalf("first event: %v", err)
+	}
+	if _, err := r.Read(); err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("bogus kind byte in lenient mode: err = %v, want fatal decode error", err)
+	}
+}
+
+// TestReaderTrailingGarbage: bytes after the trailer are ignored; the reader
+// reports clean EOF and no truncation.
+func TestReaderTrailingGarbage(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, validChain()); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("\x00\xde\xad\xbe\xef trailing garbage")
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("event %d: %v", n, err)
+		}
+		n++
+	}
+	if r.Truncated() {
+		t.Error("trailing garbage reported as truncation")
+	}
+	if n != validChain().Len() {
+		t.Errorf("decoded %d events, want %d", n, validChain().Len())
+	}
+}

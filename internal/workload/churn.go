@@ -115,15 +115,25 @@ func Churn(p ChurnParams, seed int64) (*trace.Trace, error) {
 		st:  objstore.NewStore(),
 		hot: int(float64(p.Dirs) * p.HotFraction),
 	}
-	g.build()
+	if err := g.build(); err != nil {
+		return nil, err
+	}
 	g.phase(PhaseSteady1)
-	g.steady(p.SteadyOps)
+	if err := g.steady(p.SteadyOps); err != nil {
+		return nil, err
+	}
 	g.phase(PhaseBurst)
-	g.burst(p.BurstOps)
+	if err := g.burst(p.BurstOps); err != nil {
+		return nil, err
+	}
 	g.phase(PhaseQuiet)
-	g.quiet(p.QuietReads)
+	if err := g.quiet(p.QuietReads); err != nil {
+		return nil, err
+	}
 	g.phase(PhaseSteady2)
-	g.steady(p.SteadyOps)
+	if err := g.steady(p.SteadyOps); err != nil {
+		return nil, err
+	}
 	return g.tr, nil
 }
 
@@ -135,25 +145,34 @@ func (g *churnGen) fileSize() int {
 	return g.p.FileSizeMin + g.rng.Intn(g.p.FileSizeMax-g.p.FileSizeMin+1)
 }
 
-func (g *churnGen) create(class objstore.Class, size, nslots int) objstore.OID {
-	o := g.st.Create(class, size, nslots)
+func (g *churnGen) create(class objstore.Class, size, nslots int) (objstore.OID, error) {
+	o, err := g.st.Create(class, size, nslots)
+	if err != nil {
+		return objstore.NilOID, err
+	}
 	g.tr.Append(trace.Event{Kind: trace.KindCreate, OID: o.OID, Class: class, Size: size, Slots: nslots})
-	return o.OID
+	return o.OID, nil
 }
 
-func (g *churnGen) build() {
+func (g *churnGen) build() error {
 	g.phase(PhaseBuild)
 	for d := 0; d < g.p.Dirs; d++ {
-		dir := g.create(objstore.ClassUnknown, g.p.DirBytes, g.p.FilesPerDir)
+		dir, err := g.create(objstore.ClassUnknown, g.p.DirBytes, g.p.FilesPerDir)
+		if err != nil {
+			return err
+		}
 		if err := g.st.AddRoot(dir); err != nil {
-			panic(err)
+			return err
 		}
 		g.tr.Append(trace.Event{Kind: trace.KindRoot, OID: dir, Size: 1})
 		g.dirs = append(g.dirs, dir)
 		for f := 0; f < g.p.FilesPerDir; f++ {
-			file := g.create(objstore.ClassDocument, g.fileSize(), 0)
+			file, err := g.create(objstore.ClassDocument, g.fileSize(), 0)
+			if err != nil {
+				return err
+			}
 			if _, err := g.st.SetSlot(dir, f, file); err != nil {
-				panic(err)
+				return err
 			}
 			// Wiring a fresh file into its directory is an initializing
 			// store during Build only.
@@ -162,6 +181,7 @@ func (g *churnGen) build() {
 			})
 		}
 	}
+	return nil
 }
 
 // pickDir applies the hot/cold skew.
@@ -174,20 +194,32 @@ func (g *churnGen) pickDir() objstore.OID {
 
 // replace swaps one random file of one directory: the old file becomes
 // garbage in a single overwrite (create new; point slot at it).
-func (g *churnGen) replace() {
+func (g *churnGen) replace() error {
 	dir := g.pickDir()
 	slot := g.rng.Intn(g.p.FilesPerDir)
-	oldFile := g.st.MustGet(dir).Slots[slot]
-	newFile := g.create(objstore.ClassDocument, g.fileSize(), 0)
+	d := g.st.Get(dir)
+	if d == nil {
+		return fmt.Errorf("workload: directory %v vanished", dir)
+	}
+	oldFile := d.Slots[slot]
+	newFile, err := g.create(objstore.ClassDocument, g.fileSize(), 0)
+	if err != nil {
+		return err
+	}
 	old, err := g.st.SetSlot(dir, slot, newFile)
 	if err != nil {
-		panic(err)
+		return err
 	}
 	ev := trace.Event{Kind: trace.KindOverwrite, OID: dir, Slot: slot, Old: old, New: newFile}
 	if !oldFile.IsNil() {
-		ev.Dead = []trace.DeadObject{{OID: oldFile, Size: g.st.MustGet(oldFile).Size}}
+		f := g.st.Get(oldFile)
+		if f == nil {
+			return fmt.Errorf("workload: replaced file %v vanished", oldFile)
+		}
+		ev.Dead = []trace.DeadObject{{OID: oldFile, Size: f.Size}}
 	}
 	g.tr.Append(ev)
+	return nil
 }
 
 func (g *churnGen) access(oid objstore.OID) {
@@ -195,32 +227,47 @@ func (g *churnGen) access(oid objstore.OID) {
 }
 
 // randomRead accesses a random directory and one of its live files.
-func (g *churnGen) randomRead() {
+func (g *churnGen) randomRead() error {
 	dir := g.pickDir()
 	g.access(dir)
-	slots := g.st.MustGet(dir).Slots
-	if f := slots[g.rng.Intn(len(slots))]; !f.IsNil() {
+	d := g.st.Get(dir)
+	if d == nil {
+		return fmt.Errorf("workload: directory %v vanished", dir)
+	}
+	if f := d.Slots[g.rng.Intn(len(d.Slots))]; !f.IsNil() {
 		g.access(f)
 	}
+	return nil
 }
 
-func (g *churnGen) steady(ops int) {
+func (g *churnGen) steady(ops int) error {
 	for i := 0; i < ops; i++ {
-		g.replace()
+		if err := g.replace(); err != nil {
+			return err
+		}
 		for r := 0; r < g.p.ReadsPerOp; r++ {
-			g.randomRead()
+			if err := g.randomRead(); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
-func (g *churnGen) burst(ops int) {
+func (g *churnGen) burst(ops int) error {
 	for i := 0; i < ops; i++ {
-		g.replace()
+		if err := g.replace(); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
-func (g *churnGen) quiet(reads int) {
+func (g *churnGen) quiet(reads int) error {
 	for i := 0; i < reads; i++ {
-		g.randomRead()
+		if err := g.randomRead(); err != nil {
+			return err
+		}
 	}
+	return nil
 }

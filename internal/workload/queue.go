@@ -91,9 +91,15 @@ func Queue(p QueueParams, seed int64) (*trace.Trace, error) {
 		tr:  &trace.Trace{},
 		st:  objstore.NewStore(),
 	}
-	g.fill()
-	g.slide()
-	g.drain()
+	if err := g.fill(); err != nil {
+		return nil, err
+	}
+	if err := g.slide(); err != nil {
+		return nil, err
+	}
+	if err := g.drain(); err != nil {
+		return nil, err
+	}
 	return g.tr, nil
 }
 
@@ -107,84 +113,111 @@ func (g *queueGen) entrySize() int {
 
 // appendEntry creates a new newest entry, linked from the previous newest
 // (or from the anchor when the queue is empty).
-func (g *queueGen) appendEntry() {
-	e := g.st.Create(objstore.ClassUnknown, g.entrySize(), 1)
+func (g *queueGen) appendEntry() error {
+	e, err := g.st.Create(objstore.ClassUnknown, g.entrySize(), 1)
+	if err != nil {
+		return err
+	}
 	g.tr.Append(trace.Event{Kind: trace.KindCreate, OID: e.OID, Class: e.Class, Size: e.Size, Slots: 1})
 	if n := len(g.live); n > 0 {
 		prev := g.live[n-1]
 		if _, err := g.st.SetSlot(prev, 0, e.OID); err != nil {
-			panic(err)
+			return err
 		}
 		g.tr.Append(trace.Event{Kind: trace.KindOverwrite, OID: prev, Slot: 0, New: e.OID, Init: true})
 	} else {
 		if _, err := g.st.SetSlot(g.anchor, 0, e.OID); err != nil {
-			panic(err)
+			return err
 		}
 		g.tr.Append(trace.Event{Kind: trace.KindOverwrite, OID: g.anchor, Slot: 0, New: e.OID, Init: true})
 	}
 	g.live = append(g.live, e.OID)
+	return nil
 }
 
 // trimTail repoints the anchor past the oldest entry, which becomes
 // garbage in that single overwrite (its forward pointer targets the still
 // reachable second-oldest entry, pinning nothing).
-func (g *queueGen) trimTail() {
+func (g *queueGen) trimTail() error {
 	oldest := g.live[0]
 	second := g.live[1]
 	old, err := g.st.SetSlot(g.anchor, 0, second)
 	if err != nil {
-		panic(err)
+		return err
+	}
+	o := g.st.Get(oldest)
+	if o == nil {
+		return fmt.Errorf("workload: queue entry %v vanished", oldest)
 	}
 	g.tr.Append(trace.Event{
 		Kind: trace.KindOverwrite, OID: g.anchor, Slot: 0, Old: old, New: second,
-		Dead: []trace.DeadObject{{OID: oldest, Size: g.st.MustGet(oldest).Size}},
+		Dead: []trace.DeadObject{{OID: oldest, Size: o.Size}},
 	})
 	g.live = g.live[1:]
+	return nil
 }
 
 func (g *queueGen) randomRead() {
 	g.tr.Append(trace.Event{Kind: trace.KindAccess, OID: g.live[g.rng.Intn(len(g.live))]})
 }
 
-func (g *queueGen) fill() {
+func (g *queueGen) fill() error {
 	g.phase(PhaseQueueFill)
-	a := g.st.Create(objstore.ClassModule, 64, 1)
+	a, err := g.st.Create(objstore.ClassModule, 64, 1)
+	if err != nil {
+		return err
+	}
 	g.anchor = a.OID
 	g.tr.Append(trace.Event{Kind: trace.KindCreate, OID: a.OID, Class: a.Class, Size: a.Size, Slots: 1})
 	if err := g.st.AddRoot(a.OID); err != nil {
-		panic(err)
+		return err
 	}
 	g.tr.Append(trace.Event{Kind: trace.KindRoot, OID: a.OID, Size: 1})
 	for i := 0; i < g.p.WindowEntries; i++ {
-		g.appendEntry()
+		if err := g.appendEntry(); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
-func (g *queueGen) slide() {
+func (g *queueGen) slide() error {
 	g.phase(PhaseQueueSlide)
 	for i := 0; i < g.p.Appends; i++ {
-		g.appendEntry()
-		g.trimTail()
+		if err := g.appendEntry(); err != nil {
+			return err
+		}
+		if err := g.trimTail(); err != nil {
+			return err
+		}
 		for r := 0; r < g.p.ReadsPerAppend; r++ {
 			g.randomRead()
 		}
 	}
+	return nil
 }
 
-func (g *queueGen) drain() {
+func (g *queueGen) drain() error {
 	g.phase(PhaseQueueDrain)
 	for len(g.live) > 1 {
-		g.trimTail()
+		if err := g.trimTail(); err != nil {
+			return err
+		}
 	}
 	// The final entry: sever the anchor entirely.
 	last := g.live[0]
 	old, err := g.st.SetSlot(g.anchor, 0, objstore.NilOID)
 	if err != nil {
-		panic(err)
+		return err
+	}
+	o := g.st.Get(last)
+	if o == nil {
+		return fmt.Errorf("workload: queue entry %v vanished", last)
 	}
 	g.tr.Append(trace.Event{
 		Kind: trace.KindOverwrite, OID: g.anchor, Slot: 0, Old: old, New: objstore.NilOID,
-		Dead: []trace.DeadObject{{OID: last, Size: g.st.MustGet(last).Size}},
+		Dead: []trace.DeadObject{{OID: last, Size: o.Size}},
 	})
 	g.live = nil
+	return nil
 }
