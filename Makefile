@@ -2,15 +2,21 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race race vet fuzz bench experiments examples clean
+.PHONY: all build test test-short test-race race vet lint fuzz bench experiments examples clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Repository invariants: determinism, panic-free libraries, snapshot
+# completeness (see README "Code invariants" and internal/analysis).
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/odbglint ./...
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,87 @@
+// Command odbglint is the repository's multichecker: it runs the custom
+// analyzers that enforce the simulator's reproducibility contract over the
+// module and exits nonzero on any finding.
+//
+//	go run ./cmd/odbglint ./...     # what make lint and CI run
+//	go run ./cmd/odbglint -list     # show the analyzers
+//
+// The analyzers (see internal/analysis/...):
+//
+//	detrand    unseeded randomness, wall-clock reads, env lookups in
+//	           deterministic packages
+//	maporder   map iteration order leaking into slices, output, encoders
+//	nopanic    panic / log.Fatal* / os.Exit outside package main and tests
+//	snapcover  snapshot state structs with unencoded or undecoded fields
+//
+// A genuinely intended violation is suppressed in place with
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on or directly above the offending line; suppressions without a reason
+// are themselves findings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+
+	"odbgc/internal/analysis"
+	"odbgc/internal/analysis/detrand"
+	"odbgc/internal/analysis/maporder"
+	"odbgc/internal/analysis/nopanic"
+	"odbgc/internal/analysis/snapcover"
+)
+
+var analyzers = []*analysis.Analyzer{
+	detrand.Analyzer,
+	maporder.Analyzer,
+	nopanic.Analyzer,
+	snapcover.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: odbglint [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	fset := token.NewFileSet()
+	pkgs, err := analysis.Load(fset, ".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odbglint:", err)
+		os.Exit(2)
+	}
+	findings, err := analysis.RunPackages(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odbglint:", err)
+		os.Exit(2)
+	}
+	cwd, _ := os.Getwd()
+	for _, f := range findings {
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil {
+				f.Pos.Filename = rel
+			}
+		}
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "odbglint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

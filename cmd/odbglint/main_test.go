@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestLintTreeClean runs the multichecker over the whole module exactly the
+// way `make lint` and CI do, so a lint failure anywhere reproduces locally
+// with one command: go run ./cmd/odbglint ./...
+func TestLintTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module lint run is slow")
+	}
+	root := moduleRoot(t)
+	cmd := exec.Command("go", "run", "./cmd/odbglint", "./...")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("odbglint failed on %s:\n%s", root, out)
+	}
+	if s := strings.TrimSpace(string(out)); s != "" {
+		t.Fatalf("odbglint succeeded but printed output:\n%s", s)
+	}
+}
+
+// TestListAnalyzers asserts the four contract analyzers are wired in.
+func TestListAnalyzers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("go run is slow")
+	}
+	cmd := exec.Command("go", "run", "./cmd/odbglint", "-list")
+	cmd.Dir = moduleRoot(t)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("odbglint -list: %v\n%s", err, out)
+	}
+	for _, name := range []string{"detrand", "maporder", "nopanic", "snapcover"} {
+		if !strings.Contains(string(out), name) {
+			t.Errorf("odbglint -list output is missing %q:\n%s", name, out)
+		}
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		t.Fatalf("go list -m: %v", err)
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -1,0 +1,137 @@
+// Package detrand forbids nondeterministic inputs — unseeded global
+// randomness, wall-clock reads, environment-driven behavior — inside the
+// packages whose output the simulator promises to reproduce bit for bit.
+//
+// The trace-driven simulation is only replayable (and PR 1's checkpoint
+// resume only bit-identical) because every random choice flows from a seed
+// threaded through a constructor and nothing consults the clock or the
+// process environment. detrand turns that convention into a build-time
+// error: inside the deterministic packages, calls to the global math/rand
+// functions, to time.Now and friends, and to os.Getenv-style lookups are
+// findings. Seeded *rand.Rand construction (rand.New, rand.NewSource,
+// rand.NewZipf) stays legal.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"odbgc/internal/analysis"
+)
+
+// Analyzer is the detrand check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc:  "forbid unseeded randomness, wall-clock reads, and env lookups in deterministic packages",
+	Run:  run,
+}
+
+// DeterministicDirs names the package directories (relative to the module
+// root) that must stay deterministic. A package is covered when one of
+// these appears as a complete path-segment run inside its import path.
+var DeterministicDirs = []string{
+	"internal/core",
+	"internal/gc",
+	"internal/sim",
+	"internal/oo7",
+	"internal/trace",
+	"internal/workload",
+	"internal/fault",
+	"internal/objstore",
+	"internal/storage",
+}
+
+// covered reports whether pkgPath is one of the deterministic packages or a
+// subpackage of one.
+func covered(pkgPath string) bool {
+	for _, d := range DeterministicDirs {
+		if pkgPath == d ||
+			strings.HasSuffix(pkgPath, "/"+d) ||
+			strings.HasPrefix(pkgPath, d+"/") ||
+			strings.Contains(pkgPath, "/"+d+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// randConstructors are the math/rand and math/rand/v2 functions that build
+// seeded generators; everything else at package level draws from the shared
+// unseeded source.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// timeForbidden are the time functions that read or depend on the wall
+// clock. Pure conversions and constants (time.Duration, time.Millisecond)
+// remain fine.
+var timeForbidden = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// osForbidden are the os functions that read the process environment.
+var osForbidden = map[string]bool{
+	"Getenv":    true,
+	"LookupEnv": true,
+	"Environ":   true,
+	"ExpandEnv": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !covered(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			switch pkgName.Imported().Path() {
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[name] {
+					pass.Reportf(call.Pos(),
+						"call to global %s.%s in deterministic package; use a seeded *rand.Rand threaded through the constructor", pkgName.Imported().Name(), name)
+				}
+			case "time":
+				if timeForbidden[name] {
+					pass.Reportf(call.Pos(),
+						"time.%s reads the wall clock in a deterministic package; simulated time must come from the trace", name)
+				}
+			case "os":
+				if osForbidden[name] {
+					pass.Reportf(call.Pos(),
+						"os.%s makes behavior depend on the environment in a deterministic package; pass configuration explicitly", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

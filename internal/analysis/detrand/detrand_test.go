@@ -1,0 +1,20 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"odbgc/internal/analysis/analysistest"
+	"odbgc/internal/analysis/detrand"
+)
+
+func TestDeterministicPackage(t *testing.T) {
+	analysistest.Run(t, "testdata/src/detpkg", detrand.Analyzer, "example.com/internal/sim")
+}
+
+func TestSubpackageOfDeterministicPackage(t *testing.T) {
+	analysistest.Run(t, "testdata/src/detpkg", detrand.Analyzer, "example.com/internal/gc/regional")
+}
+
+func TestUncoveredPackage(t *testing.T) {
+	analysistest.Run(t, "testdata/src/freepkg", detrand.Analyzer, "example.com/internal/plot")
+}

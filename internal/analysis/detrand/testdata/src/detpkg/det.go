@@ -1,0 +1,28 @@
+// Package detpkg is a detrand fixture posing as a deterministic package.
+package detpkg
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func bad() {
+	_ = rand.Intn(10)            // want "call to global rand.Intn in deterministic package"
+	_ = rand.Float64()           // want "call to global rand.Float64 in deterministic package"
+	_ = time.Now()               // want "time.Now reads the wall clock"
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+	_ = os.Getenv("ODBGC_MODE")  // want "os.Getenv makes behavior depend on the environment"
+}
+
+func good(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	d := 5 * time.Millisecond
+	_ = d
+	return rng.Intn(10)
+}
+
+func allowed() {
+	t := time.NewTimer(time.Second) //lint:allow detrand watchdog timer measures real wall-clock time
+	t.Stop()
+}

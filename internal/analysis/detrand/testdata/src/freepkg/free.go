@@ -1,0 +1,15 @@
+// Package freepkg is a detrand fixture for a package outside the
+// deterministic set: the same calls draw no findings here.
+package freepkg
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func unconstrained() {
+	_ = rand.Intn(10)
+	_ = time.Now()
+	_ = os.Getenv("ODBGC_MODE")
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"odbgc/internal/analysis/analysistest"
+	"odbgc/internal/analysis/maporder"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, "testdata/src/fixture", maporder.Analyzer, "example.com/maporder/fixture")
+}

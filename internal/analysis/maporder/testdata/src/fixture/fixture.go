@@ -1,0 +1,85 @@
+// Package fixture exercises maporder: order leaks are flagged, the
+// collect-then-sort idiom and commutative accumulation are not.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func leakAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys inside range over map without a later sort"
+	}
+	return keys
+}
+
+func sortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func helperSorted(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(v []int) { sort.Ints(v) }
+
+func leakPrint(m map[string]int, b *strings.Builder) {
+	for k := range m {
+		fmt.Fprintf(b, "%s\n", k) // want "fmt.Fprintf inside range over map writes in nondeterministic order"
+	}
+}
+
+func leakWrite(m map[string]int, b *strings.Builder) {
+	for k := range m {
+		b.WriteString(k) // want "WriteString inside range over map emits in nondeterministic order"
+	}
+}
+
+func leakConcat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want "string concatenation inside range over map"
+	}
+	return s
+}
+
+func commutativeSum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func mapToMap(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+func overSlice(vs []string, b *strings.Builder) {
+	for _, v := range vs {
+		b.WriteString(v)
+	}
+}
+
+func allowed(m map[string]bool, b *strings.Builder) {
+	for k := range m {
+		b.WriteString(k) //lint:allow maporder debug dump, ordering is irrelevant here
+	}
+}

@@ -1,0 +1,80 @@
+// Package nopanic forbids panic, log.Fatal*, and os.Exit in library
+// packages, completing the panic-free-boundary work of the fault-injection
+// PR as an enforced rule: a hostile trace, a corrupted checkpoint, or a
+// simulated storage fault must surface as an error the caller can handle,
+// never as a process abort from deep inside a library.
+//
+// Commands (any package main — cmd/..., examples/...) and _test.go files
+// are exempt: a binary's top level is exactly where errors become exits.
+package nopanic
+
+import (
+	"go/ast"
+	"go/types"
+
+	"odbgc/internal/analysis"
+)
+
+// Analyzer is the nopanic check.
+var Analyzer = &analysis.Analyzer{
+	Name: "nopanic",
+	Doc:  "forbid panic, log.Fatal*, and os.Exit outside package main and tests",
+	Run:  run,
+}
+
+var logFatal = map[string]bool{
+	"Fatal":   true,
+	"Fatalf":  true,
+	"Fatalln": true,
+	"Panic":   true,
+	"Panicf":  true,
+	"Panicln": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name != "panic" {
+					return true
+				}
+				if _, isBuiltin := pass.TypesInfo.Uses[fun].(*types.Builtin); isBuiltin {
+					pass.Reportf(call.Pos(),
+						"panic in library package; return an error through the existing error-propagating signatures")
+				}
+			case *ast.SelectorExpr:
+				ident, ok := fun.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+				if !ok {
+					return true
+				}
+				name := fun.Sel.Name
+				switch pkgName.Imported().Path() {
+				case "log":
+					if logFatal[name] {
+						pass.Reportf(call.Pos(),
+							"log.%s aborts the process from a library package; return an error instead", name)
+					}
+				case "os":
+					if name == "Exit" {
+						pass.Reportf(call.Pos(),
+							"os.Exit in library package; only package main may choose the process exit code")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

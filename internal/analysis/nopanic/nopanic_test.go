@@ -1,0 +1,16 @@
+package nopanic_test
+
+import (
+	"testing"
+
+	"odbgc/internal/analysis/analysistest"
+	"odbgc/internal/analysis/nopanic"
+)
+
+func TestLibraryPackage(t *testing.T) {
+	analysistest.Run(t, "testdata/src/libpkg", nopanic.Analyzer, "example.com/internal/foo")
+}
+
+func TestMainPackageExempt(t *testing.T) {
+	analysistest.Run(t, "testdata/src/mainpkg", nopanic.Analyzer, "example.com/cmd/mainpkg")
+}

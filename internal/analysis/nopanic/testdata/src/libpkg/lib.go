@@ -1,0 +1,29 @@
+// Package libpkg is a nopanic fixture: a library package where aborting
+// the process is a finding.
+package libpkg
+
+import (
+	"errors"
+	"log"
+	"os"
+)
+
+func doPanic() {
+	panic("boom") // want "panic in library package"
+}
+
+func doFatal() {
+	log.Fatalf("bad state %d", 1) // want "log.Fatalf aborts the process from a library package"
+}
+
+func doExit() {
+	os.Exit(1) // want "os.Exit in library package"
+}
+
+func propagates() error {
+	return errors.New("handled by the caller")
+}
+
+func allowed() {
+	panic("unreachable") //lint:allow nopanic guarded by Params.Validate, cannot fire
+}

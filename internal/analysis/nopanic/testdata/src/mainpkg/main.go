@@ -1,0 +1,17 @@
+// Command mainpkg is a nopanic fixture: package main may abort freely.
+package main
+
+import (
+	"log"
+	"os"
+)
+
+func main() {
+	if len(os.Args) > 2 {
+		log.Fatal("usage: mainpkg [arg]")
+	}
+	if len(os.Args) > 1 {
+		os.Exit(2)
+	}
+	panic("top level may panic")
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"sort"
+)
+
+// RunPackage applies the analyzers to one loaded package, filters the
+// results through the package's //lint:allow comments, and returns the
+// surviving findings sorted by position. Malformed allow comments are
+// themselves findings, so a suppression can never silently rot.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	fset := pkg.Fset
+	sup := CollectSuppressions(fset, pkg.Files, known)
+
+	var out []Finding
+	out = append(out, sup.Malformed()...)
+	for _, a := range analyzers {
+		var diags []Diagnostic
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, err
+		}
+		for _, d := range diags {
+			pos := fset.Position(d.Pos)
+			if sup.Allowed(a.Name, pos) {
+				continue
+			}
+			out = append(out, Finding{Pos: pos, Analyzer: a.Name, Message: d.Message})
+		}
+	}
+	sortFindings(out)
+	return out, nil
+}
+
+// RunPackages applies the analyzers to every package and concatenates the
+// findings in deterministic order.
+func RunPackages(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range pkgs {
+		fs, err := RunPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fs...)
+	}
+	sortFindings(out)
+	return out, nil
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

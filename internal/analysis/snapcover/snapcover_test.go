@@ -1,0 +1,12 @@
+package snapcover_test
+
+import (
+	"testing"
+
+	"odbgc/internal/analysis/analysistest"
+	"odbgc/internal/analysis/snapcover"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, "testdata/src/fixture", snapcover.Analyzer, "example.com/snapcover/fixture")
+}

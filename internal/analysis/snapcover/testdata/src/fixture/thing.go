@@ -1,0 +1,11 @@
+package fixture
+
+// Thing is the live object; it is declared outside snapshot.go, so its own
+// fields are not subject to the coverage check.
+type Thing struct {
+	a       int
+	b       []byte
+	kept    int
+	dropped int
+	ignored int
+}

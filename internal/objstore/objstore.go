@@ -165,17 +165,6 @@ func (s *Store) Get(oid OID) *Object {
 	return s.objects[oid]
 }
 
-// MustGet returns the object with the given OID and panics if it is absent.
-// Use in simulator code paths where a missing object indicates a corrupted
-// trace rather than a recoverable condition.
-func (s *Store) MustGet(oid OID) *Object {
-	o := s.objects[oid]
-	if o == nil {
-		panic(fmt.Sprintf("objstore: no object %v", oid))
-	}
-	return o
-}
-
 // Remove deletes an object from the table (after it has been reclaimed by
 // the collector). Removing an absent OID is an error; reclaiming the same
 // object twice indicates a collector bug.
@@ -260,7 +249,9 @@ func (s *Store) ForEach(fn func(*Object)) {
 func (s *Store) Reachable() map[OID]struct{} {
 	seen := make(map[OID]struct{}, len(s.objects))
 	var queue []OID
-	for oid := range s.roots {
+	// Seed from the sorted root list so the traversal order — and therefore
+	// any caller that iterates the queue's side effects — is deterministic.
+	for _, oid := range s.Roots() {
 		if _, ok := seen[oid]; !ok {
 			seen[oid] = struct{}{}
 			queue = append(queue, oid)

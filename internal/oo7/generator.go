@@ -48,6 +48,13 @@ type Generator struct {
 
 	modules []*moduleState
 	built   map[string]bool // phases already generated
+
+	// err records the first internal-consistency failure (a store refusing
+	// an operation the generator believed legal, bookkeeping out of sync).
+	// Once set, the emission helpers become no-ops and the phase method in
+	// progress returns the error; the trace generated so far must be
+	// discarded.
+	err error
 }
 
 type moduleState struct {
@@ -99,6 +106,41 @@ func (g *Generator) Store() *objstore.Store { return g.st }
 // Params returns the generator's parameters.
 func (g *Generator) Params() Params { return g.p }
 
+// Err returns the first internal-consistency error the generator hit, or
+// nil. Every phase method also returns it, so callers that check phase
+// errors never need Err directly.
+func (g *Generator) Err() error { return g.err }
+
+// setErr records the first failure; later calls keep the original.
+func (g *Generator) setErr(err error) {
+	if g.err == nil && err != nil {
+		g.err = err
+	}
+}
+
+// obj returns the generator's mirror object for oid. A missing object is a
+// generator bug: the error is recorded and an empty object returned so the
+// caller proceeds harmlessly until the phase method surfaces the error.
+func (g *Generator) obj(oid objstore.OID) *objstore.Object {
+	if o := g.st.Get(oid); o != nil {
+		return o
+	}
+	g.setErr(fmt.Errorf("oo7: no object %v in generator mirror", oid))
+	return &objstore.Object{}
+}
+
+// slot returns slot i of oid's mirror object, recording an error and
+// returning NilOID when the object or slot is missing. Traversal loops stop
+// naturally on NilOID, so a recorded error unwinds without further damage.
+func (g *Generator) slot(oid objstore.OID, i int) objstore.OID {
+	o := g.obj(oid)
+	if i < 0 || i >= len(o.Slots) {
+		g.setErr(fmt.Errorf("oo7: object %v has no slot %d", oid, i))
+		return objstore.NilOID
+	}
+	return o.Slots[i]
+}
+
 // FullTrace runs all four phases and returns the trace.
 func FullTrace(p Params, seed int64) (*trace.Trace, error) {
 	g, err := NewGenerator(p, seed)
@@ -132,9 +174,14 @@ func (g *Generator) emitPhase(label string) {
 }
 
 func (g *Generator) create(class objstore.Class, size, nslots int) objstore.OID {
+	if g.err != nil {
+		return objstore.NilOID
+	}
 	o, err := g.st.Create(class, size, nslots)
 	if err != nil {
-		panic(err) // generator bug: sizes and slot counts are generator-computed
+		// Generator bug: sizes and slot counts are generator-computed.
+		g.setErr(err)
+		return objstore.NilOID
 	}
 	g.tr.Append(trace.Event{
 		Kind: trace.KindCreate, OID: o.OID, Class: class, Size: size, Slots: nslots,
@@ -143,16 +190,27 @@ func (g *Generator) create(class objstore.Class, size, nslots int) objstore.OID 
 }
 
 func (g *Generator) access(oid objstore.OID) {
+	if g.err != nil {
+		return
+	}
 	g.tr.Append(trace.Event{Kind: trace.KindAccess, OID: oid})
 }
 
 func (g *Generator) update(oid objstore.OID) {
+	if g.err != nil {
+		return
+	}
 	g.tr.Append(trace.Event{Kind: trace.KindUpdate, OID: oid})
 }
 
 func (g *Generator) addRoot(oid objstore.OID) {
+	if g.err != nil {
+		return
+	}
 	if err := g.st.AddRoot(oid); err != nil {
-		panic(err) // generator bug: rooting an object it did not create
+		// Generator bug: rooting an object it did not create.
+		g.setErr(err)
+		return
 	}
 	g.tr.Append(trace.Event{Kind: trace.KindRoot, OID: oid, Size: 1})
 }
@@ -160,12 +218,17 @@ func (g *Generator) addRoot(oid objstore.OID) {
 // initStore wires a slot during construction of new structure. The old
 // value must be nil and no garbage can result.
 func (g *Generator) initStore(src objstore.OID, slot int, dst objstore.OID) {
+	if g.err != nil {
+		return
+	}
 	old, err := g.st.SetSlot(src, slot, dst)
 	if err != nil {
-		panic(err)
+		g.setErr(err)
+		return
 	}
 	if !old.IsNil() {
-		panic(fmt.Sprintf("oo7: init store over non-nil slot %v[%d]", src, slot))
+		g.setErr(fmt.Errorf("oo7: init store over non-nil slot %v[%d]", src, slot))
+		return
 	}
 	g.tr.Append(trace.Event{
 		Kind: trace.KindOverwrite, OID: src, Slot: slot, Old: objstore.NilOID, New: dst, Init: true,
@@ -177,9 +240,13 @@ func (g *Generator) initStore(src objstore.OID, slot int, dst objstore.OID) {
 // unreachable ones are computed exactly and attached as the oracle
 // annotation.
 func (g *Generator) overwrite(src objstore.OID, slot int, dst objstore.OID, scope *compositeState) {
+	if g.err != nil {
+		return
+	}
 	old, err := g.st.SetSlot(src, slot, dst)
 	if err != nil {
-		panic(err)
+		g.setErr(err)
+		return
 	}
 	e := trace.Event{Kind: trace.KindOverwrite, OID: src, Slot: slot, Old: old, New: dst}
 	if scope != nil {
@@ -196,7 +263,7 @@ func (g *Generator) scopeDead(c *compositeState) []trace.DeadObject {
 	for len(stack) > 0 {
 		oid := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, t := range g.st.MustGet(oid).Slots {
+		for _, t := range g.obj(oid).Slots {
 			if t.IsNil() {
 				continue
 			}
@@ -222,7 +289,7 @@ func (g *Generator) scopeDead(c *compositeState) []trace.DeadObject {
 	sort.Slice(deadOIDs, func(i, j int) bool { return deadOIDs[i] < deadOIDs[j] })
 	dead := make([]trace.DeadObject, len(deadOIDs))
 	for i, oid := range deadOIDs {
-		dead[i] = trace.DeadObject{OID: oid, Size: g.st.MustGet(oid).Size}
+		dead[i] = trace.DeadObject{OID: oid, Size: g.obj(oid).Size}
 		delete(c.scope, oid)
 	}
 	return dead
@@ -243,7 +310,7 @@ func (g *Generator) GenDB() error {
 	for m := 0; m < g.p.NumModules; m++ {
 		g.modules = append(g.modules, g.genModule())
 	}
-	return nil
+	return g.err
 }
 
 func (g *Generator) genModule() *moduleState {
@@ -399,8 +466,10 @@ func (g *Generator) createDocument(c *compositeState, wireHead func(objstore.OID
 }
 
 // randPartIndexExcept returns a random index of a non-vacant part slot,
-// excluding index self (no self-connections). It panics if no candidate
-// exists (Params.Validate guarantees at least two parts).
+// excluding index self (no self-connections). Params.Validate guarantees at
+// least two parts, so rejection sampling converges fast; the deterministic
+// scan afterwards only fires — and records an error — if every other slot
+// is vacant, which would be a generator bug.
 func (g *Generator) randPartIndexExcept(c *compositeState, self int) int {
 	for tries := 0; tries < 1000; tries++ {
 		i := g.rng.Intn(len(c.parts))
@@ -408,11 +477,17 @@ func (g *Generator) randPartIndexExcept(c *compositeState, self int) int {
 			return i
 		}
 	}
-	panic("oo7: no connectable atomic part found")
+	for i := range c.parts {
+		if i != self && !c.parts[i].IsNil() {
+			return i
+		}
+	}
+	g.setErr(fmt.Errorf("oo7: no connectable atomic part found"))
+	return 0
 }
 
 // randCurrentPartExcept returns a random live part OID, excluding the given
-// one.
+// one. Same convergence argument as randPartIndexExcept.
 func (g *Generator) randCurrentPartExcept(c *compositeState, self objstore.OID) objstore.OID {
 	for tries := 0; tries < 1000; tries++ {
 		i := g.rng.Intn(len(c.parts))
@@ -420,5 +495,11 @@ func (g *Generator) randCurrentPartExcept(c *compositeState, self objstore.OID) 
 			return c.parts[i]
 		}
 	}
-	panic("oo7: no connectable atomic part found")
+	for i := range c.parts {
+		if !c.parts[i].IsNil() && c.parts[i] != self {
+			return c.parts[i]
+		}
+	}
+	g.setErr(fmt.Errorf("oo7: no connectable atomic part found"))
+	return objstore.NilOID
 }

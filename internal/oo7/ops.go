@@ -41,6 +41,9 @@ const (
 
 // requireBuilt guards operations that need the database.
 func (g *Generator) requireBuilt(op string) error {
+	if g.err != nil {
+		return g.err
+	}
 	if !g.built[PhaseGenDB] {
 		return fmt.Errorf("oo7: %s requires GenDB first", op)
 	}
@@ -90,7 +93,7 @@ func (g *Generator) T2(variant T2Variant) error {
 			first = false
 		}
 	}
-	return nil
+	return g.err
 }
 
 // T6 performs the sparse traversal: the assembly hierarchy down to each
@@ -102,7 +105,7 @@ func (g *Generator) T6() error {
 	g.emitPhase("T6")
 	for _, mod := range g.modules {
 		g.access(mod.oid)
-		root := g.st.MustGet(mod.oid).Slots[1]
+		root := g.slot(mod.oid, 1)
 		stack := []objstore.OID{root}
 		visitedComp := make(map[objstore.OID]bool)
 		compByOID := make(map[objstore.OID]*compositeState, len(mod.composites))
@@ -113,8 +116,8 @@ func (g *Generator) T6() error {
 			oid := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			g.access(oid)
-			for i := len(g.st.MustGet(oid).Slots) - 1; i >= 0; i-- {
-				child := g.st.MustGet(oid).Slots[i]
+			for i := len(g.obj(oid).Slots) - 1; i >= 0; i-- {
+				child := g.obj(oid).Slots[i]
 				if child.IsNil() {
 					continue
 				}
@@ -135,7 +138,7 @@ func (g *Generator) T6() error {
 			}
 		}
 	}
-	return nil
+	return g.err
 }
 
 // Q1 performs n exact-match lookups of random atomic parts.
@@ -152,7 +155,7 @@ func (g *Generator) Q1(n int) error {
 		c := comps[g.rng.Intn(len(comps))]
 		g.access(c.parts[g.randPartIndexExcept(c, -1)])
 	}
-	return nil
+	return g.err
 }
 
 // Q4 performs n random document lookups, each touching the document and
@@ -171,7 +174,7 @@ func (g *Generator) Q4(n int) error {
 		g.access(c.doc)
 		g.access(c.oid)
 	}
-	return nil
+	return g.err
 }
 
 // Q7 scans every atomic part in the database.
@@ -187,7 +190,7 @@ func (g *Generator) Q7() error {
 			}
 		}
 	}
-	return nil
+	return g.err
 }
 
 // ScanManual reads the module manuals segment by segment (OO7's T8).
@@ -197,13 +200,13 @@ func (g *Generator) ScanManual() error {
 	}
 	g.emitPhase("T8")
 	for _, mod := range g.modules {
-		seg := g.st.MustGet(mod.oid).Slots[0]
+		seg := g.slot(mod.oid, 0)
 		for !seg.IsNil() {
 			g.access(seg)
-			seg = g.st.MustGet(seg).Slots[0]
+			seg = g.slot(seg, 0)
 		}
 	}
-	return nil
+	return g.err
 }
 
 // ReplaceComposites performs n structural replacements: a random
@@ -240,13 +243,16 @@ func (g *Generator) ReplaceComposites(n int) error {
 		mod.refs[nc] = append(mod.refs[nc], ref)
 		mod.composites = append(mod.composites, nc)
 	}
-	return nil
+	return g.err
 }
 
 // severCompositeRef overwrites one base-assembly slot referencing c to nil,
 // annotating the event with the full subtree when it was the last
 // reference, and drops fully-dead composites from the module's tracking.
 func (g *Generator) severCompositeRef(mod *moduleState, c *compositeState, ref slotRef) {
+	if g.err != nil {
+		return
+	}
 	refs := mod.refs[c]
 	kept := refs[:0]
 	for _, r := range refs {
@@ -258,10 +264,12 @@ func (g *Generator) severCompositeRef(mod *moduleState, c *compositeState, ref s
 
 	old, err := g.st.SetSlot(ref.obj, ref.slot, objstore.NilOID)
 	if err != nil {
-		panic(err)
+		g.setErr(err)
+		return
 	}
 	if old != c.oid {
-		panic(fmt.Sprintf("oo7: ref bookkeeping out of sync: slot holds %v, expected %v", old, c.oid))
+		g.setErr(fmt.Errorf("oo7: ref bookkeeping out of sync: slot holds %v, expected %v", old, c.oid))
+		return
 	}
 	ev := traceOverwrite(ref.obj, ref.slot, old, objstore.NilOID)
 	if len(kept) == 0 {
@@ -273,7 +281,7 @@ func (g *Generator) severCompositeRef(mod *moduleState, c *compositeState, ref s
 		}
 		sort.Slice(deadOIDs, func(i, j int) bool { return deadOIDs[i] < deadOIDs[j] })
 		for _, oid := range deadOIDs {
-			ev.Dead = append(ev.Dead, deadObject(oid, g.st.MustGet(oid).Size))
+			ev.Dead = append(ev.Dead, deadObject(oid, g.obj(oid).Size))
 		}
 		c.scope = map[objstore.OID]struct{}{}
 		delete(mod.refs, c)

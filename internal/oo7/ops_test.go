@@ -160,7 +160,7 @@ func TestReplaceCompositesCreatesSubtreeGarbage(t *testing.T) {
 			// The dead set must include exactly one composite part object.
 			comps := 0
 			for _, d := range e.Dead {
-				if g.Store().MustGet(d.OID).Class == objstore.ClassCompositePart {
+				if mustGet(t, g.Store(), d.OID).Class == objstore.ClassCompositePart {
 					comps++
 				}
 			}

@@ -54,7 +54,7 @@ func (g *Generator) reorg(label string, clustered bool) error {
 				g.rewire(d)
 			}
 		}
-		return nil
+		return g.err
 	}
 
 	// Declustered: process composites in batches — delete across the whole
@@ -91,7 +91,7 @@ func (g *Generator) reorg(label string, clustered bool) error {
 			g.rewire(d)
 		}
 	}
-	return nil
+	return g.err
 }
 
 // deleteHalf removes half of a composite's current atomic parts: the
@@ -144,12 +144,12 @@ func (g *Generator) deleteHalf(c *compositeState) deletion {
 	// are left in place — they die with their owner and point only at live
 	// objects, so they pin nothing.
 	for _, victim := range victimOIDs {
-		slots := g.st.MustGet(victim).Slots
+		slots := g.obj(victim).Slots
 		for s, conn := range slots {
 			if conn.IsNil() {
 				continue
 			}
-			target := g.st.MustGet(conn).Slots[0]
+			target := g.slot(conn, 0)
 			if _, dead := victimSet[target]; dead {
 				g.overwrite(victim, s, objstore.NilOID, c)
 			}
@@ -164,12 +164,12 @@ func (g *Generator) deleteHalf(c *compositeState) deletion {
 		if _, dead := victimSet[p]; dead {
 			continue
 		}
-		slots := g.st.MustGet(p).Slots
+		slots := g.obj(p).Slots
 		for s, conn := range slots {
 			if conn.IsNil() {
 				continue
 			}
-			target := g.st.MustGet(conn).Slots[0]
+			target := g.slot(conn, 0)
 			if _, dead := victimSet[target]; dead {
 				g.overwrite(p, s, objstore.NilOID, c)
 				d.rewires = append(d.rewires, connSlot{part: p, slot: s})
@@ -239,14 +239,14 @@ func (g *Generator) Traverse() error {
 			compByOID[c.oid] = c
 		}
 		// DFS over the assembly hierarchy.
-		root := g.st.MustGet(mod.oid).Slots[1]
+		root := g.slot(mod.oid, 1)
 		stack := []objstore.OID{root}
 		for len(stack) > 0 {
 			oid := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			g.access(oid)
-			for i := len(g.st.MustGet(oid).Slots) - 1; i >= 0; i-- {
-				child := g.st.MustGet(oid).Slots[i]
+			for i := len(g.obj(oid).Slots) - 1; i >= 0; i-- {
+				child := g.obj(oid).Slots[i]
 				if child.IsNil() {
 					continue
 				}
@@ -261,7 +261,7 @@ func (g *Generator) Traverse() error {
 			}
 		}
 	}
-	return nil
+	return g.err
 }
 
 func (g *Generator) traverseComposite(c *compositeState, sinceUpdate *int) {
@@ -281,12 +281,12 @@ func (g *Generator) traverseComposite(c *compositeState, sinceUpdate *int) {
 	dfs = func(p objstore.OID) {
 		visited[p] = true
 		visitPart(p)
-		for _, conn := range g.st.MustGet(p).Slots {
+		for _, conn := range g.obj(p).Slots {
 			if conn.IsNil() {
 				continue
 			}
 			g.access(conn)
-			if t := g.st.MustGet(conn).Slots[0]; !t.IsNil() && !visited[t] {
+			if t := g.slot(conn, 0); !t.IsNil() && !visited[t] {
 				dfs(t)
 			}
 		}

@@ -9,6 +9,16 @@ import (
 	"odbgc/internal/trace"
 )
 
+// mustGet fetches an object the test knows exists, failing the test if not.
+func mustGet(t *testing.T, st *objstore.Store, oid objstore.OID) *objstore.Object {
+	t.Helper()
+	o := st.Get(oid)
+	if o == nil {
+		t.Fatalf("no object %v in store", oid)
+	}
+	return o
+}
+
 func TestPhaseOrderEnforced(t *testing.T) {
 	g, err := NewGenerator(SmallPrime(3), 1)
 	if err != nil {
@@ -127,14 +137,14 @@ func structureInvariants(t *testing.T, g *Generator) {
 				if _, ok := live[part]; !ok {
 					t.Fatalf("composite %d: tracked part %v not reachable", ci, part)
 				}
-				po := st.MustGet(part)
+				po := mustGet(t, st, part)
 				conns := 0
 				for _, conn := range po.Slots {
 					if conn.IsNil() {
 						t.Fatalf("composite %d: part %v has a vacant connection slot after reorg", ci, part)
 					}
 					conns++
-					target := st.MustGet(conn).Slots[0]
+					target := mustGet(t, st, conn).Slots[0]
 					if target.IsNil() {
 						t.Fatalf("connection %v has nil target", conn)
 					}
@@ -194,7 +204,7 @@ func TestReorgConservesLiveSize(t *testing.T) {
 		live := g.Store().Reachable()
 		n := 0
 		for oid := range live {
-			n += g.Store().MustGet(oid).Size
+			n += mustGet(t, g.Store(), oid).Size
 		}
 		return n
 	}
@@ -295,7 +305,7 @@ func TestDocReplaceProbZeroAndOne(t *testing.T) {
 		for _, e := range g.Trace().Events {
 			if e.Kind == trace.KindOverwrite {
 				for _, d := range e.Dead {
-					if g.Store().MustGet(d.OID).Class == objstore.ClassDocument {
+					if mustGet(t, g.Store(), d.OID).Class == objstore.ClassDocument {
 						docs++
 					}
 				}

@@ -38,7 +38,7 @@ func (s *Simulator) RunGuarded(src EventSource, timeout time.Duration) (*Result,
 		o := <-ch
 		return o.res, o.err
 	}
-	timer := time.NewTimer(timeout)
+	timer := time.NewTimer(timeout) //lint:allow detrand the watchdog measures real wall-clock time, not simulated time
 	defer timer.Stop()
 	select {
 	case o := <-ch:
