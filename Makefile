@@ -37,8 +37,11 @@ fuzz:
 	$(GO) test -fuzz FuzzJSONReader -fuzztime 15s ./internal/trace/
 	$(GO) test -fuzz FuzzRoundTrip -fuzztime 15s ./internal/trace/
 
+# Benchmark sweep. One iteration per benchmark keeps the sweep quick; the
+# parsed JSON baseline (ns/op, allocs/op per benchmark) lands in
+# BENCH_PR3.json for mechanical diffing across PRs.
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -bench=. -benchmem -benchtime 1x . | $(GO) run ./cmd/benchjson -o BENCH_PR3.json
 
 # Full paper regeneration: every table and figure, 10 seeded runs per data
 # point, CSV series under results/.

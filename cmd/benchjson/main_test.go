@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: odbgc
+BenchmarkSimulateSAIO-8   	       3	 400123456 ns/op	 1234567 B/op	   12345 allocs/op
+BenchmarkTraceCodec-8     	      10	  50123456 ns/op
+BenchmarkSimulateSAGA     	       2	 500000000 ns/op	 2345678 B/op	   23456 allocs/op
+PASS
+ok  	odbgc	12.345s
+`
+
+func TestBenchjson(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-o", out}, strings.NewReader(sampleOutput), &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	// The bench text passes through unchanged.
+	if !strings.Contains(stdout.String(), "BenchmarkSimulateSAIO-8") {
+		t.Error("bench output not echoed")
+	}
+
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("output not JSON: %v\n%s", err, b)
+	}
+	if rep.Version != 1 || rep.Goos != "linux" || rep.Pkg != "odbgc" {
+		t.Errorf("header wrong: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	// Sorted by name, GOMAXPROCS suffix trimmed.
+	names := []string{rep.Benchmarks[0].Name, rep.Benchmarks[1].Name, rep.Benchmarks[2].Name}
+	want := []string{"BenchmarkSimulateSAGA", "BenchmarkSimulateSAIO", "BenchmarkTraceCodec"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("benchmark %d = %q, want %q", i, names[i], want[i])
+		}
+	}
+	saio := rep.Benchmarks[1]
+	if saio.Iterations != 3 || saio.NsPerOp != 400123456 || saio.AllocsPerOp != 12345 {
+		t.Errorf("SAIO values wrong: %+v", saio)
+	}
+	// TraceCodec ran without -benchmem: memory fields omitted, not zeroed in.
+	if rep.Benchmarks[2].BytesPerOp != 0 || !strings.Contains(string(b), `"ns_per_op"`) {
+		t.Errorf("codec values wrong: %+v", rep.Benchmarks[2])
+	}
+}
+
+func TestBenchjsonErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(nil, strings.NewReader(""), &stdout, &stderr); err == nil {
+		t.Error("missing -o accepted")
+	}
+	if err := run([]string{"-x", "y"}, strings.NewReader(""), &stdout, &stderr); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-o", out}, strings.NewReader("PASS\nok\n"), &stdout, &stderr); err == nil {
+		t.Error("benchmark-free input accepted")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"odbgc/internal/experiments"
 	"odbgc/internal/fault"
 	"odbgc/internal/metrics"
+	"odbgc/internal/obs"
 )
 
 func main() {
@@ -46,9 +47,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		faultPr = fs.String("fault-profile", "off", "run every batch under a fault-injection profile: "+strings.Join(fault.ProfileNames(), ", "))
 		faultSd = fs.Int64("fault-seed", 1, "base seed for fault schedules (run i of a batch uses seed+i)")
 		ckptDir = fs.String("checkpoint-dir", "", "cache completed per-run results here so interrupted sweeps resume; delete after changing parameters")
+		evDir   = fs.String("events-dir", "", "write per-run JSONL event logs under this directory (see cmd/obsdump)")
+		manDir  = fs.String("manifest-dir", "", "write a provenance manifest per experiment into this directory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *runs < 1 {
+		return fmt.Errorf("-runs must be >= 1 (got %d)", *runs)
+	}
+	if *conn < 1 {
+		return fmt.Errorf("-conn must be >= 1 (got %d)", *conn)
 	}
 
 	profile, err := fault.LookupProfile(*faultPr)
@@ -73,6 +82,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		FaultProfile:  profile,
 		FaultSeed:     *faultSd,
 		CheckpointDir: *ckptDir,
+		EventsDir:     *evDir,
 	})
 	for _, name := range names {
 		start := time.Now()
@@ -88,17 +98,51 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 
+		var csvPath string
 		if *csvdir != "" && len(rep.Series) > 0 {
 			if err := os.MkdirAll(*csvdir, 0o755); err != nil {
 				return err
 			}
-			path := filepath.Join(*csvdir, rep.ID+".csv")
+			csvPath = filepath.Join(*csvdir, rep.ID+".csv")
 			csv := metrics.CSV(rep.XName, rep.Series...)
-			if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+			if err := os.WriteFile(csvPath, []byte(csv), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "wrote %s\n\n", csvPath)
+		}
+
+		if *manDir != "" {
+			if err := os.MkdirAll(*manDir, 0o755); err != nil {
+				return err
+			}
+			m := &obs.Manifest{
+				Tool:   "experiments",
+				Config: flagKVs(fs),
+				Seed:   *seed,
+			}
+			if profile.Storage() || profile.Estimator() || profile.Trace() {
+				m.FaultSeed = *faultSd
+			}
+			if csvPath != "" {
+				if err := m.AddArtifact(csvPath); err != nil {
+					return err
+				}
+			}
+			path := filepath.Join(*manDir, name+".manifest.json")
+			if err := m.Write(path); err != nil {
 				return err
 			}
 			fmt.Fprintf(stdout, "wrote %s\n\n", path)
 		}
 	}
 	return nil
+}
+
+// flagKVs snapshots every flag's effective value for the provenance manifest.
+func flagKVs(fs *flag.FlagSet) []obs.KV {
+	m := make(map[string]string)
+	fs.VisitAll(func(f *flag.Flag) {
+		m[f.Name] = f.Value.String()
+	})
+	return obs.ConfigKVs(m)
 }

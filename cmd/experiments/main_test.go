@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"odbgc/internal/obs"
 )
 
 func TestExperimentsTable1(t *testing.T) {
@@ -46,5 +48,83 @@ func TestExperimentsUnknownName(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if err := run([]string{"-run", "fig99"}, &stdout, &stderr); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestExperimentsFlagValidation checks that out-of-range counts are rejected
+// with an error naming the flag.
+func TestExperimentsFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"runs zero", []string{"-runs", "0"}, "-runs"},
+		{"runs negative", []string{"-runs", "-2"}, "-runs"},
+		{"conn zero", []string{"-conn", "0"}, "-conn"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			err := run(c.args, &stdout, &stderr)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("args %v: error %v, want mention of %q", c.args, err, c.want)
+			}
+		})
+	}
+}
+
+// TestExperimentsEventsAndManifest runs a small sweep with -events-dir and
+// -manifest-dir and checks that per-run event logs validate and the manifest
+// digests the CSV artifact.
+func TestExperimentsEventsAndManifest(t *testing.T) {
+	evDir := t.TempDir()
+	manDir := t.TempDir()
+	csvDir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-run", "fig4", "-runs", "1",
+		"-events-dir", evDir, "-manifest-dir", manDir, "-csvdir", csvDir}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	logs, err := filepath.Glob(filepath.Join(evDir, "fig4-batch*", "run-*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logs) == 0 {
+		t.Fatalf("no event logs under %s", evDir)
+	}
+	f, err := os.Open(logs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	envs, err := obs.ReadAll(f)
+	if err != nil {
+		t.Fatalf("%s does not validate: %v", logs[0], err)
+	}
+	if len(envs) == 0 {
+		t.Fatalf("%s is empty", logs[0])
+	}
+
+	m, err := obs.ReadManifest(filepath.Join(manDir, "fig4.manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tool != "experiments" || m.Seed != 1 {
+		t.Errorf("manifest provenance wrong: %+v", m)
+	}
+	if len(m.Artifacts) != 1 || m.Artifacts[0].Path != "fig4.csv" {
+		t.Errorf("manifest artifacts wrong: %+v", m.Artifacts)
+	}
+	var gotRuns bool
+	for _, kv := range m.Config {
+		if kv.Key == "runs" && kv.Value == "1" {
+			gotRuns = true
+		}
+	}
+	if !gotRuns {
+		t.Errorf("manifest config does not record -runs: %+v", m.Config)
 	}
 }

@@ -21,12 +21,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
+	"time"
 
 	"odbgc/internal/core"
 	"odbgc/internal/fault"
 	"odbgc/internal/gc"
 	"odbgc/internal/metrics"
+	"odbgc/internal/obs"
 	"odbgc/internal/oo7"
 	"odbgc/internal/sim"
 	"odbgc/internal/trace"
@@ -82,8 +85,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		stopAfter = fs.Int("stop-after", 0, "stop after N events (0 = run to completion); with -checkpoint, save state there")
 		ckptPath  = fs.String("checkpoint", "", "with -stop-after, write a resumable checkpoint to this path and exit")
 		resumeCkp = fs.String("resume", "", "resume a run from a checkpoint file written by -checkpoint")
+		eventsOut = fs.String("events", "", "write a structured JSONL event log to this path (see cmd/obsdump)")
+		manifest  = fs.String("manifest", "", "write a run provenance manifest (config, seeds, trace identity, artifact digests) to this path")
+		httpAddr  = fs.String("http", "", `serve /metrics, /healthz, /statusz and /debug/pprof on this address (e.g. ":8080") while running`)
+		serveFor  = fs.Duration("serve-after", 0, "with -http, keep serving this long after the run completes")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := validateFlags(*every, *frac, *history, *preamble, *serveFor, *httpAddr); err != nil {
 		return err
 	}
 
@@ -96,6 +106,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *compare != "" {
 		if faultsOn || *ckptPath != "" || *resumeCkp != "" || *stopAfter != 0 {
 			return fmt.Errorf("-compare does not support fault injection or checkpointing; run policies one at a time")
+		}
+		if *eventsOut != "" || *manifest != "" || *httpAddr != "" {
+			return fmt.Errorf("-compare does not support -events, -manifest or -http; run policies one at a time")
 		}
 		return runCompare(stdout, fs, *compare, *selection, *preamble, *conn, *seed, *fixups)
 	}
@@ -120,6 +133,43 @@ func run(args []string, stdout, stderr io.Writer) error {
 		FaultSeed:           *faultSeed,
 	}
 
+	// Observability taps must exist before the simulator: sim.New announces
+	// the run to its observer.
+	var observers []obs.Observer
+	var events *obs.JSONLWriter
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			return err
+		}
+		events = obs.NewJSONLWriter(f)
+		observers = append(observers, events)
+	}
+	closeEvents := func() error {
+		if events == nil {
+			return nil
+		}
+		err := events.Close()
+		events = nil
+		if err != nil {
+			return fmt.Errorf("writing event log %s: %w", *eventsOut, err)
+		}
+		return nil
+	}
+	defer closeEvents()
+	var live *obs.Live
+	if *httpAddr != "" {
+		live = obs.NewLive()
+		bound, stopServe, err := obs.ListenAndServe(*httpAddr, live)
+		if err != nil {
+			return fmt.Errorf("starting metrics server: %w", err)
+		}
+		defer stopServe()
+		fmt.Fprintf(stdout, "serving metrics on http://%s/metrics\n", bound)
+		observers = append(observers, live)
+	}
+	cfg.Observer = obs.NewMulti(observers...)
+
 	var s *sim.Simulator
 	skip := 0
 	if *resumeCkp != "" {
@@ -142,11 +192,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	var src sim.EventSource
 	var rd *trace.Reader
+	var traceID *obs.TraceIdentity
 	switch fs.NArg() {
 	case 0:
 		tr, err := oo7.FullTrace(oo7.SmallPrime(*conn), *seed)
 		if err != nil {
 			return err
+		}
+		if *manifest != "" {
+			sum, err := obs.HashTrace(tr)
+			if err != nil {
+				return err
+			}
+			traceID = &obs.TraceIdentity{Source: "generated:oo7", Events: tr.Len(), SHA256: sum}
 		}
 		src = &memSource{events: tr.Events}
 	case 1:
@@ -167,6 +225,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 			if err != nil {
 				return err
 			}
+		}
+		if *manifest != "" {
+			_, sum, err := obs.HashFile(fs.Arg(0))
+			if err != nil {
+				return err
+			}
+			// Events is filled in after the run; the file digest pins identity.
+			traceID = &obs.TraceIdentity{Source: "file:" + filepath.Base(fs.Arg(0)), SHA256: sum}
 		}
 		rd, err = trace.NewReader(r)
 		if err != nil {
@@ -220,7 +286,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stdout, "checkpointed %d events to %s; resume with -resume %s\n", n, *ckptPath, *ckptPath)
-		return nil
+		return closeEvents()
 	}
 	if done && *ckptPath != "" {
 		fmt.Fprintf(stdout, "trace ended at event %d, before -stop-after %d: no checkpoint written\n", n, *stopAfter)
@@ -235,11 +301,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *perColl {
-		step := *every
-		if step < 1 {
-			step = 1
-		}
-		for i := 0; i < len(res.Collections); i += step {
+		for i := 0; i < len(res.Collections); i += *every {
 			c := res.Collections[i]
 			fmt.Fprintf(stdout, "#%4d %-9s ow=%7d interval=%5d part=%3d reclaimed=%7dB live=%7dB garbage=%.3f gcio=%d\n",
 				c.Index, c.Phase, c.Clock.Overwrites, c.Interval, c.Partition,
@@ -264,7 +326,84 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 	}
+
+	// The event log must be flushed before the manifest digests it.
+	if err := closeEvents(); err != nil {
+		return err
+	}
+	if *manifest != "" {
+		if traceID != nil && traceID.Events == 0 {
+			traceID.Events = res.Events
+		}
+		m := &obs.Manifest{
+			Tool:      "gcsim",
+			Config:    flagKVs(fs),
+			Seed:      *seed,
+			Policy:    res.PolicyName,
+			Selection: res.SelectionName,
+			Trace:     traceID,
+		}
+		if faultsOn {
+			m.FaultSeed = *faultSeed
+		}
+		if *eventsOut != "" {
+			if err := m.AddArtifact(*eventsOut); err != nil {
+				return err
+			}
+		}
+		if err := m.SetSummary(obs.Summary{
+			Events:      res.Events,
+			Collections: len(res.Collections),
+			GCIOFrac:    obs.Float(res.GCIOFrac),
+			GarbageFrac: obs.Float(res.GarbageFrac),
+			Reclaimed:   res.TotalReclaimed,
+			TotalIO:     res.Final.TotalIO(),
+		}); err != nil {
+			return err
+		}
+		if err := m.Write(*manifest); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "manifest:          %s (summary %s)\n", *manifest, m.SummarySHA256[:12])
+	}
+	if *serveFor > 0 {
+		fmt.Fprintf(stdout, "run complete; serving metrics for another %s\n", *serveFor)
+		time.Sleep(*serveFor)
+	}
 	return nil
+}
+
+// validateFlags rejects out-of-range flag values with actionable errors
+// instead of silently clamping them.
+func validateFlags(logEvery int, frac, history float64, preamble int, serveFor time.Duration, httpAddr string) error {
+	if logEvery < 1 {
+		return fmt.Errorf("-logevery must be >= 1 (got %d)", logEvery)
+	}
+	if frac < 0 || frac > 1 {
+		return fmt.Errorf("-frac must be in [0, 1] (got %g)", frac)
+	}
+	if history < 0 {
+		return fmt.Errorf("-history must be >= 0 (got %g)", history)
+	}
+	if preamble < 0 {
+		return fmt.Errorf("-preamble must be >= 0 (got %d)", preamble)
+	}
+	if serveFor < 0 {
+		return fmt.Errorf("-serve-after must be >= 0 (got %s)", serveFor)
+	}
+	if serveFor > 0 && httpAddr == "" {
+		return fmt.Errorf("-serve-after needs -http to say where to serve")
+	}
+	return nil
+}
+
+// flagKVs snapshots every flag's effective value for the provenance manifest.
+func flagKVs(fs *flag.FlagSet) []obs.KV {
+	m := make(map[string]string)
+	fs.VisitAll(func(f *flag.Flag) {
+		m[f.Name] = f.Value.String()
+	})
+	return obs.ConfigKVs(m)
 }
 
 // printDistributions renders yield and interval histograms over the run's

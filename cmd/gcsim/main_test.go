@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"odbgc/internal/obs"
 	"odbgc/internal/oo7"
 	"odbgc/internal/trace"
 )
@@ -145,5 +146,104 @@ func TestGcsimDistributions(t *testing.T) {
 	out := stdout.String()
 	if !strings.Contains(out, "yield distribution") || !strings.Contains(out, "interval distribution") {
 		t.Errorf("distributions missing:\n%s", out)
+	}
+}
+
+// TestGcsimFlagValidation checks that out-of-range flag values are rejected
+// with an error naming the flag, rather than clamped or silently accepted.
+func TestGcsimFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"logevery zero", []string{"-log", "-logevery", "0"}, "-logevery"},
+		{"logevery negative", []string{"-log", "-logevery", "-3"}, "-logevery"},
+		{"frac negative", []string{"-frac", "-0.1"}, "-frac"},
+		{"frac above one", []string{"-frac", "1.5"}, "-frac"},
+		{"history negative", []string{"-history", "-1"}, "-history"},
+		{"preamble negative", []string{"-preamble", "-1"}, "-preamble"},
+		{"serve-after negative", []string{"-http", ":0", "-serve-after", "-1s"}, "-serve-after"},
+		{"serve-after without http", []string{"-serve-after", "1s"}, "-http"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			err := run(c.args, &stdout, &stderr)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("args %v: error %v, want mention of %q", c.args, err, c.want)
+			}
+		})
+	}
+}
+
+// TestGcsimEventsAndManifest drives the observability path end to end: a run
+// with -events and -manifest writes a valid JSONL log and a manifest whose
+// artifact digest matches the log, and a second identical run reproduces both
+// byte for byte.
+func TestGcsimEventsAndManifest(t *testing.T) {
+	dir := t.TempDir()
+	do := func(sub string) (eventsBytes []byte, m *obs.Manifest) {
+		t.Helper()
+		events := filepath.Join(dir, sub+".jsonl")
+		manifest := filepath.Join(dir, sub+".json")
+		var stdout, stderr bytes.Buffer
+		err := run([]string{"-policy", "saio", "-frac", "0.15",
+			"-events", events, "-manifest", manifest}, &stdout, &stderr)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		b, err := os.ReadFile(events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err = obs.ReadManifest(manifest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b, m
+	}
+
+	eventsA, mA := do("a")
+	envs, err := obs.ReadAll(bytes.NewReader(eventsA))
+	if err != nil {
+		t.Fatalf("event log does not validate: %v", err)
+	}
+	if len(envs) == 0 {
+		t.Fatal("empty event log")
+	}
+	if envs[0].Type != obs.TypeRunStart || envs[len(envs)-1].Type != obs.TypeRunEnd {
+		t.Errorf("log not bracketed by run_start/run_end: %s ... %s",
+			envs[0].Type, envs[len(envs)-1].Type)
+	}
+	if mA.Policy != "saio(15%)" || mA.Trace == nil || mA.Trace.Source != "generated:oo7" {
+		t.Errorf("manifest provenance wrong: %+v", mA)
+	}
+	if len(mA.Artifacts) != 1 || mA.Artifacts[0].Bytes != int64(len(eventsA)) {
+		t.Errorf("manifest artifact digest wrong: %+v", mA.Artifacts)
+	}
+	if mA.Summary == nil || mA.Summary.Collections == 0 {
+		t.Errorf("manifest summary missing: %+v", mA.Summary)
+	}
+
+	eventsB, mB := do("b")
+	if !bytes.Equal(eventsA, eventsB) {
+		t.Error("identical-seed runs wrote different event logs")
+	}
+	if mA.SummarySHA256 != mB.SummarySHA256 || mA.Artifacts[0].SHA256 != mB.Artifacts[0].SHA256 {
+		t.Error("identical-seed runs produced different manifest digests")
+	}
+}
+
+// TestGcsimHTTP runs with -http and scrapes the endpoints after the run, the
+// CLI-level counterpart of the handler tests in internal/obs.
+func TestGcsimHTTP(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-policy", "saio", "-http", "127.0.0.1:0",
+		"-serve-after", "1ms"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "serving metrics on http://") {
+		t.Errorf("bound address not announced:\n%s", stdout.String())
 	}
 }

@@ -1,0 +1,168 @@
+// Command obsdump inspects JSONL event logs written by gcsim -events and
+// experiments -events-dir: a human-readable rendering, per-type counts, and a
+// strict schema/sequence check for CI.
+//
+// Usage:
+//
+//	obsdump run.jsonl                 # pretty-print every event
+//	obsdump -stats run.jsonl          # per-type counts and run summary only
+//	obsdump -check run.jsonl          # validate schema + sequence, print nothing
+//	obsdump -type collection run.jsonl
+//	obsdump -n 20 run.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"odbgc/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "obsdump:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("obsdump", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		check    = fs.Bool("check", false, "validate schema version, payloads and sequence numbers; print only a verdict")
+		stats    = fs.Bool("stats", false, "print per-type event counts and the run summary instead of every event")
+		typeFlag = fs.String("type", "", "print only events of this type (see -check for the list)")
+		limit    = fs.Int("n", 0, "print only the first N matching events (0 = all)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: obsdump [flags] run.jsonl")
+	}
+	if *limit < 0 {
+		return fmt.Errorf("-n must be >= 0 (got %d)", *limit)
+	}
+	if *typeFlag != "" {
+		known := false
+		for _, t := range obs.EventTypes() {
+			if t == *typeFlag {
+				known = true
+			}
+		}
+		if !known {
+			return fmt.Errorf("unknown event type %q (have %v)", *typeFlag, obs.EventTypes())
+		}
+	}
+
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	// ReadAll validates every line (schema version, exactly one payload
+	// matching the type tag, contiguous sequence numbers), so -check is just
+	// "did it load".
+	events, err := obs.ReadAll(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", fs.Arg(0), err)
+	}
+	if *check {
+		fmt.Fprintf(stdout, "%s: ok: %d events, schema v%d\n", fs.Arg(0), len(events), obs.SchemaVersion)
+		return nil
+	}
+	if *stats {
+		printStats(stdout, events)
+		return nil
+	}
+
+	printed := 0
+	for _, e := range events {
+		if *typeFlag != "" && e.Type != *typeFlag {
+			continue
+		}
+		if *limit > 0 && printed >= *limit {
+			break
+		}
+		fmt.Fprintf(stdout, "%6d %s\n", e.Seq, render(e))
+		printed++
+	}
+	return nil
+}
+
+// render formats one event on a single line.
+func render(e *obs.Envelope) string {
+	switch e.Type {
+	case obs.TypeRunStart:
+		s := *e.RunStart
+		line := fmt.Sprintf("run_start   policy=%s selection=%s preamble=%d", s.Policy, s.Selection, s.Preamble)
+		if s.FaultProfile != "" {
+			line += fmt.Sprintf(" faults=%s seed=%d", s.FaultProfile, s.FaultSeed)
+		}
+		if s.Resumed > 0 {
+			line += fmt.Sprintf(" resumed@%d", s.Resumed)
+		}
+		return line
+	case obs.TypePhase:
+		p := *e.Phase
+		return fmt.Sprintf("phase       @%d %q collections=%d overwrites=%d", p.Step, p.Label, p.Collections, p.Overwrites)
+	case obs.TypeDecision:
+		d := *e.Decision
+		tag := ""
+		if d.Idle {
+			tag = " idle"
+		}
+		return fmt.Sprintf("decision    @%d collected=%v%s db=%dB garbage=%dB est=%.0f target=%.0f next=%d",
+			d.Step, d.Collected, tag, d.DBBytes, d.GarbageBytes, float64(d.Estimate), float64(d.Target), d.NextInterval)
+	case obs.TypeCollection:
+		c := *e.Collection
+		return fmt.Sprintf("collection  #%d @%d %s part=%d reclaimed=%dB (%d objs) live=%dB garbage=%.3f interval=%d",
+			c.Index, c.Step, c.Phase, c.Partition, c.ReclaimedBytes, c.ReclaimedObjects, c.LiveBytes, float64(c.GarbageFrac), c.Interval)
+	case obs.TypeFault:
+		ft := *e.Fault
+		tag := ""
+		if ft.Burst {
+			tag = " burst"
+		}
+		return fmt.Sprintf("fault       @%d %s op#%d%s", ft.Step, ft.Op, ft.Seq, tag)
+	case obs.TypeCheckpoint:
+		c := *e.Checkpoint
+		return fmt.Sprintf("checkpoint  @%d %s", c.Step, c.Op)
+	case obs.TypeProgress:
+		p := *e.Progress
+		return fmt.Sprintf("progress    @%d collections=%d phase=%s appio=%d gcio=%d",
+			p.Step, p.Collections, p.Phase, p.Clock.AppIO, p.Clock.GCIO)
+	case obs.TypeRunEnd:
+		r := *e.RunEnd
+		return fmt.Sprintf("run_end     events=%d collections=%d gcio=%.4f garbage=%.4f reclaimed=%dB",
+			r.Events, r.Collections, float64(r.GCIOFrac), float64(r.GarbageFrac), r.Reclaimed)
+	default:
+		// ReadAll rejects unknown types; this is unreachable on valid input.
+		return e.Type
+	}
+}
+
+// printStats renders per-type counts and, when present, the run summary.
+func printStats(w io.Writer, events []*obs.Envelope) {
+	counts := make(map[string]int)
+	var end *obs.RunEnd
+	for _, e := range events {
+		counts[e.Type]++
+		if e.Type == obs.TypeRunEnd {
+			end = e.RunEnd
+		}
+	}
+	fmt.Fprintf(w, "events: %d\n", len(events))
+	for _, t := range obs.EventTypes() {
+		if counts[t] > 0 {
+			fmt.Fprintf(w, "  %-11s %d\n", t, counts[t])
+		}
+	}
+	if end != nil {
+		fmt.Fprintf(w, "summary: %d trace events, %d collections, gc I/O %.2f%%, garbage %.2f%%, reclaimed %dB\n",
+			end.Events, end.Collections, float64(end.GCIOFrac)*100, float64(end.GarbageFrac)*100, end.Reclaimed)
+	}
+}

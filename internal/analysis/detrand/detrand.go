@@ -40,6 +40,7 @@ var DeterministicDirs = []string{
 	"internal/fault",
 	"internal/objstore",
 	"internal/storage",
+	"internal/obs",
 }
 
 // covered reports whether pkgPath is one of the deterministic packages or a

@@ -18,3 +18,10 @@ func TestSubpackageOfDeterministicPackage(t *testing.T) {
 func TestUncoveredPackage(t *testing.T) {
 	analysistest.Run(t, "testdata/src/freepkg", detrand.Analyzer, "example.com/internal/plot")
 }
+
+// TestObservabilityPackage checks that internal/obs is held to the
+// deterministic-package rules, with //lint:allow carving out the wall-clock
+// reads at the HTTP serving boundary.
+func TestObservabilityPackage(t *testing.T) {
+	analysistest.Run(t, "testdata/src/obspkg", detrand.Analyzer, "example.com/internal/obs")
+}

@@ -1,0 +1,17 @@
+// Package obspkg is a detrand fixture posing as the observability package:
+// deterministic like the simulator core, except for explicitly allowed
+// wall-clock reads at the HTTP serving boundary.
+package obspkg
+
+import "time"
+
+func eventTimestamp() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+func serveBoundary() float64 {
+	//lint:allow detrand uptime on the status endpoint is operator-facing HTTP metadata
+	started := time.Now()
+	//lint:allow detrand uptime on the status endpoint is operator-facing HTTP metadata
+	return time.Since(started).Seconds()
+}

@@ -41,6 +41,11 @@ type Options struct {
 	// by batch order, so delete the directory after changing any experiment
 	// parameter.
 	CheckpointDir string
+	// EventsDir writes each simulated run's structured JSONL event log under
+	// EventsDir/<experiment>-batchNNN/run-NNN.jsonl (see internal/obs).
+	// Batches satisfied from the checkpoint cache are not re-simulated and
+	// write no events.
+	EventsDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -152,9 +157,15 @@ type Runner struct {
 func (r *Runner) runMany(cfg sim.RunnerConfig) (*sim.MultiResult, error) {
 	cfg.FaultProfile = r.opts.FaultProfile
 	cfg.FaultSeed = r.opts.FaultSeed
-	if r.opts.CheckpointDir != "" {
+	if r.opts.CheckpointDir != "" || r.opts.EventsDir != "" {
 		r.batch++
+	}
+	if r.opts.CheckpointDir != "" {
 		cfg.CheckpointDir = filepath.Join(r.opts.CheckpointDir,
+			fmt.Sprintf("%s-batch%03d", r.curExp, r.batch))
+	}
+	if r.opts.EventsDir != "" {
+		cfg.EventsDir = filepath.Join(r.opts.EventsDir,
 			fmt.Sprintf("%s-batch%03d", r.curExp, r.batch))
 	}
 	return sim.RunMany(cfg)

@@ -18,6 +18,20 @@ type Injector struct {
 	rng       *rng
 	burstLeft int
 	stats     InjectorStats
+	hook      func(op string, seq uint64, burst bool)
+}
+
+// SetHook installs a callback fired on every injected fault (after the
+// stats update, before the error returns). The hook observes only — it is
+// not part of the injector's checkpointable state, so observers must be
+// reinstalled after Restore. A nil hook removes it.
+func (in *Injector) SetHook(hook func(op string, seq uint64, burst bool)) { in.hook = hook }
+
+// fire reports one injected fault to the hook, if any.
+func (in *Injector) fire(op string, burst bool) {
+	if in.hook != nil {
+		in.hook(op, in.stats.Ops, burst)
+	}
 }
 
 // NewInjector builds an injector for the profile's storage-fault rates,
@@ -40,6 +54,7 @@ func (in *Injector) BeforeOp(write bool) error {
 	if in.burstLeft > 0 {
 		in.burstLeft--
 		in.stats.Injected++
+		in.fire(op, true)
 		return &TransientError{Op: op, Seq: in.stats.Ops, Burst: true}
 	}
 	if in.profile.BurstProb > 0 && in.rng.float64() < in.profile.BurstProb {
@@ -48,10 +63,12 @@ func (in *Injector) BeforeOp(write bool) error {
 		if in.profile.BurstLen > 1 {
 			in.burstLeft = in.profile.BurstLen - 1
 		}
+		in.fire(op, true)
 		return &TransientError{Op: op, Seq: in.stats.Ops, Burst: true}
 	}
 	if prob > 0 && in.rng.float64() < prob {
 		in.stats.Injected++
+		in.fire(op, false)
 		return &TransientError{Op: op, Seq: in.stats.Ops}
 	}
 	return nil

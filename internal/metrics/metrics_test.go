@@ -158,3 +158,34 @@ func TestPercentile(t *testing.T) {
 		t.Error("Percentile mutated input")
 	}
 }
+
+// TestCSVRagged exercises rows where the first series has no point but a
+// later one does: the X cell must come from the longest series, not go blank.
+func TestCSVRagged(t *testing.T) {
+	short := &Series{Name: "short"}
+	short.Add(1, 10)
+	long := &Series{Name: "long"}
+	long.Add(1, 30)
+	long.Add(2, 40)
+	long.Add(3, 50)
+	got := CSV("x", short, long)
+	want := "x,short,long\n1,10,30\n2,,40\n3,,50\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestCSVEmpty(t *testing.T) {
+	if got := CSV("x"); got != "x\n" {
+		t.Errorf("no-series CSV = %q", got)
+	}
+	empty := &Series{Name: "e"}
+	if got := CSV("x", empty); got != "x,e\n" {
+		t.Errorf("empty-series CSV = %q", got)
+	}
+	one := &Series{Name: "a"}
+	one.Add(5, 7)
+	if got := CSV("x", empty, one); got != "x,e,a\n5,,7\n" {
+		t.Errorf("empty+nonempty CSV = %q", got)
+	}
+}

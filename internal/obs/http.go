@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler serves the observability endpoints over a Live observer:
+//
+//	/metrics        Prometheus text-format exposition of the registry
+//	/healthz        liveness probe ("ok")
+//	/statusz        JSON run status (live progress in simulated time)
+//	/debug/pprof/*  the standard Go profiling endpoints
+//
+// The handler is safe to serve while the simulation runs; Live does the
+// locking.
+func Handler(live *Live) http.Handler {
+	//lint:allow detrand the status endpoint reports real elapsed wall time to operators; it never feeds simulation state
+	started := time.Now()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = live.Registry().WriteText(w)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		st := live.Status()
+		doc := struct {
+			Status
+			UptimeSeconds float64 `json:"uptime_seconds"`
+		}{Status: st}
+		//lint:allow detrand wall-clock uptime is operator-facing HTTP metadata outside the deterministic core
+		doc.UptimeSeconds = time.Since(started).Seconds()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(doc)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ListenAndServe binds addr (port 0 picks an ephemeral port), serves
+// Handler(live) in the background, and returns the bound address plus a
+// stop function. It returns once the listener is accepting, so callers can
+// scrape immediately; errors after startup are discarded — the endpoint is
+// best-effort diagnostics, never load-bearing for the simulation.
+func ListenAndServe(addr string, live *Live) (bound string, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Handler(live)}
+	done := make(chan struct{})
+	go func() {
+		_ = srv.Serve(ln)
+		close(done)
+	}()
+	return ln.Addr().String(), func() {
+		_ = srv.Close()
+		<-done
+	}, nil
+}

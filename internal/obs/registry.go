@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+
+	"odbgc/internal/metrics"
+)
+
+// Registry is a small in-process metrics registry: named counters, gauges,
+// and histograms with Prometheus text-format exposition. It is safe for
+// concurrent use (the simulation goroutine updates while an HTTP scraper
+// reads). Metric names follow Prometheus conventions
+// ([a-zA-Z_:][a-zA-Z0-9_:]*); Register* reports invalid names as errors.
+type Registry struct {
+	mu     sync.Mutex
+	order  []string // registration order is irrelevant; exposition sorts
+	kinds  map[string]string
+	help   map[string]string
+	counts map[string]float64
+	gauges map[string]float64
+	hists  map[string]*metrics.Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		kinds:  make(map[string]string),
+		help:   make(map[string]string),
+		counts: make(map[string]float64),
+		gauges: make(map[string]float64),
+		hists:  make(map[string]*metrics.Histogram),
+	}
+}
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) register(name, kind, help string) error {
+	if !validName(name) {
+		return fmt.Errorf("obs: invalid metric name %q", name)
+	}
+	if prev, ok := r.kinds[name]; ok {
+		if prev != kind {
+			return fmt.Errorf("obs: metric %q already registered as %s", name, prev)
+		}
+		return nil
+	}
+	r.kinds[name] = kind
+	r.help[name] = help
+	r.order = append(r.order, name)
+	return nil
+}
+
+// RegisterCounter declares a monotonically increasing counter.
+func (r *Registry) RegisterCounter(name, help string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.register(name, "counter", help)
+}
+
+// RegisterGauge declares a gauge.
+func (r *Registry) RegisterGauge(name, help string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.register(name, "gauge", help)
+}
+
+// RegisterHistogram declares a histogram with n fixed-width buckets over
+// [min, max); samples outside the range land in the implicit edge buckets.
+func (r *Registry) RegisterHistogram(name, help string, min, max float64, n int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.register(name, "histogram", help); err != nil {
+		return err
+	}
+	if r.hists[name] == nil {
+		h, err := metrics.NewHistogram(min, max, n)
+		if err != nil {
+			delete(r.kinds, name)
+			delete(r.help, name)
+			r.order = r.order[:len(r.order)-1]
+			return err
+		}
+		r.hists[name] = h
+	}
+	return nil
+}
+
+// Add increments a registered counter by v (negative v is ignored: counters
+// only go up). Unregistered names are ignored so hot paths need no error
+// handling.
+func (r *Registry) Add(name string, v float64) {
+	if v < 0 || math.IsNaN(v) {
+		return
+	}
+	r.mu.Lock()
+	if r.kinds[name] == "counter" {
+		r.counts[name] += v
+	}
+	r.mu.Unlock()
+}
+
+// Set updates a registered gauge. NaN clears it to zero so exposition never
+// emits unparsable values.
+func (r *Registry) Set(name string, v float64) {
+	if math.IsNaN(v) {
+		v = 0
+	}
+	r.mu.Lock()
+	if r.kinds[name] == "gauge" {
+		r.gauges[name] = v
+	}
+	r.mu.Unlock()
+}
+
+// Observe records a sample into a registered histogram.
+func (r *Registry) Observe(name string, v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	r.mu.Lock()
+	if h := r.hists[name]; h != nil {
+		h.Add(v)
+	}
+	r.mu.Unlock()
+}
+
+// Counter returns a counter's current value (zero when absent).
+func (r *Registry) Counter(name string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counts[name]
+}
+
+// Gauge returns a gauge's current value (zero when absent).
+func (r *Registry) Gauge(name string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gauges[name]
+}
+
+// fmtValue renders a sample value the way Prometheus expects.
+func fmtValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteText renders the registry in the Prometheus text exposition format,
+// metrics sorted by name so output is deterministic.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := append([]string(nil), r.order...)
+	sort.Strings(names)
+	for _, name := range names {
+		kind := r.kinds[name]
+		if help := r.help[name]; help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, kind); err != nil {
+			return err
+		}
+		var err error
+		switch kind {
+		case "counter":
+			_, err = fmt.Fprintf(w, "%s %s\n", name, fmtValue(r.counts[name]))
+		case "gauge":
+			_, err = fmt.Fprintf(w, "%s %s\n", name, fmtValue(r.gauges[name]))
+		case "histogram":
+			err = writeHistogram(w, name, r.hists[name])
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders one histogram as cumulative le-labelled buckets
+// plus _sum and _count, mapping the underflow bucket into the first bound
+// and the overflow bucket into +Inf, per the Prometheus data model.
+func writeHistogram(w io.Writer, name string, h *metrics.Histogram) error {
+	under, _ := h.Outliers()
+	cum := under
+	for i := 0; i < h.Buckets(); i++ {
+		c, _, hi := h.Bucket(i)
+		cum += c
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmtValue(hi), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.N()); err != nil {
+		return err
+	}
+	sum := 0.0
+	if h.N() > 0 {
+		sum = h.Mean() * float64(h.N())
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, fmtValue(sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, h.N())
+	return err
+}

@@ -99,3 +99,41 @@ func TestRenderNaNSkipped(t *testing.T) {
 		t.Errorf("NaN leaked into chart:\n%s", out)
 	}
 }
+
+// TestRenderSinglePoint checks the degenerate one-point chart: both axis
+// ranges collapse and must be widened rather than divide by zero.
+func TestRenderSinglePoint(t *testing.T) {
+	s := line("p", [2]float64{3, 7})
+	out := Render(Options{Width: 10, Height: 5}, s)
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point not plotted:\n%s", out)
+	}
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Errorf("degenerate range leaked:\n%s", out)
+	}
+}
+
+// TestRenderConstantSeries checks a flat line: the Y range is empty and must
+// be widened so every mark lands on a valid row.
+func TestRenderConstantSeries(t *testing.T) {
+	s := line("c", [2]float64{0, 5}, [2]float64{5, 5}, [2]float64{10, 5})
+	out := Render(Options{Width: 20, Height: 5}, s)
+	if got := strings.Count(out, "*"); got < 3 {
+		// 3 points plus the legend mark.
+		t.Errorf("constant series plotted %d marks:\n%s", got, out)
+	}
+	if strings.Contains(out, "NaN") {
+		t.Errorf("flat range leaked NaN:\n%s", out)
+	}
+}
+
+// TestRenderAllNaN checks that a series whose every Y is NaN renders the
+// no-data placeholder instead of an unscalable chart.
+func TestRenderAllNaN(t *testing.T) {
+	s := &metrics.Series{Name: "n"}
+	s.Add(1, math.NaN())
+	s.Add(2, math.NaN())
+	if out := Render(Options{}, s); out != "(no data)\n" {
+		t.Errorf("all-NaN render = %q", out)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"odbgc/internal/fault"
 	"odbgc/internal/gc"
 	"odbgc/internal/metrics"
+	"odbgc/internal/obs"
 	"odbgc/internal/storage"
 )
 
@@ -104,6 +105,9 @@ func (s *Simulator) Checkpoint() (*Checkpoint, error) {
 		st := s.injector.Snapshot()
 		cp.Injector = &st
 	}
+	if s.obs != nil {
+		s.obs.ObserveCheckpoint(obs.CheckpointMark{Step: s.step, Op: "save"})
+	}
 	return cp, nil
 }
 
@@ -179,6 +183,11 @@ func Resume(cfg Config, cp *Checkpoint) (*Simulator, error) {
 		s.heap.SetRetry(cfg.Retry.Do)
 	} else if cp.Injector != nil {
 		return nil, fmt.Errorf("sim: checkpoint carries fault-injector state but the config has no storage faults")
+	}
+	s.installObserver()
+	if s.obs != nil {
+		s.obs.ObserveRunStart(s.runStart(cp.Step))
+		s.obs.ObserveCheckpoint(obs.CheckpointMark{Step: cp.Step, Op: "resume"})
 	}
 	return s, nil
 }

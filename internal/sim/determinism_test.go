@@ -7,6 +7,7 @@ import (
 
 	"odbgc/internal/core"
 	"odbgc/internal/metrics"
+	"odbgc/internal/obs"
 	"odbgc/internal/trace"
 )
 
@@ -88,5 +89,69 @@ func TestRepeatedRunByteIdentical(t *testing.T) {
 	}
 	if lines := strings.Count(csvA, "\n"); lines < 2 {
 		t.Errorf("CSV has %d lines; want a header plus at least one collection row", lines)
+	}
+}
+
+// TestObserverPathDeterministic covers the observability layer's two
+// determinism promises: identical-seed runs with events enabled write
+// byte-identical JSONL logs, and attaching an observer leaves the simulation's
+// persisted artifacts (checkpoint bytes, CSV) byte-identical to a run with a
+// nil observer — the hooks are pure taps, never inputs.
+func TestObserverPathDeterministic(t *testing.T) {
+	tr := smallTrace(t, 3, 19)
+	mkConfig := func() Config {
+		est, err := core.NewFGSHB(0.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pol, err := core.NewSAGA(core.SAGAConfig{Frac: 0.10}, est)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Config{Policy: pol, ProgressEvery: 50}
+	}
+	observed := func() (ckpt []byte, csv string, events []byte) {
+		var buf bytes.Buffer
+		w := obs.NewJSONLWriter(&buf)
+		ckpt, csv = runForArtifacts(t, tr, func() Config {
+			cfg := mkConfig()
+			cfg.Observer = w
+			return cfg
+		})
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return ckpt, csv, buf.Bytes()
+	}
+
+	ckptA, csvA, eventsA := observed()
+	ckptB, csvB, eventsB := observed()
+	if !bytes.Equal(eventsA, eventsB) {
+		t.Error("identical observed runs wrote different event logs")
+	}
+	if len(eventsA) == 0 {
+		t.Fatal("observed run wrote no events")
+	}
+	envs, err := obs.ReadAll(bytes.NewReader(eventsA))
+	if err != nil {
+		t.Fatalf("event log does not validate: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, e := range envs {
+		seen[e.Type] = true
+	}
+	for _, want := range []string{obs.TypeRunStart, obs.TypePhase, obs.TypeDecision,
+		obs.TypeCollection, obs.TypeCheckpoint, obs.TypeProgress} {
+		if !seen[want] {
+			t.Errorf("event log has no %q event", want)
+		}
+	}
+
+	ckptPlain, csvPlain := runForArtifacts(t, tr, mkConfig)
+	if !bytes.Equal(ckptA, ckptPlain) || !bytes.Equal(ckptA, ckptB) {
+		t.Error("observer changed the serialized checkpoint bytes")
+	}
+	if csvA != csvPlain || csvA != csvB {
+		t.Error("observer changed the rendered CSV")
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"odbgc/internal/fault"
 	"odbgc/internal/gc"
 	"odbgc/internal/metrics"
+	"odbgc/internal/obs"
 	"odbgc/internal/oo7"
 	"odbgc/internal/storage"
 	"odbgc/internal/trace"
@@ -77,6 +78,10 @@ type RunnerConfig struct {
 	// loads those instead of recomputing. Delete the directory to force a
 	// full rerun.
 	CheckpointDir string
+	// EventsDir, when set, writes each run's structured event log to
+	// EventsDir/run-NNN.jsonl (see internal/obs). Runs satisfied from the
+	// checkpoint cache are not re-simulated and write no events.
+	EventsDir string
 }
 
 // MultiResult aggregates per-run summaries.
@@ -109,6 +114,11 @@ func RunMany(cfg RunnerConfig) (*MultiResult, error) {
 			return nil, fmt.Errorf("sim: creating checkpoint dir: %w", err)
 		}
 	}
+	if cfg.EventsDir != "" {
+		if err := os.MkdirAll(cfg.EventsDir, 0o755); err != nil {
+			return nil, fmt.Errorf("sim: creating events dir: %w", err)
+		}
+	}
 
 	results := make([]*Result, len(cfg.Traces))
 	errs := make([]error, len(cfg.Traces))
@@ -138,19 +148,35 @@ func RunMany(cfg RunnerConfig) (*MultiResult, error) {
 					return
 				}
 			}
-			s, err := New(Config{
+			var events *obs.JSONLWriter
+			simCfg := Config{
 				Storage:             cfg.Storage,
 				Policy:              policy,
 				Selection:           sel,
 				PreambleCollections: cfg.PreambleCollections,
 				FaultProfile:        cfg.FaultProfile,
 				FaultSeed:           cfg.FaultSeed + int64(i),
-			})
+			}
+			if cfg.EventsDir != "" {
+				f, err := os.Create(filepath.Join(cfg.EventsDir, fmt.Sprintf("run-%03d.jsonl", i)))
+				if err != nil {
+					errs[i] = fmt.Errorf("sim: creating event log for run %d: %w", i, err)
+					return
+				}
+				events = obs.NewJSONLWriter(f)
+				simCfg.Observer = events
+			}
+			s, err := New(simCfg)
 			if err != nil {
 				errs[i] = err
 				return
 			}
 			res, err := s.Run(tr)
+			if events != nil {
+				if cerr := events.Close(); cerr != nil && err == nil {
+					err = fmt.Errorf("sim: writing event log: %w", cerr)
+				}
+			}
 			if err != nil {
 				errs[i] = fmt.Errorf("sim: run %d: %w", i, err)
 				return

@@ -19,6 +19,7 @@ import (
 	"odbgc/internal/gc"
 	"odbgc/internal/metrics"
 	"odbgc/internal/objstore"
+	"odbgc/internal/obs"
 	"odbgc/internal/storage"
 	"odbgc/internal/trace"
 )
@@ -56,6 +57,16 @@ type Config struct {
 	// Retry overrides the retry policy for transient storage faults; the
 	// zero value means fault.DefaultRetry.
 	Retry fault.RetryConfig
+	// Observer, when non-nil, receives lifecycle events (run start/end,
+	// decisions, collections, phase transitions, faults, checkpoints). The
+	// simulator never reads observer state: runs with and without an
+	// observer produce bit-identical results, and a nil observer costs a
+	// single pointer test per hook site.
+	Observer obs.Observer
+	// ProgressEvery emits an obs.Progress heartbeat every N trace events
+	// (only when Observer is set). Zero means the default of 1000; negative
+	// disables heartbeats.
+	ProgressEvery int
 }
 
 func (c *Config) applyDefaults() error {
@@ -73,6 +84,9 @@ func (c *Config) applyDefaults() error {
 	}
 	if c.PreambleCollections < 0 {
 		c.PreambleCollections = 0
+	}
+	if c.ProgressEvery == 0 {
+		c.ProgressEvery = 1000
 	}
 	return nil
 }
@@ -183,6 +197,7 @@ type Simulator struct {
 	curPhase    string
 	collectSafe bool
 	step        int
+	obs         obs.Observer // nil when unobserved; hooks are guarded
 
 	// Per-phase accumulation.
 	phaseAcc    *PhaseSummary
@@ -226,7 +241,37 @@ func New(cfg Config) (*Simulator, error) {
 		disk.SetFaultInjector(s.injector)
 		heap.SetRetry(cfg.Retry.Do)
 	}
+	s.installObserver()
+	if s.obs != nil {
+		s.obs.ObserveRunStart(s.runStart(0))
+	}
 	return s, nil
+}
+
+// installObserver wires the config's observer into the simulator and its
+// fault injector. Called from New and Resume.
+func (s *Simulator) installObserver() {
+	s.obs = s.cfg.Observer
+	if s.obs != nil && s.injector != nil {
+		s.injector.SetHook(func(op string, seq uint64, burst bool) {
+			s.obs.ObserveFault(obs.Fault{Step: s.step, Op: op, Seq: seq, Burst: burst})
+		})
+	}
+}
+
+// runStart assembles the RunStart event.
+func (s *Simulator) runStart(resumed int) obs.RunStart {
+	e := obs.RunStart{
+		Policy:    s.cfg.Policy.Name(),
+		Selection: s.cfg.Selection.Name(),
+		Preamble:  s.cfg.PreambleCollections,
+		Resumed:   resumed,
+	}
+	if s.cfg.FaultProfile.Storage() || s.cfg.FaultProfile.Estimator() || s.cfg.FaultProfile.Trace() {
+		e.FaultProfile = s.cfg.FaultProfile.Name
+		e.FaultSeed = s.cfg.FaultSeed
+	}
+	return e
 }
 
 // Injector returns the storage fault injector, or nil when the run has no
@@ -286,7 +331,7 @@ func (s *Simulator) Step(e *trace.Event) error {
 	// create or initializing store: those are mid-construction moments
 	// where new structure is not yet wired to the graph.
 	if s.collectSafe && s.cfg.Policy.ShouldCollect(s.clock()) {
-		if err := s.collect(); err != nil {
+		if err := s.collect(false); err != nil {
 			return fmt.Errorf("sim: event %d: %w", i, err)
 		}
 	}
@@ -312,6 +357,15 @@ func (s *Simulator) Step(e *trace.Event) error {
 			s.garbBuckets[k].Add(frac)
 			s.phaseGarb.Add(frac)
 		}
+	}
+
+	if s.obs != nil && s.cfg.ProgressEvery > 0 && s.step%s.cfg.ProgressEvery == 0 {
+		s.obs.ObserveProgress(obs.Progress{
+			Step:        s.step,
+			Collections: len(s.res.Collections),
+			Phase:       s.curPhase,
+			Clock:       obs.ClockOf(s.clock()),
+		})
 	}
 
 	// Invariant checks compare against whole-graph reachability, which is
@@ -360,6 +414,14 @@ func (s *Simulator) apply(e *trace.Event, idx int) error {
 		s.phaseAcc = &PhaseSummary{Label: e.Label}
 		s.phaseGarb = metrics.Mean{}
 		s.phaseIOBase = s.disk.Stats()
+		if s.obs != nil {
+			s.obs.ObservePhase(obs.PhaseChange{
+				Step:        idx,
+				Label:       e.Label,
+				Collections: len(s.res.Collections),
+				Overwrites:  s.heap.OverwriteClock(),
+			})
+		}
 		return nil
 	case trace.KindRoot:
 		if e.Size == 1 {
@@ -388,20 +450,23 @@ func (s *Simulator) idle(ticks int) error {
 		if !s.collectSafe || !ic.ShouldCollectIdle(s.clock(), s.heap) {
 			return nil
 		}
-		if err := s.collect(); err != nil {
+		if err := s.collect(true); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (s *Simulator) collect() error {
+func (s *Simulator) collect(idle bool) error {
 	part, ok := s.cfg.Selection.Select(s.heap)
 	now := s.clock()
 	if !ok {
 		// Nothing worth collecting; let the policy reschedule off an empty
 		// collection so it does not retrigger on every event.
 		s.cfg.Policy.AfterCollection(now, s.heap, gc.CollectionResult{})
+		if s.obs != nil {
+			s.obs.ObserveDecision(s.decision(now, false, idle))
+		}
 		return nil
 	}
 	prevOW := uint64(0)
@@ -449,7 +514,54 @@ func (s *Simulator) collect() error {
 		s.phaseAcc.Collections++
 		s.phaseAcc.Reclaimed += res.ReclaimedBytes
 	}
+	if s.obs != nil {
+		s.obs.ObserveDecision(s.decision(after, true, idle))
+		s.obs.ObserveCollection(obs.Collection{
+			Index:            rec.Index,
+			Step:             s.step,
+			Phase:            rec.Phase,
+			Clock:            obs.ClockOf(rec.Clock),
+			Interval:         rec.Interval,
+			Partition:        int(rec.Partition),
+			ReclaimedBytes:   rec.ReclaimedBytes,
+			ReclaimedObjects: rec.ReclaimedObjects,
+			LiveBytes:        rec.LiveBytes,
+			PartitionPO:      rec.PartitionPO,
+			IO:               ioOf(rec.IO),
+			CumulativeIO:     ioOf(rec.CumulativeIO),
+			DBBytes:          rec.DatabaseBytes,
+			GarbageBytes:     rec.ActualGarbageBytes,
+			GarbageFrac:      obs.Float(rec.ActualGarbageFrac),
+			EstimatedFrac:    obs.Float(rec.EstimatedGarbageFrac),
+			TargetFrac:       obs.Float(rec.TargetGarbageFrac),
+			NextInterval:     rec.NextInterval,
+		})
+	}
 	return nil
+}
+
+// ioOf converts storage.IOStats to the observer form.
+func ioOf(s storage.IOStats) obs.IO {
+	return obs.IO{AppReads: s.AppReads, AppWrites: s.AppWrites, GCReads: s.GCReads, GCWrites: s.GCWrites}
+}
+
+// decision assembles a Decision event from the policy's current diagnostics
+// (zero estimator fields for policies without them).
+func (s *Simulator) decision(now core.Clock, collected, idle bool) obs.Decision {
+	d := obs.Decision{
+		Step:         s.step,
+		Clock:        obs.ClockOf(now),
+		DBBytes:      s.heap.DatabaseBytes(),
+		GarbageBytes: s.heap.ActualGarbageBytes(),
+		Collected:    collected,
+		Idle:         idle,
+	}
+	if diag, ok := s.cfg.Policy.(sagaDiag); ok {
+		d.Estimate = obs.Float(diag.LastEstimate())
+		d.Target = obs.Float(diag.LastTarget())
+		d.NextInterval = diag.LastInterval()
+	}
+	return d
 }
 
 // closePhase finalizes the current phase summary, if one is open.
@@ -510,5 +622,20 @@ func (s *Simulator) Finish() (*Result, error) {
 	r.GarbageFrac = garb.Value()
 	r.GarbageFracMin = garb.Min()
 	r.GarbageFracMax = garb.Max()
+	if s.obs != nil {
+		s.obs.ObserveRunEnd(obs.RunEnd{
+			Events:       r.Events,
+			Collections:  len(r.Collections),
+			Preamble:     r.EffectivePreamble,
+			GCIOFrac:     obs.Float(r.GCIOFrac),
+			GarbageFrac:  obs.Float(r.GarbageFrac),
+			Reclaimed:    r.TotalReclaimed,
+			TotalGarbage: r.TotalGarbage,
+			FinalDBBytes: r.FinalDBBytes,
+			FinalGarbage: r.FinalGarbage,
+			Partitions:   r.Partitions,
+			TotalIO:      r.Final.TotalIO(),
+		})
+	}
 	return r, nil
 }
