@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race race vet lint fuzz bench experiments examples clean
+.PHONY: all build test test-short test-race race vet lint fuzz bench experiments examples soak clean
 
 all: build vet lint test
 
@@ -47,6 +47,12 @@ bench:
 # point, CSV series under results/.
 experiments:
 	$(GO) run ./cmd/experiments -csvdir results
+
+# Interrupt/resume soak: a chaos-profile sweep under -race is SIGINT-ed
+# mid-flight, resumed from its checkpoint directory, and must match an
+# uninterrupted reference byte for byte (see README "Resilience").
+soak:
+	./scripts/soak.sh
 
 examples:
 	$(GO) run ./examples/quickstart

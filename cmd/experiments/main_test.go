@@ -2,12 +2,15 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"odbgc/internal/obs"
+	"odbgc/internal/simerr"
 )
 
 func TestExperimentsTable1(t *testing.T) {
@@ -126,5 +129,96 @@ func TestExperimentsEventsAndManifest(t *testing.T) {
 	}
 	if !gotRuns {
 		t.Errorf("manifest config does not record -runs: %+v", m.Config)
+	}
+}
+
+// TestExperimentsInterruptResume is the end-to-end resilience check: a sweep
+// is drained as soon as its first per-run checkpoint lands, exits with a
+// canceled-classified error and a resume hint, and rerunning with the same
+// -checkpoint-dir produces a final CSV and artifact digest byte-identical to
+// an uninterrupted sweep.
+func TestExperimentsInterruptResume(t *testing.T) {
+	refCSV, refMan := t.TempDir(), t.TempDir()
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-run", "fig4", "-runs", "1",
+		"-csvdir", refCSV, "-manifest-dir", refMan}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	wantCSV, err := os.ReadFile(filepath.Join(refCSV, "fig4.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refMf, err := obs.ReadManifest(filepath.Join(refMan, "fig4.manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted sweep: a watcher polls the checkpoint directory and pulls
+	// the drain as soon as the first completed run is cached. fig4 runs eight
+	// sequential batches, so plenty of work remains past that point.
+	ckpt, gotCSV, gotMan := t.TempDir(), t.TempDir(), t.TempDir()
+	args := []string{"-run", "fig4", "-runs", "1",
+		"-checkpoint-dir", ckpt, "-csvdir", gotCSV, "-manifest-dir", gotMan}
+	sd := obs.NewShutdown(context.Background())
+	stopWatch := make(chan struct{})
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		for {
+			if m, _ := filepath.Glob(filepath.Join(ckpt, "*", "run-*.gob")); len(m) > 0 {
+				sd.Interrupt()
+				return
+			}
+			select {
+			case <-stopWatch:
+				return
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}()
+	var istdout, istderr bytes.Buffer
+	ierr := runWithShutdown(sd, args, &istdout, &istderr)
+	close(stopWatch)
+	<-watchDone
+	if ierr == nil {
+		t.Fatal("interrupted sweep reported success")
+	}
+	if simerr.Classify(ierr) != simerr.ClassCanceled {
+		t.Fatalf("interrupted sweep error = %v (class %s), want canceled", ierr, simerr.Classify(ierr))
+	}
+	if !strings.Contains(ierr.Error(), ckpt) {
+		t.Errorf("interrupt error does not name the checkpoint dir for resume: %v", ierr)
+	}
+	saved, err := filepath.Glob(filepath.Join(ckpt, "*", "run-*.gob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(saved) == 0 {
+		t.Fatal("drain flushed no per-run checkpoints")
+	}
+
+	// Resume with the same checkpoint directory: the sweep completes and its
+	// outputs match the uninterrupted reference byte for byte.
+	var rstdout, rstderr bytes.Buffer
+	if err := run(args, &rstdout, &rstderr); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	gotBytes, err := os.ReadFile(filepath.Join(gotCSV, "fig4.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotBytes, wantCSV) {
+		t.Errorf("resumed CSV differs from uninterrupted reference:\ngot:\n%s\nwant:\n%s", gotBytes, wantCSV)
+	}
+	gotMf, err := obs.ReadManifest(filepath.Join(gotMan, "fig4.manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotMf.Artifacts) != 1 || len(refMf.Artifacts) != 1 {
+		t.Fatalf("artifacts: got %+v, ref %+v", gotMf.Artifacts, refMf.Artifacts)
+	}
+	if gotMf.Artifacts[0].SHA256 != refMf.Artifacts[0].SHA256 {
+		t.Errorf("resumed artifact digest %s != reference %s",
+			gotMf.Artifacts[0].SHA256, refMf.Artifacts[0].SHA256)
 	}
 }

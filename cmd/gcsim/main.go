@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -32,6 +33,7 @@ import (
 	"odbgc/internal/obs"
 	"odbgc/internal/oo7"
 	"odbgc/internal/sim"
+	"odbgc/internal/simerr"
 	"odbgc/internal/trace"
 )
 
@@ -52,13 +54,24 @@ func (s *memSource) Read() (trace.Event, error) {
 }
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	// Two-stage graceful shutdown: the first SIGINT/SIGTERM drains (the run
+	// stops at the next event boundary and, with -checkpoint, saves a
+	// resumable checkpoint); the second cancels hard.
+	sd := obs.NewShutdown(context.Background())
+	stop := sd.Notify()
+	defer stop()
+	if err := runWithShutdown(sd, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "gcsim:", err)
 		os.Exit(1)
 	}
 }
 
+// run executes the CLI with no signals wired; tests drive it directly.
 func run(args []string, stdout, stderr io.Writer) error {
+	return runWithShutdown(obs.NewShutdown(context.Background()), args, stdout, stderr)
+}
+
+func runWithShutdown(sd *obs.Shutdown, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("gcsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -83,7 +96,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		faultSeed = fs.Int64("fault-seed", 1, "seed for the fault schedule (independent of -seed)")
 		lenient   = fs.Bool("lenient", false, "tolerate a truncated trace file: run on the surviving prefix")
 		stopAfter = fs.Int("stop-after", 0, "stop after N events (0 = run to completion); with -checkpoint, save state there")
-		ckptPath  = fs.String("checkpoint", "", "with -stop-after, write a resumable checkpoint to this path and exit")
+		ckptPath  = fs.String("checkpoint", "", "write a resumable checkpoint to this path when -stop-after is reached or the run is interrupted (SIGINT)")
+		runLimit  = fs.Duration("run-timeout", 0, "abort the run after this much wall-clock time, classified as a timeout (0 = no deadline)")
 		resumeCkp = fs.String("resume", "", "resume a run from a checkpoint file written by -checkpoint")
 		eventsOut = fs.String("events", "", "write a structured JSONL event log to this path (see cmd/obsdump)")
 		manifest  = fs.String("manifest", "", "write a run provenance manifest (config, seeds, trace identity, artifact digests) to this path")
@@ -112,8 +126,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		return runCompare(stdout, fs, *compare, *selection, *preamble, *conn, *seed, *fixups)
 	}
-	if *ckptPath != "" && *stopAfter <= 0 {
-		return fmt.Errorf("-checkpoint needs -stop-after to say when to save")
+
+	// runCtx is the hard-abort context: the second interrupt or the
+	// -run-timeout deadline ends the run immediately (no checkpoint).
+	runCtx := sd.Context()
+	if *runLimit > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(runCtx, *runLimit)
+		defer cancel()
 	}
 
 	pol, chaos, err := buildPolicy(*policy, *frac, *interval, *estimator, *history, *hist, *slopeRef, profile, *faultSeed)
@@ -167,6 +187,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		defer stopServe()
 		fmt.Fprintf(stdout, "serving metrics on http://%s/metrics\n", bound)
 		observers = append(observers, live)
+		// Flip /healthz to "draining" the moment shutdown begins, even if
+		// the simulation is mid-step.
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go func() {
+			select {
+			case <-sd.Draining():
+				live.SetDraining(true)
+			case <-watchDone:
+			}
+		}()
 	}
 	cfg.Observer = obs.NewMulti(observers...)
 
@@ -251,8 +282,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
-	n, done := skip, false
-	for !done && (*stopAfter <= 0 || n < *stopAfter) {
+	n, done, interrupted := skip, false, false
+	for !done && !interrupted && (*stopAfter <= 0 || n < *stopAfter) {
+		if err := runCtx.Err(); err != nil {
+			return fmt.Errorf("run aborted at event %d: %w", n, simerr.FromContext(err))
+		}
+		select {
+		case <-sd.Draining():
+			interrupted = true
+			continue
+		default:
+		}
 		e, err := src.Read()
 		if err == io.EOF {
 			done = true
@@ -267,6 +307,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		n++
 	}
 
+	if interrupted {
+		fmt.Fprintf(stdout, "interrupt: draining at event %d\n", n)
+		if *ckptPath == "" {
+			return simerr.Canceledf(
+				"interrupted at event %d; rerun with -checkpoint PATH to make interrupts resumable", n)
+		}
+	}
 	if !done && *ckptPath != "" {
 		// The heap may be mid-construction at the requested cursor; step on
 		// until the simulator accepts a checkpoint.
@@ -288,7 +335,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "checkpointed %d events to %s; resume with -resume %s\n", n, *ckptPath, *ckptPath)
 		return closeEvents()
 	}
-	if done && *ckptPath != "" {
+	if done && *ckptPath != "" && *stopAfter > 0 {
 		fmt.Fprintf(stdout, "trace ended at event %d, before -stop-after %d: no checkpoint written\n", n, *stopAfter)
 	}
 
@@ -368,7 +415,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *serveFor > 0 {
 		fmt.Fprintf(stdout, "run complete; serving metrics for another %s\n", *serveFor)
-		time.Sleep(*serveFor)
+		select {
+		case <-time.After(*serveFor):
+		case <-sd.Draining():
+		}
 	}
 	return nil
 }

@@ -12,22 +12,32 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"odbgc/internal/obs"
+	"odbgc/internal/simerr"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	sd := obs.NewShutdown(context.Background())
+	stop := sd.Notify()
+	defer stop()
+	if err := runWithShutdown(sd, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "obsdump:", err)
 		os.Exit(1)
 	}
 }
 
+// run executes the CLI with no signals wired; tests drive it directly.
 func run(args []string, stdout, stderr io.Writer) error {
+	return runWithShutdown(obs.NewShutdown(context.Background()), args, stdout, stderr)
+}
+
+func runWithShutdown(sd *obs.Shutdown, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("obsdump", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -81,6 +91,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	printed := 0
 	for _, e := range events {
+		// Large logs can take a while to render to a slow terminal; stop at
+		// the first interrupt instead of insisting on the rest.
+		select {
+		case <-sd.Draining():
+			return simerr.Canceledf("interrupted after %d events", printed)
+		default:
+		}
 		if *typeFlag != "" && e.Type != *typeFlag {
 			continue
 		}

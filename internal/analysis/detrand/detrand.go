@@ -41,6 +41,7 @@ var DeterministicDirs = []string{
 	"internal/objstore",
 	"internal/storage",
 	"internal/obs",
+	"internal/simerr",
 }
 
 // covered reports whether pkgPath is one of the deterministic packages or a

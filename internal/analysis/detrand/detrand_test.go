@@ -25,3 +25,10 @@ func TestUncoveredPackage(t *testing.T) {
 func TestObservabilityPackage(t *testing.T) {
 	analysistest.Run(t, "testdata/src/obspkg", detrand.Analyzer, "example.com/internal/obs")
 }
+
+// TestSimerrPackage checks that the failure-taxonomy package is covered:
+// error classification drives retries and resume, so it must stay free of
+// clock and environment reads.
+func TestSimerrPackage(t *testing.T) {
+	analysistest.Run(t, "testdata/src/simerrpkg", detrand.Analyzer, "example.com/internal/simerr")
+}

@@ -1,0 +1,28 @@
+// Package simerrpkg is a detrand fixture posing as the failure-taxonomy
+// package: error classification feeds retry decisions and batch resume, so
+// it must not consult the clock or the environment.
+package simerrpkg
+
+import (
+	"errors"
+	"os"
+	"time"
+)
+
+var errTimeout = errors.New("simerr: run exceeded its deadline")
+
+// classify is the deterministic shape: pure inspection of the error chain.
+func classify(err error) string {
+	if errors.Is(err, errTimeout) {
+		return "timeout"
+	}
+	return "failed"
+}
+
+func stampFailure(err error) string {
+	return classify(err) + time.Now().Format(time.RFC3339) // want "time.Now reads the wall clock"
+}
+
+func retryBudgetFromEnv() string {
+	return os.Getenv("ODBGC_RETRIES") // want "os.Getenv makes behavior depend on the environment"
+}

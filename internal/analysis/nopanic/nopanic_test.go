@@ -14,3 +14,10 @@ func TestLibraryPackage(t *testing.T) {
 func TestMainPackageExempt(t *testing.T) {
 	analysistest.Run(t, "testdata/src/mainpkg", nopanic.Analyzer, "example.com/cmd/mainpkg")
 }
+
+// TestSupervisorPackage checks the batch-supervisor shape: panics inside
+// worker goroutines are findings, while the recover boundary that converts
+// a panicking run into a classified error is the sanctioned pattern.
+func TestSupervisorPackage(t *testing.T) {
+	analysistest.Run(t, "testdata/src/superpkg", nopanic.Analyzer, "example.com/internal/super")
+}

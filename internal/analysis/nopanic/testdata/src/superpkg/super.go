@@ -1,0 +1,43 @@
+// Package superpkg is a nopanic fixture shaped like the batch supervisor:
+// worker goroutines must convert panics into classified errors, never abort
+// the batch. A panic inside a worker body is a finding even though the
+// supervisor would only lose one run to it.
+package superpkg
+
+import (
+	"fmt"
+	"log"
+)
+
+// runWorkers fans jobs out to a bounded pool. Workers report over channels;
+// aborting the process from inside one would drop every other in-flight run.
+func runWorkers(jobs <-chan int, results chan<- error) {
+	for range [4]struct{}{} {
+		go func() {
+			for j := range jobs {
+				if j < 0 {
+					panic("negative job index") // want "panic in library package"
+				}
+				results <- work(j)
+			}
+		}()
+	}
+}
+
+// work is the guarded attempt: the recover boundary turns a panicking run
+// into an error the supervisor can classify and retry.
+func work(j int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("run %d panicked: %v", j, r)
+		}
+	}()
+	return step(j)
+}
+
+func step(j int) error {
+	if j == 0 {
+		log.Fatal("wedged run") // want "log.Fatal aborts the process from a library package"
+	}
+	return nil
+}

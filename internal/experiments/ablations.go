@@ -44,7 +44,7 @@ func (r *Runner) Ablations() (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := s.Run(tr)
+		res, err := s.RunContext(r.context(), tr)
 		if err != nil {
 			return nil, err
 		}
@@ -66,7 +66,7 @@ func (r *Runner) Ablations() (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := s.Run(tr)
+		res, err := s.RunContext(r.context(), tr)
 		if err != nil {
 			return nil, err
 		}
@@ -89,7 +89,7 @@ func (r *Runner) Ablations() (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := s.Run(tr)
+		res, err := s.RunContext(r.context(), tr)
 		if err != nil {
 			return nil, err
 		}
@@ -117,7 +117,7 @@ func (r *Runner) Ablations() (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := s.Run(btr)
+		res, err := s.RunContext(r.context(), btr)
 		if err != nil {
 			return nil, err
 		}

@@ -5,9 +5,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"odbgc/internal/core"
 	"odbgc/internal/fault"
@@ -15,6 +17,7 @@ import (
 	"odbgc/internal/oo7"
 	"odbgc/internal/plot"
 	"odbgc/internal/sim"
+	"odbgc/internal/simerr"
 	"odbgc/internal/trace"
 )
 
@@ -46,6 +49,25 @@ type Options struct {
 	// Batches satisfied from the checkpoint cache are not re-simulated and
 	// write no events.
 	EventsDir string
+	// Parallel bounds per-batch run concurrency (and trace-generation
+	// concurrency); zero means runtime.GOMAXPROCS(0). See
+	// sim.RunnerConfig.Parallel.
+	Parallel int
+	// RunTimeout bounds each simulated run's wall-clock duration; a run
+	// exceeding it fails classified as simerr.ErrTimeout. Zero disables the
+	// deadline.
+	RunTimeout time.Duration
+	// MaxAttempts is the per-run retry budget for transient failures; zero
+	// means one attempt. See sim.RunnerConfig.MaxAttempts.
+	MaxAttempts int
+	// Drain, when non-nil and closed, asks batches to stop scheduling new
+	// runs: in-flight runs finish and checkpoint, and the experiment returns
+	// an error classified as simerr.ErrCanceled. Rerunning with the same
+	// CheckpointDir resumes from the completed runs.
+	Drain <-chan struct{}
+	// OnRunStatus receives batch progress reports. It is called concurrently
+	// from worker goroutines.
+	OnRunStatus func(sim.RunStatus)
 }
 
 func (o Options) withDefaults() Options {
@@ -124,26 +146,36 @@ func (r *Report) String() string {
 }
 
 // traceCache shares generated traces across experiments with the same
-// parameters, since trace generation dominates sweep cost.
-type traceCache map[string][]*trace.Trace
+// parameters, since trace generation dominates sweep cost. It generates
+// under the runner's current context and concurrency bound.
+type traceCache struct {
+	r *Runner
+	m map[string][]*trace.Trace
+}
 
-func (tc traceCache) get(conn int, base int64, n int) ([]*trace.Trace, error) {
+func (tc *traceCache) get(conn int, base int64, n int) ([]*trace.Trace, error) {
 	key := fmt.Sprintf("%d/%d/%d", conn, base, n)
-	if ts, ok := tc[key]; ok {
+	if ts, ok := tc.m[key]; ok {
 		return ts, nil
 	}
-	ts, err := sim.GenerateTraces(oo7.SmallPrime(conn), base, n)
+	ts, err := sim.GenerateTracesContext(tc.r.context(), oo7.SmallPrime(conn), base, n, tc.r.opts.Parallel)
 	if err != nil {
 		return nil, err
 	}
-	tc[key] = ts
+	tc.m[key] = ts
 	return ts, nil
 }
 
 // Runner executes experiments, sharing trace generation between them.
 type Runner struct {
 	opts   Options
-	traces traceCache
+	traces *traceCache
+
+	// runCtx is the context of the RunContext/AllContext call in flight.
+	// Experiments run one at a time per Runner, so a plain field (rather
+	// than threading ctx through all thirteen figure methods) is safe; it is
+	// nil between calls.
+	runCtx context.Context
 
 	// curExp and batch key the per-batch checkpoint subdirectories while an
 	// experiment runs.
@@ -151,12 +183,26 @@ type Runner struct {
 	batch  int
 }
 
-// runMany is sim.RunMany with the runner's fault-injection and checkpoint
-// options applied. Each batch within an experiment gets its own checkpoint
-// subdirectory, numbered in execution order.
+// context is the context of the experiment in flight.
+func (r *Runner) context() context.Context {
+	if r.runCtx == nil {
+		return context.Background()
+	}
+	return r.runCtx
+}
+
+// runMany is sim.RunManyContext with the runner's context and its
+// fault-injection, checkpoint, and supervision options applied. Each batch
+// within an experiment gets its own checkpoint subdirectory, numbered in
+// execution order.
 func (r *Runner) runMany(cfg sim.RunnerConfig) (*sim.MultiResult, error) {
 	cfg.FaultProfile = r.opts.FaultProfile
 	cfg.FaultSeed = r.opts.FaultSeed
+	cfg.Parallel = r.opts.Parallel
+	cfg.RunTimeout = r.opts.RunTimeout
+	cfg.MaxAttempts = r.opts.MaxAttempts
+	cfg.Drain = r.opts.Drain
+	cfg.OnRunStatus = r.opts.OnRunStatus
 	if r.opts.CheckpointDir != "" || r.opts.EventsDir != "" {
 		r.batch++
 	}
@@ -168,12 +214,14 @@ func (r *Runner) runMany(cfg sim.RunnerConfig) (*sim.MultiResult, error) {
 		cfg.EventsDir = filepath.Join(r.opts.EventsDir,
 			fmt.Sprintf("%s-batch%03d", r.curExp, r.batch))
 	}
-	return sim.RunMany(cfg)
+	return sim.RunManyContext(r.context(), cfg)
 }
 
 // NewRunner returns a Runner with the given options.
 func NewRunner(opts Options) *Runner {
-	return &Runner{opts: opts.withDefaults(), traces: make(traceCache)}
+	r := &Runner{opts: opts.withDefaults()}
+	r.traces = &traceCache{r: r, m: make(map[string][]*trace.Trace)}
+	return r
 }
 
 // Names lists the experiment identifiers in paper order, followed by the
@@ -185,6 +233,16 @@ func Names() []string {
 
 // Run executes one experiment by name.
 func (r *Runner) Run(name string) (*Report, error) {
+	return r.RunContext(context.Background(), name)
+}
+
+// RunContext executes one experiment by name under ctx: cancelling ctx
+// aborts the experiment's batches (classified simerr.ErrCanceled), and the
+// supervision options in Options (Parallel, RunTimeout, MaxAttempts, Drain)
+// apply to every batch it runs.
+func (r *Runner) RunContext(ctx context.Context, name string) (*Report, error) {
+	r.runCtx = ctx
+	defer func() { r.runCtx = nil }()
 	r.curExp, r.batch = name, 0
 	switch name {
 	case "table1":
@@ -220,9 +278,19 @@ func (r *Runner) Run(name string) (*Report, error) {
 
 // All runs every experiment in paper order.
 func (r *Runner) All() ([]*Report, error) {
+	return r.AllContext(context.Background())
+}
+
+// AllContext runs every experiment in paper order under ctx, stopping at
+// the first failure or cancellation; the reports completed so far are
+// returned alongside the error.
+func (r *Runner) AllContext(ctx context.Context) ([]*Report, error) {
 	var out []*Report
 	for _, name := range Names() {
-		rep, err := r.Run(name)
+		if err := ctx.Err(); err != nil {
+			return out, fmt.Errorf("experiments: %s: %w", name, simerr.FromContext(err))
+		}
+		rep, err := r.RunContext(ctx, name)
 		if err != nil {
 			return out, fmt.Errorf("experiments: %s: %w", name, err)
 		}
@@ -504,7 +572,7 @@ func (r *Runner) Fig6() (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := s.Run(traces[0])
+		res, err := s.RunContext(r.context(), traces[0])
 		if err != nil {
 			return nil, err
 		}
@@ -553,7 +621,7 @@ func (r *Runner) Fig7a() (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := s.Run(traces[0])
+		res, err := s.RunContext(r.context(), traces[0])
 		if err != nil {
 			return nil, err
 		}
@@ -592,7 +660,7 @@ func (r *Runner) Fig7b() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.Run(traces[0])
+	res, err := s.RunContext(r.context(), traces[0])
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,8 @@ package fault
 import (
 	"fmt"
 	"time"
+
+	"odbgc/internal/simerr"
 )
 
 // RetryConfig bounds the retry loop for transient storage faults.
@@ -29,8 +31,9 @@ var DefaultRetry = RetryConfig{
 
 // Do runs fn, retrying with exponential backoff while it fails with a
 // transient fault. Non-transient errors pass through immediately. When the
-// attempt budget is exhausted the last transient error is wrapped so callers
-// can still classify it with IsTransient.
+// attempt budget is exhausted the last transient error is wrapped in
+// simerr.ErrFaultExhausted so callers can classify the give-up by identity;
+// IsTransient still reports true on the result.
 func (c RetryConfig) Do(op string, fn func() error) error {
 	attempts := c.MaxAttempts
 	if attempts <= 0 {
@@ -53,7 +56,8 @@ func (c RetryConfig) Do(op string, fn func() error) error {
 			return err
 		}
 		if attempt >= attempts {
-			return fmt.Errorf("fault: %s gave up after %d attempts: %w", op, attempts, err)
+			return fmt.Errorf("fault: %w: %s gave up after %d attempts: %w",
+				simerr.ErrFaultExhausted, op, attempts, err)
 		}
 		if c.Sleep != nil {
 			c.Sleep(delay)

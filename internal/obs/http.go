@@ -11,7 +11,8 @@ import (
 // Handler serves the observability endpoints over a Live observer:
 //
 //	/metrics        Prometheus text-format exposition of the registry
-//	/healthz        liveness probe ("ok")
+//	/healthz        liveness probe ("ok", or "draining" with a 503 once
+//	                graceful shutdown begins, so balancers stop routing here)
 //	/statusz        JSON run status (live progress in simulated time)
 //	/debug/pprof/*  the standard Go profiling endpoints
 //
@@ -23,6 +24,11 @@ func Handler(live *Live) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if live.Draining() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = w.Write([]byte("draining\n"))
+			return
+		}
 		_, _ = w.Write([]byte("ok\n"))
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {

@@ -13,6 +13,7 @@ import (
 	"odbgc/internal/gc"
 	"odbgc/internal/metrics"
 	"odbgc/internal/obs"
+	"odbgc/internal/simerr"
 	"odbgc/internal/storage"
 )
 
@@ -197,13 +198,22 @@ func WriteCheckpoint(w io.Writer, cp *Checkpoint) error {
 	return gob.NewEncoder(w).Encode(cp)
 }
 
-// ReadCheckpoint decodes a checkpoint written by WriteCheckpoint.
-func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
-	var cp Checkpoint
-	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
-		return nil, fmt.Errorf("sim: decoding checkpoint: %w", err)
+// ReadCheckpoint decodes a checkpoint written by WriteCheckpoint. A torn or
+// damaged stream returns an error classified as simerr.ErrCorruptCheckpoint;
+// a decoder panic on hostile bytes is converted into the same class rather
+// than escaping the library boundary.
+func ReadCheckpoint(r io.Reader) (cp *Checkpoint, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			cp, err = nil, simerr.WrapCorruptCheckpoint("decoding checkpoint",
+				fmt.Errorf("decoder panic: %v", p))
+		}
+	}()
+	var c Checkpoint
+	if derr := gob.NewDecoder(r).Decode(&c); derr != nil {
+		return nil, fmt.Errorf("sim: %w", simerr.WrapCorruptCheckpoint("decoding checkpoint", derr))
 	}
-	return &cp, nil
+	return &c, nil
 }
 
 // SaveCheckpoint writes a checkpoint to path atomically: the bytes land in a

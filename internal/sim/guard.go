@@ -1,14 +1,18 @@
 package sim
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"runtime/debug"
 	"time"
+
+	"odbgc/internal/simerr"
 )
 
 // ErrTimeout is returned (wrapped) by RunGuarded when the watchdog fires.
-var ErrTimeout = errors.New("sim: watchdog timeout")
+// It is the taxonomy's timeout sentinel, so errors.Is(err, sim.ErrTimeout)
+// and errors.Is(err, simerr.ErrTimeout) are the same test.
+var ErrTimeout = simerr.ErrTimeout
 
 // RunGuarded replays events like RunStream but inside a crash barrier: a
 // panic anywhere in the simulation becomes an error with the stack attached,
@@ -19,6 +23,15 @@ var ErrTimeout = errors.New("sim: watchdog timeout")
 // On timeout the simulation goroutine is abandoned (Go cannot kill it); the
 // Simulator must be discarded. A timeout of zero disables the watchdog.
 func (s *Simulator) RunGuarded(src EventSource, timeout time.Duration) (*Result, error) {
+	return s.RunGuardedContext(context.Background(), src, timeout)
+}
+
+// RunGuardedContext is RunGuarded under a caller-supplied context: the run
+// also ends when ctx is cancelled, cooperatively at the next event boundary
+// or — if the simulation is wedged inside a single step — by abandoning its
+// goroutine. Cancellation classifies as simerr.ErrCanceled; an expired
+// deadline (the watchdog's or the context's) as simerr.ErrTimeout.
+func (s *Simulator) RunGuardedContext(ctx context.Context, src EventSource, timeout time.Duration) (*Result, error) {
 	type outcome struct {
 		res *Result
 		err error
@@ -30,20 +43,29 @@ func (s *Simulator) RunGuarded(src EventSource, timeout time.Duration) (*Result,
 				ch <- outcome{err: fmt.Errorf("sim: panic during guarded run: %v\n%s", r, debug.Stack())}
 			}
 		}()
-		res, err := s.RunStream(src)
+		res, err := s.RunStreamContext(ctx, src)
 		ch <- outcome{res: res, err: err}
 	}()
 
-	if timeout <= 0 {
-		o := <-ch
-		return o.res, o.err
+	var timerC <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout) //lint:allow detrand the watchdog measures real wall-clock time, not simulated time
+		defer timer.Stop()
+		timerC = timer.C
 	}
-	timer := time.NewTimer(timeout) //lint:allow detrand the watchdog measures real wall-clock time, not simulated time
-	defer timer.Stop()
 	select {
 	case o := <-ch:
 		return o.res, o.err
-	case <-timer.C:
+	case <-timerC:
 		return nil, fmt.Errorf("sim: run exceeded %v: %w", timeout, ErrTimeout)
+	case <-ctx.Done():
+		// Prefer the simulation's own exit if it raced us to the line;
+		// otherwise abandon the goroutine.
+		select {
+		case o := <-ch:
+			return o.res, o.err
+		default:
+		}
+		return nil, fmt.Errorf("sim: guarded run: %w", simerr.FromContext(ctx.Err()))
 	}
 }

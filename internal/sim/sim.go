@@ -11,6 +11,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -20,6 +21,7 @@ import (
 	"odbgc/internal/metrics"
 	"odbgc/internal/objstore"
 	"odbgc/internal/obs"
+	"odbgc/internal/simerr"
 	"odbgc/internal/storage"
 	"odbgc/internal/trace"
 )
@@ -289,7 +291,19 @@ func (s *Simulator) clock() core.Clock {
 // Run replays an in-memory trace and returns the run's result. A Simulator
 // must not be reused after Run returns.
 func (s *Simulator) Run(tr *trace.Trace) (*Result, error) {
+	return s.RunContext(context.Background(), tr)
+}
+
+// RunContext is Run with cooperative cancellation: the context is checked
+// between events, so a canceled or expired context stops the replay at the
+// next event boundary with an error classified as simerr.ErrCanceled (or
+// simerr.ErrTimeout when the deadline elapsed). The Simulator must be
+// discarded after a cancelled run — its state is mid-trace.
+func (s *Simulator) RunContext(ctx context.Context, tr *trace.Trace) (*Result, error) {
 	for i := range tr.Events {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sim: run stopped at event %d: %w", s.step, simerr.FromContext(err))
+		}
 		if err := s.Step(&tr.Events[i]); err != nil {
 			return nil, err
 		}
@@ -306,7 +320,16 @@ type EventSource interface {
 // RunStream replays events from a source (e.g. a trace file reader)
 // without materializing the whole trace in memory.
 func (s *Simulator) RunStream(src EventSource) (*Result, error) {
+	return s.RunStreamContext(context.Background(), src)
+}
+
+// RunStreamContext is RunStream with cooperative cancellation between
+// events; see RunContext for the cancellation contract.
+func (s *Simulator) RunStreamContext(ctx context.Context, src EventSource) (*Result, error) {
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sim: run stopped at event %d: %w", s.step, simerr.FromContext(err))
+		}
 		e, err := src.Read()
 		if err == io.EOF {
 			return s.Finish()

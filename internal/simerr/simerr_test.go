@@ -1,0 +1,88 @@
+package simerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestSentinelsAreDistinct(t *testing.T) {
+	sentinels := []error{
+		ErrCanceled, ErrTimeout, ErrFaultExhausted,
+		ErrCorruptCheckpoint, ErrPolicyFailure, ErrCorruptTrace,
+	}
+	for i, a := range sentinels {
+		for j, b := range sentinels {
+			if (i == j) != errors.Is(a, b) {
+				t.Errorf("errors.Is(%v, %v) = %v", a, b, i == j)
+			}
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Class
+	}{
+		{nil, ClassOK},
+		{ErrCanceled, ClassCanceled},
+		{fmt.Errorf("run 3: %w", ErrTimeout), ClassTimeout},
+		{fmt.Errorf("a: %w: b: %w", ErrFaultExhausted, errors.New("disk")), ClassFaultExhausted},
+		{WrapCorruptCheckpoint("run-003.gob", errors.New("bad checksum")), ClassCorruptCheckpoint},
+		{WrapPolicyFailure("building saga", errors.New("bad frac")), ClassPolicyFailure},
+		{fmt.Errorf("trace: %w", ErrCorruptTrace), ClassCorruptTrace},
+		{context.Canceled, ClassCanceled},
+		{context.DeadlineExceeded, ClassTimeout},
+		{errors.New("disk on fire"), ClassOther},
+		// Precedence: a timeout that surfaced via cancellation is a timeout.
+		{fmt.Errorf("%w: %w", ErrCanceled, ErrTimeout), ClassTimeout},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+func TestFromContext(t *testing.T) {
+	if err := FromContext(nil); err != nil {
+		t.Errorf("FromContext(nil) = %v", err)
+	}
+	err := FromContext(context.DeadlineExceeded)
+	if !errors.Is(err, ErrTimeout) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("deadline mapping lost a sentinel: %v", err)
+	}
+	err = FromContext(context.Canceled)
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Errorf("cancel mapping lost a sentinel: %v", err)
+	}
+	plain := errors.New("unrelated")
+	if got := FromContext(plain); got != plain {
+		t.Errorf("non-context error rewritten: %v", got)
+	}
+
+	// The real thing: a context cancelled by deadline classifies as timeout.
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	<-ctx.Done()
+	if got := Classify(FromContext(ctx.Err())); got != ClassTimeout {
+		t.Errorf("expired context classifies as %q", got)
+	}
+}
+
+func TestFailureClassesCoverClassify(t *testing.T) {
+	seen := map[Class]bool{}
+	for _, c := range FailureClasses() {
+		if seen[c] {
+			t.Errorf("duplicate class %q", c)
+		}
+		seen[c] = true
+	}
+	for _, pair := range classOf {
+		if !seen[pair.class] {
+			t.Errorf("class %q missing from FailureClasses", pair.class)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"io"
 
 	"odbgc/internal/objstore"
+	"odbgc/internal/simerr"
 )
 
 // Binary trace format
@@ -33,8 +34,10 @@ const (
 // ErrTruncated reports that a binary stream ended before its 0xFF trailer:
 // either cleanly between events or mid-event. Callers distinguish it from
 // other decode errors with errors.Is; a lenient Reader converts it into a
-// normal end of stream after yielding every complete event.
-var ErrTruncated = errors.New("trace: truncated stream (missing trailer)")
+// normal end of stream after yielding every complete event. It carries
+// simerr.ErrCorruptTrace so batch supervisors and the obs layer classify it
+// without importing this package's sentinel.
+var ErrTruncated = fmt.Errorf("%w: truncated stream (missing trailer)", simerr.ErrCorruptTrace)
 
 // Writer streams events to an io.Writer in the binary format. Close must be
 // called to emit the trailer and flush buffered data.

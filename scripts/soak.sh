@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Soak test for the cancellation-aware batch engine: a chaos-profile
+# experiments sweep runs under the race detector, is interrupted with SIGINT
+# as soon as its first per-run checkpoint lands, and is then resumed from the
+# same -checkpoint-dir. The resumed sweep must produce a final CSV and
+# manifest digests byte-identical to an uninterrupted reference sweep.
+#
+# Usage: scripts/soak.sh [workdir]   (workdir defaults to a fresh mktemp -d)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work=${1:-$(mktemp -d)}
+mkdir -p "$work"
+echo "soak: working under $work"
+
+go build -race -o "$work/experiments" ./cmd/experiments
+
+# The sweep: fig4 (eight sequential batches) under the full fault profile,
+# with the supervisor exercised end to end — bounded parallelism, transient
+# retries, and a generous per-run deadline that a healthy run never hits.
+args=(-run fig4 -runs 2 -fault-profile everything -fault-seed 11
+  -parallel 2 -retries 2 -run-timeout 120s)
+
+echo "soak: reference sweep (uninterrupted)"
+"$work/experiments" "${args[@]}" \
+  -csvdir "$work/ref" -manifest-dir "$work/refman" >"$work/ref.out"
+
+echo "soak: interrupted sweep (SIGINT after the first checkpoint lands)"
+resume=(-checkpoint-dir "$work/ckpt" -csvdir "$work/got" -manifest-dir "$work/gotman")
+"$work/experiments" "${args[@]}" "${resume[@]}" >"$work/interrupt.out" 2>&1 &
+pid=$!
+for _ in $(seq 1 600); do
+  if compgen -G "$work/ckpt/*/run-*.gob" >/dev/null; then
+    break
+  fi
+  if ! kill -0 "$pid" 2>/dev/null; then
+    echo "soak: sweep exited before any checkpoint appeared" >&2
+    cat "$work/interrupt.out" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+kill -INT "$pid"
+if wait "$pid"; then
+  echo "soak: interrupted sweep exited 0; expected a canceled error" >&2
+  cat "$work/interrupt.out" >&2
+  exit 1
+fi
+if ! grep -q "interrupted during" "$work/interrupt.out"; then
+  echo "soak: no resume hint in the interrupted sweep's output" >&2
+  cat "$work/interrupt.out" >&2
+  exit 1
+fi
+echo "soak: drained with $(ls "$work"/ckpt/*/run-*.gob | wc -l) per-run checkpoints flushed"
+
+echo "soak: resuming from $work/ckpt"
+"$work/experiments" "${args[@]}" "${resume[@]}" >"$work/resume.out"
+
+cmp "$work/ref/fig4.csv" "$work/got/fig4.csv"
+grep -o '"sha256": "[0-9a-f]*"' "$work/refman/fig4.manifest.json" | sort >"$work/ref.digests"
+grep -o '"sha256": "[0-9a-f]*"' "$work/gotman/fig4.manifest.json" | sort >"$work/got.digests"
+cmp "$work/ref.digests" "$work/got.digests"
+echo "soak: resumed sweep is byte-identical to the uninterrupted reference"
