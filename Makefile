@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race race vet lint fuzz bench experiments examples soak clean
+.PHONY: all build test test-short test-race race vet lint lint-fix-report fuzz bench experiments examples soak clean
 
 all: build vet lint test
 
@@ -12,11 +12,17 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Repository invariants: determinism, panic-free libraries, snapshot
-# completeness (see README "Code invariants" and internal/analysis).
+# Repository invariants: determinism (direct and transitive), panic-free
+# libraries, snapshot completeness, context threading, error discipline,
+# cancelable goroutines (see README "Code invariants" and internal/analysis).
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/odbglint ./...
+
+# Every open finding as a file:line path, one per line, for editors and
+# scripted triage. Exits zero even with findings; `make lint` is the gate.
+lint-fix-report:
+	@$(GO) run ./cmd/odbglint ./... | sed 's/: .*//' | sort -u || true
 
 test:
 	$(GO) test ./...
@@ -39,9 +45,9 @@ fuzz:
 
 # Benchmark sweep. One iteration per benchmark keeps the sweep quick; the
 # parsed JSON baseline (ns/op, allocs/op per benchmark) lands in
-# BENCH_PR3.json for mechanical diffing across PRs.
+# BENCH_PR5.json for mechanical diffing across PRs.
 bench:
-	$(GO) test -bench=. -benchmem -benchtime 1x . | $(GO) run ./cmd/benchjson -o BENCH_PR3.json
+	$(GO) test -bench=. -benchmem -benchtime 1x . | $(GO) run ./cmd/benchjson -o BENCH_PR5.json
 
 # Full paper regeneration: every table and figure, 10 seeded runs per data
 # point, CSV series under results/.

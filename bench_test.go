@@ -13,6 +13,7 @@ package odbgc
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
@@ -67,7 +68,7 @@ func BenchmarkTable1DatabaseBuild(b *testing.B) {
 func BenchmarkFig1FixedRateSweep(b *testing.B) {
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		rep, err := experiments.NewRunner(benchOpts).Fig1()
+		rep, err := experiments.NewRunner(benchOpts).Fig1(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -82,7 +83,7 @@ func BenchmarkFig1FixedRateSweep(b *testing.B) {
 func BenchmarkFig2PhaseTrace(b *testing.B) {
 	var events float64
 	for i := 0; i < b.N; i++ {
-		rep, err := experiments.NewRunner(benchOpts).Fig2()
+		rep, err := experiments.NewRunner(benchOpts).Fig2(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -96,7 +97,7 @@ func BenchmarkFig2PhaseTrace(b *testing.B) {
 func BenchmarkFig4SAIOAccuracy(b *testing.B) {
 	var mae float64
 	for i := 0; i < b.N; i++ {
-		rep, err := experiments.NewRunner(benchOpts).Fig4()
+		rep, err := experiments.NewRunner(benchOpts).Fig4(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -110,7 +111,7 @@ func BenchmarkFig4SAIOAccuracy(b *testing.B) {
 func BenchmarkFig5SAGAAccuracy(b *testing.B) {
 	var fgsMAE float64
 	for i := 0; i < b.N; i++ {
-		rep, err := experiments.NewRunner(benchOpts).Fig5()
+		rep, err := experiments.NewRunner(benchOpts).Fig5(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -128,7 +129,7 @@ func BenchmarkFig5SAGAAccuracy(b *testing.B) {
 func BenchmarkFig6Estimators(b *testing.B) {
 	var series float64
 	for i := 0; i < b.N; i++ {
-		rep, err := experiments.NewRunner(benchOpts).Fig6()
+		rep, err := experiments.NewRunner(benchOpts).Fig6(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -143,10 +144,10 @@ func BenchmarkFig7HistoryStudy(b *testing.B) {
 	var colls float64
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(benchOpts)
-		if _, err := r.Fig7a(); err != nil {
+		if _, err := r.Fig7a(context.Background()); err != nil {
 			b.Fatal(err)
 		}
-		rep, err := r.Fig7b()
+		rep, err := r.Fig7b(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -160,7 +161,7 @@ func BenchmarkFig7HistoryStudy(b *testing.B) {
 func BenchmarkFig8Connectivity(b *testing.B) {
 	var rows float64
 	for i := 0; i < b.N; i++ {
-		rep, err := experiments.NewRunner(benchOpts).Fig8()
+		rep, err := experiments.NewRunner(benchOpts).Fig8(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -18,6 +18,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -176,7 +177,7 @@ func runWithShutdown(sd *obs.Shutdown, args []string, stdout, stderr io.Writer) 
 		}
 		return nil
 	}
-	defer closeEvents()
+	defer func() { _ = closeEvents() }()
 	var live *obs.Live
 	if *httpAddr != "" {
 		live = obs.NewLive()
@@ -245,7 +246,7 @@ func runWithShutdown(sd *obs.Shutdown, args []string, stdout, stderr io.Writer) 
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		defer func() { _ = f.Close() }()
 		var r io.Reader = f
 		if profile.Trace() {
 			st, err := f.Stat()
@@ -278,7 +279,7 @@ func runWithShutdown(sd *obs.Shutdown, args []string, stdout, stderr io.Writer) 
 	// On resume, spool past the events the checkpointed run already consumed.
 	for i := 0; i < skip; i++ {
 		if _, err := src.Read(); err != nil {
-			return fmt.Errorf("checkpoint cursor %d is past the end of this trace (event %d: %v)", skip, i, err)
+			return fmt.Errorf("checkpoint cursor %d is past the end of this trace (event %d: %w)", skip, i, err)
 		}
 	}
 
@@ -294,7 +295,7 @@ func runWithShutdown(sd *obs.Shutdown, args []string, stdout, stderr io.Writer) 
 		default:
 		}
 		e, err := src.Read()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			done = true
 			break
 		}
@@ -321,7 +322,7 @@ func runWithShutdown(sd *obs.Shutdown, args []string, stdout, stderr io.Writer) 
 		for err != nil {
 			e, rerr := src.Read()
 			if rerr != nil {
-				return fmt.Errorf("no checkpointable state before trace end: %v", err)
+				return fmt.Errorf("no checkpointable state before trace end: %w", err)
 			}
 			if serr := s.Step(&e); serr != nil {
 				return serr
@@ -514,7 +515,7 @@ func runCompare(w io.Writer, fs *flag.FlagSet, specs, selection string, preamble
 			return err
 		}
 		tr, err = trace.ReadAll(f)
-		f.Close()
+		_ = f.Close()
 		if err != nil {
 			return err
 		}

@@ -71,7 +71,7 @@ func runWithShutdown(sd *obs.Shutdown, args []string, stdout, stderr io.Writer) 
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }()
 
 	// ReadAll validates every line (schema version, exactly one payload
 	// matching the type tag, contiguous sequence numbers), so -check is just

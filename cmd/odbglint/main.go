@@ -2,16 +2,32 @@
 // analyzers that enforce the simulator's reproducibility contract over the
 // module and exits nonzero on any finding.
 //
-//	go run ./cmd/odbglint ./...     # what make lint and CI run
-//	go run ./cmd/odbglint -list     # show the analyzers
+//	go run ./cmd/odbglint ./...               # what make lint and CI run
+//	go run ./cmd/odbglint -list               # show the analyzers
+//	go run ./cmd/odbglint -only goleak ./...  # one analyzer (comma-separable)
 //
 // The analyzers (see internal/analysis/...):
 //
-//	detrand    unseeded randomness, wall-clock reads, env lookups in
-//	           deterministic packages
-//	maporder   map iteration order leaking into slices, output, encoders
-//	nopanic    panic / log.Fatal* / os.Exit outside package main and tests
-//	snapcover  snapshot state structs with unencoded or undecoded fields
+//	detrand            unseeded randomness, wall-clock reads, env lookups
+//	                   in deterministic packages
+//	maporder           map iteration order leaking into slices, output,
+//	                   encoders
+//	nopanic            panic / log.Fatal* / os.Exit outside package main
+//	                   and tests
+//	snapcover          snapshot state structs with unencoded or undecoded
+//	                   fields
+//	ctxflow            context.Context threading: first parameter, never a
+//	                   struct field, checked in unbounded loops
+//	errflow            discarded errors, ==/!= sentinel comparisons, and
+//	                   non-%w wrapping of classified errors
+//	goleak             go statements whose goroutines can never observe
+//	                   cancellation
+//	detrand-transitive call chains from deterministic packages to
+//	                   randomness, clocks, or the environment
+//
+// The last four are dataflow analyzers built on the control-flow graphs of
+// internal/analysis/cfg and the whole-module call graph of
+// internal/analysis/callgraph.
 //
 // A genuinely intended violation is suppressed in place with
 //
@@ -27,9 +43,14 @@ import (
 	"go/token"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"odbgc/internal/analysis"
+	"odbgc/internal/analysis/ctxflow"
 	"odbgc/internal/analysis/detrand"
+	"odbgc/internal/analysis/detrandtrans"
+	"odbgc/internal/analysis/errflow"
+	"odbgc/internal/analysis/goleak"
 	"odbgc/internal/analysis/maporder"
 	"odbgc/internal/analysis/nopanic"
 	"odbgc/internal/analysis/snapcover"
@@ -40,20 +61,58 @@ var analyzers = []*analysis.Analyzer{
 	maporder.Analyzer,
 	nopanic.Analyzer,
 	snapcover.Analyzer,
+	ctxflow.Analyzer,
+	errflow.Analyzer,
+	goleak.Analyzer,
+	detrandtrans.Analyzer,
+}
+
+// selectAnalyzers filters the suite down to the comma-separated names in
+// only; an empty only keeps everything. Unknown names are an error so a
+// typo cannot silently lint nothing.
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	if only == "" {
+		return analyzers, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(analyzers))
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (run -list for the suite)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
 }
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	only := flag.String("only", "", "run only the named analyzers (comma-separated)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: odbglint [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: odbglint [-only analyzer,...] [packages]\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	suite, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odbglint:", err)
+		os.Exit(2)
+	}
+	// Allow directives are validated against the full suite even under
+	// -only, so a suppression for an unselected analyzer stays legal.
+	for _, a := range analyzers {
+		analysis.KnownAllowNames = append(analysis.KnownAllowNames, a.Name)
 	}
 	patterns := flag.Args()
 	if len(patterns) == 0 {
@@ -66,7 +125,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "odbglint:", err)
 		os.Exit(2)
 	}
-	findings, err := analysis.RunPackages(pkgs, analyzers)
+	findings, err := analysis.RunPackages(pkgs, suite)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "odbglint:", err)
 		os.Exit(2)

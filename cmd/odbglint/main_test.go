@@ -25,7 +25,7 @@ func TestLintTreeClean(t *testing.T) {
 	}
 }
 
-// TestListAnalyzers asserts the four contract analyzers are wired in.
+// TestListAnalyzers asserts all eight contract analyzers are wired in.
 func TestListAnalyzers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("go run is slow")
@@ -36,10 +36,47 @@ func TestListAnalyzers(t *testing.T) {
 	if err != nil {
 		t.Fatalf("odbglint -list: %v\n%s", err, out)
 	}
-	for _, name := range []string{"detrand", "maporder", "nopanic", "snapcover"} {
+	for _, name := range []string{
+		"detrand", "maporder", "nopanic", "snapcover",
+		"ctxflow", "errflow", "goleak", "detrand-transitive",
+	} {
 		if !strings.Contains(string(out), name) {
 			t.Errorf("odbglint -list output is missing %q:\n%s", name, out)
 		}
+	}
+}
+
+// TestOnlyFlag pins the -only selector: a single analyzer runs clean over a
+// package, and a typo is a hard error rather than an accidental no-op lint.
+func TestOnlyFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("go run is slow")
+	}
+	root := moduleRoot(t)
+
+	cmd := exec.Command("go", "run", "./cmd/odbglint", "-only", "goleak,ctxflow", "./internal/simerr/...")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("odbglint -only goleak,ctxflow: %v\n%s", err, out)
+	}
+
+	// internal/sim carries //lint:allow directives for unselected analyzers
+	// (detrand, goleak); running a subset must not misreport them as
+	// naming unknown analyzers.
+	cmd = exec.Command("go", "run", "./cmd/odbglint", "-only", "errflow", "./internal/sim/")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("odbglint -only errflow over a package with detrand allows: %v\n%s", err, out)
+	}
+
+	cmd = exec.Command("go", "run", "./cmd/odbglint", "-only", "nosuch", "./internal/simerr/...")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("odbglint -only nosuch succeeded; want an unknown-analyzer error\n%s", out)
+	}
+	if !strings.Contains(string(out), "unknown analyzer") {
+		t.Errorf("odbglint -only nosuch error does not name the problem:\n%s", out)
 	}
 }
 

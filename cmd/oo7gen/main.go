@@ -79,13 +79,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
+	// A close failure on the output file can mean unflushed trace bytes, so
+	// it fails the run rather than being deferred away.
 	var w io.Writer = stdout
+	closeOut := func() error { return nil }
 	if *out != "-" {
 		f, err := os.Create(*out)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		closeOut = f.Close
 		w = f
 	}
 	var err error
@@ -95,7 +98,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		err = trace.WriteAll(w, tr)
 	}
 	if err != nil {
+		_ = closeOut()
 		return err
+	}
+	if err := closeOut(); err != nil {
+		return fmt.Errorf("writing %s: %w", *out, err)
 	}
 
 	if !*quiet {

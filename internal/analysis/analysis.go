@@ -29,13 +29,16 @@ type Analyzer struct {
 }
 
 // Pass carries one package's syntax and type information to an analyzer,
-// plus the Report callback that records findings.
+// plus the Report callback that records findings. Module widens the view to
+// every package of the run for the interprocedural analyzers; it is never
+// nil (single-package runs get a one-package module).
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	Module    *Module
 	Report    func(Diagnostic)
 }
 

@@ -39,11 +39,8 @@ var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
 func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPath string) {
 	t.Helper()
 
-	fset := token.NewFileSet()
-	pkg, err := loadFixture(fset, dir, pkgPath)
-	if err != nil {
-		t.Fatalf("loading fixture %s: %v", dir, err)
-	}
+	pkg := LoadPackage(t, dir, pkgPath)
+	fset := pkg.Fset
 	findings, err := analysis.RunPackage(pkg, []*analysis.Analyzer{a})
 	if err != nil {
 		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
@@ -130,6 +127,19 @@ func nextQuoted(s string) (string, string, error) {
 		}
 	}
 	return "", "", strconv.ErrSyntax
+}
+
+// LoadPackage parses and typechecks one fixture package (all non-test .go
+// files in dir) under the pretended import path pkgPath, failing the test on
+// any error. The cfg and callgraph test suites share it to load their
+// fixture functions.
+func LoadPackage(t *testing.T, dir string, pkgPath string) *analysis.Package {
+	t.Helper()
+	pkg, err := loadFixture(token.NewFileSet(), dir, pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	return pkg
 }
 
 // loadFixture parses and typechecks the fixture package. Fixture files may

@@ -1,0 +1,211 @@
+// Package callgraph builds a static call graph over the packages of one
+// analysis run, resolved through go/types: an edge exists from function F
+// to function G when F's body (including its function literals) contains a
+// call that the type checker resolves to G. Dynamic calls — through
+// function values, interface methods without a syntactic receiver type —
+// have no edge; the graph under-approximates, which is the right direction
+// for analyzers that report findings (no false positives from impossible
+// chains).
+//
+// Calls inside a function literal are attributed to the enclosing declared
+// function: for "does F transitively reach X" questions a closure's body is
+// work F can trigger, no matter when the closure actually runs.
+//
+// The module's packages are walked in load order and each body in source
+// order, so node and edge order — and therefore every query answer — is
+// deterministic across runs.
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"odbgc/internal/analysis"
+)
+
+// Graph is the static call graph of one module load.
+type Graph struct {
+	nodes map[*types.Func]*Node
+	// order lists nodes with bodies in deterministic (package, source)
+	// order.
+	order []*Node
+}
+
+// Node is one function: declared in the module (Decl non-nil) or an
+// external callee we only see as a target (Decl nil, no out-edges).
+type Node struct {
+	Func *types.Func
+	// Decl is the function's syntax when it was declared in an analyzed
+	// package; nil for callees outside the loaded set (stdlib functions,
+	// interface methods).
+	Decl *ast.FuncDecl
+	// Pkg is the analyzed package that declared the function, nil when
+	// Decl is nil.
+	Pkg *analysis.Package
+	// Out lists the node's call edges in source order.
+	Out []*Edge
+}
+
+// Edge is one resolved call site.
+type Edge struct {
+	Caller, Callee *Node
+	// Site is the call expression, in the caller's body.
+	Site *ast.CallExpr
+}
+
+// Pos returns the call site's position token.
+func (e *Edge) Pos() token.Pos { return e.Site.Pos() }
+
+// memoKey namespaces the graph in analysis.Module.Memo.
+const memoKey = "callgraph"
+
+// For returns the module's call graph, building it on first use and
+// sharing it across analyzers through the module's memo.
+func For(mod *analysis.Module) *Graph {
+	v, _ := mod.Memo(memoKey, func() (any, error) {
+		return build(mod.Packages), nil
+	})
+	return v.(*Graph)
+}
+
+func build(pkgs []*analysis.Package) *Graph {
+	g := &Graph{nodes: make(map[*types.Func]*Node)}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := g.intern(fn)
+				n.Decl, n.Pkg = fd, pkg
+				g.order = append(g.order, n)
+			}
+		}
+	}
+	for _, n := range g.order {
+		caller := n
+		ast.Inspect(n.Decl, func(node ast.Node) bool {
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := Callee(caller.Pkg.Info, call)
+			if callee == nil {
+				return true
+			}
+			target := g.intern(callee)
+			caller.Out = append(caller.Out, &Edge{Caller: caller, Callee: target, Site: call})
+			return true
+		})
+	}
+	return g
+}
+
+func (g *Graph) intern(fn *types.Func) *Node {
+	if n, ok := g.nodes[fn]; ok {
+		return n
+	}
+	n := &Node{Func: fn}
+	g.nodes[fn] = n
+	return n
+}
+
+// Callee resolves a call expression to the *types.Func it statically
+// invokes: a plain function, a method (through a concrete or interface
+// receiver), or a qualified pkg.Func. Calls through function-typed values,
+// type conversions, and builtins resolve to nil.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Qualified identifier: pkg.Func.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// Lookup returns the node for fn, or nil when fn never appears in the
+// graph (neither declared nor called).
+func (g *Graph) Lookup(fn *types.Func) *Node { return g.nodes[fn] }
+
+// Nodes lists every declared function's node in deterministic order.
+func (g *Graph) Nodes() []*Node { return g.order }
+
+// TransitiveCallees returns every function reachable from fn through call
+// edges (fn itself excluded unless it is in a call cycle), in deterministic
+// BFS order.
+func (g *Graph) TransitiveCallees(fn *types.Func) []*Node {
+	start := g.nodes[fn]
+	if start == nil {
+		return nil
+	}
+	var out []*Node
+	seen := map[*Node]bool{}
+	work := []*Node{start}
+	for len(work) > 0 {
+		n := work[0]
+		work = work[1:]
+		for _, e := range n.Out {
+			if !seen[e.Callee] {
+				seen[e.Callee] = true
+				out = append(out, e.Callee)
+				work = append(work, e.Callee)
+			}
+		}
+	}
+	return out
+}
+
+// PathTo returns a shortest chain of edges from fn to some node satisfying
+// pred, or nil when none is reachable. Ties break toward earlier call
+// sites, so the answer is deterministic and points at real source.
+func (g *Graph) PathTo(fn *types.Func, pred func(*Node) bool) []*Edge {
+	start := g.nodes[fn]
+	if start == nil {
+		return nil
+	}
+	type visit struct {
+		node *Node
+		via  *Edge
+		prev *visit
+	}
+	seen := map[*Node]bool{start: true}
+	queue := []*visit{{node: start}}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range v.node.Out {
+			if seen[e.Callee] {
+				continue
+			}
+			next := &visit{node: e.Callee, via: e, prev: v}
+			if pred(e.Callee) {
+				var path []*Edge
+				for w := next; w.via != nil; w = w.prev {
+					path = append([]*Edge{w.via}, path...)
+				}
+				return path
+			}
+			seen[e.Callee] = true
+			queue = append(queue, next)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package callgraph_test
+
+import (
+	"go/types"
+	"sort"
+	"testing"
+
+	"odbgc/internal/analysis"
+	"odbgc/internal/analysis/analysistest"
+	"odbgc/internal/analysis/callgraph"
+)
+
+func buildFixture(t *testing.T) (*callgraph.Graph, *analysis.Package) {
+	t.Helper()
+	pkg := analysistest.LoadPackage(t, "testdata/src/fixture", "example.com/fixture")
+	g := callgraph.For(analysis.NewModule([]*analysis.Package{pkg}))
+	return g, pkg
+}
+
+// fn looks a function or method up by name ("A", "T.M") in the fixture.
+func fn(t *testing.T, pkg *analysis.Package, name string) *types.Func {
+	t.Helper()
+	for _, n := range []string{name} {
+		if obj := pkg.Types.Scope().Lookup(n); obj != nil {
+			if f, ok := obj.(*types.Func); ok {
+				return f
+			}
+		}
+	}
+	// Method form: Recv.Name.
+	for i := 0; i < len(name); i++ {
+		if name[i] != '.' {
+			continue
+		}
+		recv, meth := name[:i], name[i+1:]
+		obj := pkg.Types.Scope().Lookup(recv)
+		named, ok := obj.Type().(*types.Named)
+		if !ok {
+			break
+		}
+		for j := 0; j < named.NumMethods(); j++ {
+			if named.Method(j).Name() == meth {
+				return named.Method(j)
+			}
+		}
+	}
+	t.Fatalf("fixture has no function %q", name)
+	return nil
+}
+
+func calleeNames(g *callgraph.Graph, f *types.Func) []string {
+	var out []string
+	for _, n := range g.TransitiveCallees(f) {
+		out = append(out, n.Func.Name())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestTransitiveCallees(t *testing.T) {
+	g, pkg := buildFixture(t)
+	tests := []struct {
+		fn   string
+		want []string
+	}{
+		{"A", []string{"B", "C"}},
+		{"B", []string{"C"}},
+		{"C", nil},
+		{"D", []string{"A", "B", "C"}},
+		{"Closure", []string{"helper"}},
+		{"CallsMethod", []string{"M", "helper"}},
+		{"Dynamic", nil},
+		{"Cycle1", []string{"Cycle1", "Cycle2"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.fn, func(t *testing.T) {
+			got := calleeNames(g, fn(t, pkg, tt.fn))
+			if len(got) != len(tt.want) {
+				t.Fatalf("TransitiveCallees(%s) = %v, want %v", tt.fn, got, tt.want)
+			}
+			for i := range got {
+				if got[i] != tt.want[i] {
+					t.Fatalf("TransitiveCallees(%s) = %v, want %v", tt.fn, got, tt.want)
+				}
+			}
+		})
+	}
+}
+
+func TestDirectEdgesAreSourceOrdered(t *testing.T) {
+	g, pkg := buildFixture(t)
+	n := g.Lookup(fn(t, pkg, "A"))
+	if n == nil {
+		t.Fatal("no node for A")
+	}
+	var got []string
+	for _, e := range n.Out {
+		got = append(got, e.Callee.Func.Name())
+	}
+	want := []string{"B", "C"}
+	if len(got) != len(want) {
+		t.Fatalf("A's edges = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("A's edges = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPathTo(t *testing.T) {
+	g, pkg := buildFixture(t)
+	isC := func(n *callgraph.Node) bool { return n.Func.Name() == "C" }
+
+	path := g.PathTo(fn(t, pkg, "D"), isC)
+	if path == nil {
+		t.Fatal("no path from D to C")
+	}
+	// Shortest chain is D -> A -> C (A calls C directly).
+	var names []string
+	for _, e := range path {
+		names = append(names, e.Callee.Func.Name())
+	}
+	if len(names) != 2 || names[0] != "A" || names[1] != "C" {
+		t.Fatalf("path D=>C = %v, want [A C]", names)
+	}
+	for _, e := range path {
+		if !e.Pos().IsValid() {
+			t.Error("edge has no valid source position")
+		}
+	}
+
+	if p := g.PathTo(fn(t, pkg, "Dynamic"), isC); p != nil {
+		t.Fatalf("Dynamic should reach nothing, got path of %d edges", len(p))
+	}
+}
+
+func TestMethodResolution(t *testing.T) {
+	g, pkg := buildFixture(t)
+	m := fn(t, pkg, "T.M")
+	got := calleeNames(g, m)
+	if len(got) != 1 || got[0] != "helper" {
+		t.Fatalf("T.M callees = %v, want [helper]", got)
+	}
+}

@@ -1,0 +1,56 @@
+// Package fixture is a small call web for the callgraph tests: fan-out,
+// shared callees, a method call, a closure, a cycle, and a dynamic call
+// that must produce no edge.
+package fixture
+
+func A() {
+	B()
+	C()
+}
+
+func B() {
+	C()
+}
+
+func C() {}
+
+// D reaches everything through A.
+func D() {
+	A()
+}
+
+// Closure calls helper from inside a function literal; the edge belongs to
+// Closure.
+func Closure() {
+	f := func() {
+		helper()
+	}
+	f()
+}
+
+func helper() {}
+
+type T struct{}
+
+func (T) M() {
+	helper()
+}
+
+// CallsMethod resolves a concrete method call.
+func CallsMethod() {
+	T{}.M()
+}
+
+// Dynamic calls through a function value: no static edge.
+func Dynamic(f func()) {
+	f()
+}
+
+// Cycle1 and Cycle2 call each other.
+func Cycle1() {
+	Cycle2()
+}
+
+func Cycle2() {
+	Cycle1()
+}

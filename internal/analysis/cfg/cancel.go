@@ -1,0 +1,116 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file holds the type-aware cancellation queries shared by the ctxflow
+// and goleak analyzers: given a loop of the graph, can each iteration
+// observe cancellation? Syntactic structure comes from the graph; the
+// *types.Info distinguishes a context.Context receiver from an arbitrary
+// value with a Done method.
+
+// LoopCancelable reports whether every trip around l can observe
+// cancellation. A loop qualifies when
+//
+//   - it ranges over a channel (a close() ends it),
+//   - its body contains a receive from a context's Done() channel or a call
+//     to a context's Err() method, or
+//   - its body contains a select/receive on some channel from which control
+//     escapes the loop (the done-channel idiom: `case <-done: return`).
+func (g *Graph) LoopCancelable(l *Loop, info *types.Info) bool {
+	if r, ok := l.Stmt.(*ast.RangeStmt); ok && isChanType(info.TypeOf(r.X)) {
+		return true
+	}
+	for _, blk := range l.Body {
+		for _, n := range blk.Nodes {
+			if nodeHasCtxCheck(n, info) {
+				return true
+			}
+			// A receive (select comm or plain) whose continuation can leave
+			// the loop without coming back around.
+			if recvStmt(n, info) && g.Escapes(l, blk) {
+				return true
+			}
+		}
+	}
+	// The head's own nodes (a condition like `ctx.Err() == nil`).
+	for _, n := range l.Head.Nodes {
+		if nodeHasCtxCheck(n, info) {
+			return true
+		}
+	}
+	return false
+}
+
+// nodeHasCtxCheck reports whether the node contains `<-ctx.Done()` or
+// `ctx.Err()` for a context.Context-typed ctx. Function literals are not
+// descended into — their bodies run on their own schedule.
+func nodeHasCtxCheck(root ast.Node, info *types.Info) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Done" && sel.Sel.Name != "Err" {
+			return true
+		}
+		if IsContextType(info.TypeOf(sel.X)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// recvStmt reports whether the statement performs a channel receive at its
+// top level (a select comm clause's `<-ch` / `v := <-ch`, or a plain
+// receive statement).
+func recvStmt(n ast.Node, info *types.Info) bool {
+	expr := func(e ast.Expr) bool {
+		u, ok := e.(*ast.UnaryExpr)
+		return ok && u.Op.String() == "<-" && isChanType(info.TypeOf(u.X))
+	}
+	switch s := n.(type) {
+	case *ast.ExprStmt:
+		return expr(s.X)
+	case *ast.AssignStmt:
+		return len(s.Rhs) == 1 && expr(s.Rhs[0])
+	}
+	return false
+}
+
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// IsContextType reports whether t is context.Context (possibly through a
+// named alias).
+func IsContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -1,0 +1,409 @@
+// Package cfg builds intra-procedural control-flow graphs over go/ast
+// function bodies, for the dataflow analyzers in the odbglint suite. It is
+// a deliberately small mirror of golang.org/x/tools/go/cfg: basic blocks of
+// statements connected by successor edges, a synthetic entry and exit, and
+// the two queries the analyzers need — reachability and the set of loops
+// (with the blocks each loop body comprises).
+//
+// The graph is built syntactically, one block per straight-line run of
+// statements, with edges for if/for/range/switch/select/branch/return
+// control flow. Function literals nested in a body are NOT traversed: a
+// closure runs on its own schedule (possibly on another goroutine), so each
+// literal gets its own graph via New. Panics and deferred calls are ignored
+// — the analyzers built on top reason about cooperative cancellation and
+// sink reachability, for which ordinary control flow is the right
+// abstraction.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Entry is the block control enters first. Exit is the synthetic block
+	// every return (and the fall-off-the-end path) feeds; it holds no
+	// statements and has no successors.
+	Entry, Exit *Block
+	// Blocks lists every block in creation order; Blocks[i].Index == i.
+	Blocks []*Block
+	// Loops records each for/range statement encountered, outermost first,
+	// with the block span of its body. Loops formed only by goto are not
+	// recorded.
+	Loops []*Loop
+}
+
+// Block is a basic block: statements that execute in sequence, then a
+// transfer to one of Succs.
+type Block struct {
+	Index int
+	// Nodes holds the block's statements and control expressions in source
+	// order: plain statements verbatim, the Cond of an if/for that ends the
+	// block, the comm statement of a select case, and the range statement
+	// itself for a range head.
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// Loop is one for or range statement of the body.
+type Loop struct {
+	// Stmt is the *ast.ForStmt or *ast.RangeStmt.
+	Stmt ast.Stmt
+	// Head is the block the back edge returns to (the condition / range
+	// head).
+	Head *Block
+	// Body lists the blocks created for the loop body — including any
+	// nested loops' blocks, which belong to the outer body too.
+	Body []*Block
+	// Unbounded marks a `for { ... }` with no condition and no range
+	// clause: control leaves only through break, return, or goto.
+	Unbounded bool
+}
+
+// New builds the graph of one function body (from an *ast.FuncDecl.Body or
+// *ast.FuncLit.Body). A nil body yields a graph whose entry is its exit.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{g: g}
+	g.Exit = b.newBlock() // Index 0
+	g.Entry = b.newBlock()
+	if body != nil {
+		cur := b.stmts(body.List, g.Entry)
+		b.edge(cur, g.Exit)
+		b.resolveGotos()
+	} else {
+		b.edge(g.Entry, g.Exit)
+	}
+	return g
+}
+
+// Reachable returns the set of blocks reachable from `from` (inclusive),
+// following successor edges.
+func (g *Graph) Reachable(from *Block) map[*Block]bool {
+	seen := map[*Block]bool{from: true}
+	work := []*Block{from}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return seen
+}
+
+// Escapes reports whether, starting from `from`, control can leave the
+// loop without passing through its head: it reaches the function exit or
+// any block outside the loop body. This is the query the cancellation
+// analyzers use — a `case <-done: return` inside a loop is an escape, a
+// case that merely continues the loop is not.
+func (g *Graph) Escapes(l *Loop, from *Block) bool {
+	inBody := make(map[*Block]bool, len(l.Body))
+	for _, b := range l.Body {
+		inBody[b] = true
+	}
+	seen := map[*Block]bool{from: true}
+	work := []*Block{from}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		if b == g.Exit || (!inBody[b] && b != l.Head && b != from) {
+			return true
+		}
+		if b == l.Head {
+			continue // looped around; do not search past the head
+		}
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return false
+}
+
+// builder constructs the graph one statement at a time. Each stmt method
+// takes the current block and returns the block where following statements
+// continue (possibly a fresh, unreachable block after a return or branch).
+type builder struct {
+	g *Graph
+
+	// breaks and continues are stacks of enclosing targets; label "" is the
+	// innermost loop/switch/select.
+	breaks    []ctrlTarget
+	continues []ctrlTarget
+
+	labels map[string]*Block
+	gotos  []pendingGoto
+}
+
+type ctrlTarget struct {
+	label string
+	block *Block
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *builder) stmts(list []ast.Stmt, cur *Block) *Block {
+	for _, s := range list {
+		cur = b.stmt(s, cur, "")
+	}
+	return cur
+}
+
+// stmt extends the graph with one statement. label is the pending label
+// when s is the body of a LabeledStmt (so break/continue can target it).
+func (b *builder) stmt(s ast.Stmt, cur *Block, label string) *Block {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(s.List, cur)
+
+	case *ast.LabeledStmt:
+		// The label names a join point goto can target; loops and switches
+		// additionally register it as a break/continue target.
+		target := b.newBlock()
+		b.edge(cur, target)
+		if b.labels == nil {
+			b.labels = make(map[string]*Block)
+		}
+		b.labels[s.Label.Name] = target
+		return b.stmt(s.Stmt, target, s.Label.Name)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		cur.Nodes = append(cur.Nodes, s.Cond)
+		then := b.newBlock()
+		b.edge(cur, then)
+		thenEnd := b.stmts(s.Body.List, then)
+		after := b.newBlock()
+		b.edge(thenEnd, after)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cur, els)
+			elseEnd := b.stmt(s.Else, els, "")
+			b.edge(elseEnd, after)
+		} else {
+			b.edge(cur, after)
+		}
+		return after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		head := b.newBlock()
+		b.edge(cur, head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		after := b.newBlock()
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		loop := &Loop{Stmt: s, Head: head, Unbounded: s.Cond == nil}
+		b.g.Loops = append(b.g.Loops, loop)
+
+		bodyStart := len(b.g.Blocks)
+		body := b.newBlock()
+		b.edge(head, body)
+		b.pushLoop(label, after, head)
+		bodyEnd := b.stmts(s.Body.List, body)
+		b.popLoop()
+		if s.Post != nil {
+			bodyEnd.Nodes = append(bodyEnd.Nodes, s.Post)
+		}
+		b.edge(bodyEnd, head) // back edge
+		loop.Body = b.g.Blocks[bodyStart:len(b.g.Blocks)]
+		return after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		b.edge(cur, head)
+		head.Nodes = append(head.Nodes, s)
+		after := b.newBlock()
+		b.edge(head, after) // range exhausts (or channel closes)
+		loop := &Loop{Stmt: s, Head: head}
+		b.g.Loops = append(b.g.Loops, loop)
+
+		bodyStart := len(b.g.Blocks)
+		body := b.newBlock()
+		b.edge(head, body)
+		b.pushLoop(label, after, head)
+		bodyEnd := b.stmts(s.Body.List, body)
+		b.popLoop()
+		b.edge(bodyEnd, head) // back edge
+		loop.Body = b.g.Blocks[bodyStart:len(b.g.Blocks)]
+		return after
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var bodyList []ast.Stmt
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			if sw.Init != nil {
+				cur.Nodes = append(cur.Nodes, sw.Init)
+			}
+			if sw.Tag != nil {
+				cur.Nodes = append(cur.Nodes, sw.Tag)
+			}
+			bodyList = sw.Body.List
+		case *ast.TypeSwitchStmt:
+			if sw.Init != nil {
+				cur.Nodes = append(cur.Nodes, sw.Init)
+			}
+			cur.Nodes = append(cur.Nodes, sw.Assign)
+			bodyList = sw.Body.List
+		}
+		after := b.newBlock()
+		b.breaks = append(b.breaks, ctrlTarget{label: label, block: after}, ctrlTarget{label: "", block: after})
+		hasDefault := false
+		var caseBlocks []*Block
+		var caseClauses []*ast.CaseClause
+		for _, cs := range bodyList {
+			cc := cs.(*ast.CaseClause)
+			blk := b.newBlock()
+			b.edge(cur, blk)
+			for _, e := range cc.List {
+				blk.Nodes = append(blk.Nodes, e)
+			}
+			if cc.List == nil {
+				hasDefault = true
+			}
+			caseBlocks = append(caseBlocks, blk)
+			caseClauses = append(caseClauses, cc)
+		}
+		for i, cc := range caseClauses {
+			end := b.stmts(cc.Body, caseBlocks[i])
+			if ft := fallsThrough(cc.Body); ft && i+1 < len(caseBlocks) {
+				b.edge(end, caseBlocks[i+1])
+			} else {
+				b.edge(end, after)
+			}
+		}
+		if !hasDefault {
+			b.edge(cur, after)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-2]
+		return after
+
+	case *ast.SelectStmt:
+		after := b.newBlock()
+		b.breaks = append(b.breaks, ctrlTarget{label: label, block: after}, ctrlTarget{label: "", block: after})
+		for _, cs := range s.Body.List {
+			cc := cs.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(cur, blk)
+			if cc.Comm != nil {
+				blk.Nodes = append(blk.Nodes, cc.Comm)
+			}
+			end := b.stmts(cc.Body, blk)
+			b.edge(end, after)
+		}
+		if len(s.Body.List) == 0 {
+			// An empty select blocks forever: no successors.
+		}
+		b.breaks = b.breaks[:len(b.breaks)-2]
+		return after
+
+	case *ast.ReturnStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		b.edge(cur, b.g.Exit)
+		return b.newBlock() // dead continuation
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if t := findTarget(b.breaks, labelName(s)); t != nil {
+				b.edge(cur, t)
+			}
+			return b.newBlock()
+		case token.CONTINUE:
+			if t := findTarget(b.continues, labelName(s)); t != nil {
+				b.edge(cur, t)
+			}
+			return b.newBlock()
+		case token.GOTO:
+			b.gotos = append(b.gotos, pendingGoto{from: cur, label: s.Label.Name})
+			return b.newBlock()
+		case token.FALLTHROUGH:
+			// Handled structurally by the switch builder.
+			return cur
+		}
+		return cur
+
+	default:
+		// Plain statement: declarations, assignments, sends, expression
+		// statements (including calls, go, defer), inc/dec, empty.
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+	}
+}
+
+func (b *builder) pushLoop(label string, brk, cont *Block) {
+	b.breaks = append(b.breaks, ctrlTarget{label: label, block: brk}, ctrlTarget{label: "", block: brk})
+	b.continues = append(b.continues, ctrlTarget{label: label, block: cont}, ctrlTarget{label: "", block: cont})
+}
+
+func (b *builder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-2]
+	b.continues = b.continues[:len(b.continues)-2]
+}
+
+func (b *builder) resolveGotos() {
+	for _, g := range b.gotos {
+		if t, ok := b.labels[g.label]; ok {
+			b.edge(g.from, t)
+		}
+	}
+}
+
+func labelName(s *ast.BranchStmt) string {
+	if s.Label != nil {
+		return s.Label.Name
+	}
+	return ""
+}
+
+// findTarget resolves a break/continue label against the target stack,
+// innermost first. label "" matches the innermost unlabeled target.
+func findTarget(stack []ctrlTarget, label string) *Block {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i].label == label && (label != "" || stack[i].block != nil) {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+// fallsThrough reports whether a case body ends in a fallthrough statement.
+func fallsThrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}

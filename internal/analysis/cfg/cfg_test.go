@@ -1,0 +1,264 @@
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strconv"
+	"testing"
+)
+
+// buildGraph parses a function body (the braces included) and builds its
+// graph. Marker calls of the form mark("name") label blocks so tests can
+// assert structure without depending on block indexes.
+func buildGraph(t *testing.T, body string) (*Graph, map[string]*Block) {
+	t.Helper()
+	src := "package p\nfunc mark(string) {}\nvar ch chan int\nvar done chan struct{}\nvar xs []int\nvar cond bool\nfunc f() " + body
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "fixture.go", src, 0)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	var fn *ast.FuncDecl
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			fn = fd
+		}
+	}
+	if fn == nil {
+		t.Fatal("fixture has no func f")
+	}
+	g := New(fn.Body)
+	marks := make(map[string]*Block)
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			ast.Inspect(n, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "mark" || len(call.Args) != 1 {
+					return true
+				}
+				lit, ok := call.Args[0].(*ast.BasicLit)
+				if !ok {
+					return true
+				}
+				name, _ := strconv.Unquote(lit.Value)
+				marks[name] = b
+				return true
+			})
+		}
+	}
+	return g, marks
+}
+
+func TestStructure(t *testing.T) {
+	tests := []struct {
+		name string
+		body string
+		// reach lists "from->to" pairs that must hold; noreach pairs that
+		// must not. "exit" names the synthetic exit block.
+		reach   []string
+		noreach []string
+	}{
+		{
+			name:  "straight line",
+			body:  `{ mark("a"); mark("b") }`,
+			reach: []string{"a->b", "a->exit"},
+		},
+		{
+			name:    "if both arms join",
+			body:    `{ mark("a"); if cond { mark("t") } else { mark("e") }; mark("j") }`,
+			reach:   []string{"a->t", "a->e", "t->j", "e->j"},
+			noreach: []string{"t->e", "e->t"},
+		},
+		{
+			name:    "return ends flow",
+			body:    `{ mark("a"); if cond { mark("t"); return }; mark("j") }`,
+			reach:   []string{"a->t", "a->j", "t->exit"},
+			noreach: []string{"t->j"},
+		},
+		{
+			name:  "for loop back edge",
+			body:  `{ for i := 0; i < 3; i++ { mark("body") }; mark("after") }`,
+			reach: []string{"body->body", "body->after"},
+		},
+		{
+			name:    "unbounded for without break traps control",
+			body:    `{ for { mark("body") }; mark("after") }`,
+			reach:   []string{"body->body"},
+			noreach: []string{"body->after", "body->exit"},
+		},
+		{
+			name:  "unbounded for with break escapes",
+			body:  `{ for { mark("body"); if cond { break } }; mark("after") }`,
+			reach: []string{"body->after", "body->exit"},
+		},
+		{
+			name:  "range loop exits on exhaustion",
+			body:  `{ for range xs { mark("body") }; mark("after") }`,
+			reach: []string{"body->body", "body->after"},
+		},
+		{
+			name:    "switch cases are exclusive",
+			body:    `{ switch { case cond: mark("a"); default: mark("b") }; mark("j") }`,
+			reach:   []string{"a->j", "b->j"},
+			noreach: []string{"a->b", "b->a"},
+		},
+		{
+			name:  "select case can return",
+			body:  `{ for { select { case <-ch: mark("work"); case <-done: mark("quit"); return } } }`,
+			reach: []string{"quit->exit", "work->work", "work->quit"},
+		},
+		{
+			name:    "labeled break leaves outer loop",
+			body:    `{ outer: for { for { mark("inner"); break outer }; mark("deadtail") }; mark("after") }`,
+			reach:   []string{"inner->after"},
+			noreach: []string{"inner->deadtail"},
+		},
+		{
+			name:  "goto forms explicit edge",
+			body:  `{ mark("a"); goto L; mark("dead"); L: mark("l") }`,
+			reach: []string{"a->l"},
+			// The statement after an unconditional goto is dead.
+			noreach: []string{"a->dead"},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g, marks := buildGraph(t, tt.body)
+			lookup := func(name string) *Block {
+				if name == "exit" {
+					return g.Exit
+				}
+				b, ok := marks[name]
+				if !ok {
+					t.Fatalf("no block marked %q", name)
+				}
+				return b
+			}
+			check := func(pair string, want bool) {
+				var from, to string
+				if _, err := fmt.Sscanf(pair, "%s", &from); err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i+1 < len(pair); i++ {
+					if pair[i] == '-' && pair[i+1] == '>' {
+						from, to = pair[:i], pair[i+2:]
+					}
+				}
+				got := g.Reachable(lookup(from))[lookup(to)]
+				if got != want {
+					t.Errorf("reach %s = %v, want %v", pair, got, want)
+				}
+			}
+			for _, p := range tt.reach {
+				check(p, true)
+			}
+			for _, p := range tt.noreach {
+				check(p, false)
+			}
+		})
+	}
+}
+
+func TestEntryReachesExit(t *testing.T) {
+	g, _ := buildGraph(t, `{ if cond { return }; mark("a") }`)
+	if !g.Reachable(g.Entry)[g.Exit] {
+		t.Fatal("entry does not reach exit")
+	}
+}
+
+func TestSuccessorCounts(t *testing.T) {
+	tests := []struct {
+		name  string
+		body  string
+		mark  string
+		succs int
+	}{
+		{"plain block flows to one place", `{ mark("a"); mark("a2") }`, "a", 1},
+		{"if condition branches two ways", `{ mark("c"); if cond { _ = 1 }; _ = 2 }`, "c", 2},
+		{"unbounded loop body only loops", `{ for { mark("b") } }`, "b", 1},
+		{"return goes only to exit", `{ mark("r"); return }`, "r", 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, marks := buildGraph(t, tt.body)
+			b := marks[tt.mark]
+			if b == nil {
+				t.Fatalf("no block marked %q", tt.mark)
+			}
+			if len(b.Succs) != tt.succs {
+				t.Errorf("block %q has %d successors, want %d", tt.mark, len(b.Succs), tt.succs)
+			}
+		})
+	}
+}
+
+func TestLoops(t *testing.T) {
+	tests := []struct {
+		name      string
+		body      string
+		loops     int
+		unbounded []bool
+	}{
+		{"no loops", `{ mark("a") }`, 0, nil},
+		{"bounded for", `{ for i := 0; i < 3; i++ { _ = i } }`, 1, []bool{false}},
+		{"unbounded for", `{ for { mark("a") } }`, 1, []bool{true}},
+		{"range", `{ for range xs { _ = 1 } }`, 1, []bool{false}},
+		{"nested", `{ for { for range xs { _ = 1 } } }`, 2, []bool{true, false}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g, _ := buildGraph(t, tt.body)
+			if len(g.Loops) != tt.loops {
+				t.Fatalf("got %d loops, want %d", len(g.Loops), tt.loops)
+			}
+			for i, want := range tt.unbounded {
+				if g.Loops[i].Unbounded != want {
+					t.Errorf("loop %d unbounded = %v, want %v", i, g.Loops[i].Unbounded, want)
+				}
+			}
+		})
+	}
+}
+
+// TestNestedLoopBodyContainment asserts an outer loop's body includes the
+// blocks of a loop nested inside it — the property the leak analyzers rely
+// on when they scan a loop body for cancellation points.
+func TestNestedLoopBodyContainment(t *testing.T) {
+	g, marks := buildGraph(t, `{ for { for range xs { mark("inner") } } }`)
+	if len(g.Loops) != 2 {
+		t.Fatalf("got %d loops, want 2", len(g.Loops))
+	}
+	outer := g.Loops[0]
+	inner := marks["inner"]
+	found := false
+	for _, b := range outer.Body {
+		if b == inner {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("outer loop body does not contain the nested loop's block")
+	}
+}
+
+// TestEscapes pins the done-channel idiom query: a select case that
+// returns escapes the loop, one that continues does not.
+func TestEscapes(t *testing.T) {
+	g, marks := buildGraph(t, `{ for { select { case <-ch: mark("work"); case <-done: mark("quit"); return } } }`)
+	if len(g.Loops) != 1 {
+		t.Fatalf("got %d loops, want 1", len(g.Loops))
+	}
+	l := g.Loops[0]
+	if !g.Escapes(l, marks["quit"]) {
+		t.Error("quit case should escape the loop")
+	}
+	if g.Escapes(l, marks["work"]) {
+		t.Error("work case should not escape the loop")
+	}
+}

@@ -1,0 +1,222 @@
+// Package ctxflow enforces the context-propagation discipline the
+// cancellation PR established across the simulation driver: cancellation
+// must flow as an explicit context.Context argument from the CLI down to
+// every loop that does real work.
+//
+// Inside the covered packages (internal/sim, internal/experiments,
+// internal/fault) the analyzer reports:
+//
+//   - a context.Context stored in a struct field — stashing ctx hides the
+//     cancellation path and outlives the call it belongs to;
+//   - a function whose context.Context parameter is not first, breaking the
+//     convention every caller in the tree relies on;
+//   - an exported function that loops over work and calls context-accepting
+//     callees (or callees with a <name>Context sibling) without accepting a
+//     context itself, which forces the loop body to invent one;
+//   - an unbounded loop in a context-accepting function that never checks
+//     ctx.Err() or selects on ctx.Done(), so cancellation cannot interrupt
+//     it (checked on the function's control-flow graph);
+//   - context.Background()/context.TODO() passed while a ctx parameter is
+//     in scope, which silently detaches the callee from cancellation.
+//
+// Single-call delegation wrappers (Run calling RunContext with a fresh
+// Background) remain legal: only loops demand a threaded context.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"odbgc/internal/analysis"
+	"odbgc/internal/analysis/callgraph"
+	"odbgc/internal/analysis/cfg"
+)
+
+// Analyzer is the ctxflow check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "require context.Context threading: first parameter, never a struct field, checked in unbounded loops",
+	Run:  run,
+}
+
+// CoveredDirs names the package directories whose call paths must thread
+// contexts. These are the packages between the CLI's signal handler and the
+// batch engine's workers — the chain PR 4's graceful shutdown depends on.
+var CoveredDirs = []string{
+	"internal/sim",
+	"internal/experiments",
+	"internal/fault",
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathCovered(pass.Pkg.Path(), CoveredDirs) {
+		return nil
+	}
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if cfg.IsContextType(info.TypeOf(field.Type)) {
+					pass.Reportf(field.Pos(),
+						"context.Context stored in a struct field; pass ctx as the first argument through the call path instead")
+				}
+			}
+			return true
+		})
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ctxPos, ctxField := ctxParam(info, fd)
+	hasCtx := ctxField != nil
+	if hasCtx && ctxPos != 0 {
+		pass.Reportf(ctxField.Pos(),
+			"context.Context must be the first parameter of %s", fd.Name.Name)
+	}
+	if hasCtx {
+		g := cfg.New(fd.Body)
+		for _, l := range g.Loops {
+			if l.Unbounded && !g.LoopCancelable(l, info) {
+				pass.Reportf(l.Stmt.Pos(),
+					"unbounded loop in %s never observes ctx cancellation; check ctx.Err() or select on ctx.Done() each iteration", fd.Name.Name)
+			}
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := freshContextCall(info, call); ok {
+				pass.Reportf(call.Pos(),
+					"context.%s passed while ctx is in scope in %s; thread the caller's ctx instead", name, fd.Name.Name)
+			}
+			return true
+		})
+		return
+	}
+	if !fd.Name.IsExported() {
+		return
+	}
+	// Exported entry point with no context: if some loop in its body calls
+	// a context-accepting callee (or one with a <name>Context sibling), the
+	// function is looping over cancelable work without a way to cancel it.
+	reported := false
+	for _, n := range loopBodies(fd.Body) {
+		if reported {
+			break
+		}
+		ast.Inspect(n, func(n ast.Node) bool {
+			if reported {
+				return false
+			}
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := callgraph.Callee(info, call)
+			if callee == nil {
+				return true
+			}
+			if target, ok := wantsContext(callee); ok {
+				pass.Reportf(fd.Name.Pos(),
+					"exported %s loops over work but takes no context.Context; accept ctx as the first parameter and thread it to %s", fd.Name.Name, target)
+				reported = true
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// ctxParam returns the flattened position of the first context.Context
+// parameter of fd and its field, or (-1, nil).
+func ctxParam(info *types.Info, fd *ast.FuncDecl) (int, *ast.Field) {
+	pos := 0
+	for _, field := range fd.Type.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if cfg.IsContextType(info.TypeOf(field.Type)) {
+			return pos, field
+		}
+		pos += n
+	}
+	return -1, nil
+}
+
+// freshContextCall matches context.Background() / context.TODO().
+func freshContextCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pkgName, ok := info.Uses[ident].(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != "context" {
+		return "", false
+	}
+	if sel.Sel.Name == "Background" || sel.Sel.Name == "TODO" {
+		return sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// loopBodies collects the bodies of every for/range statement in body,
+// without descending into function literals (their loops run on their own
+// schedule and are goleak's concern).
+func loopBodies(body *ast.BlockStmt) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			out = append(out, s.Body)
+		case *ast.RangeStmt:
+			out = append(out, s.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// wantsContext reports whether callee takes a context.Context first, or has
+// a package-level sibling named <callee>Context that does. The returned
+// name is the function the caller should thread ctx to.
+func wantsContext(callee *types.Func) (string, bool) {
+	if firstParamIsContext(callee) {
+		return callee.Name(), true
+	}
+	if pkg := callee.Pkg(); pkg != nil {
+		if sib, ok := pkg.Scope().Lookup(callee.Name() + "Context").(*types.Func); ok && firstParamIsContext(sib) {
+			return sib.Name(), true
+		}
+	}
+	return "", false
+}
+
+func firstParamIsContext(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return false
+	}
+	return cfg.IsContextType(sig.Params().At(0).Type())
+}

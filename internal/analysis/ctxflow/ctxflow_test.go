@@ -1,0 +1,64 @@
+package ctxflow_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"odbgc/internal/analysis"
+	"odbgc/internal/analysis/analysistest"
+	"odbgc/internal/analysis/ctxflow"
+)
+
+func TestCoveredPackage(t *testing.T) {
+	analysistest.Run(t, "testdata/src/ctx", ctxflow.Analyzer, "example.com/internal/sim/pool")
+}
+
+// TestUncoveredPackageExempt runs the analyzer over code that violates every
+// rule but lives outside the covered directories: no findings.
+func TestUncoveredPackageExempt(t *testing.T) {
+	analysistest.Run(t, "testdata/src/uncovered", ctxflow.Analyzer, "example.com/internal/report")
+}
+
+// TestUnreasonedAllowRejected pins the suppression contract: an allow
+// without a reason is itself a finding and suppresses nothing.
+func TestUnreasonedAllowRejected(t *testing.T) {
+	dir := t.TempDir()
+	src := `package pool
+
+import "context"
+
+func process(ctx context.Context, v int) {}
+
+func Drain(vs []int) {
+	//lint:allow ctxflow
+	for _, v := range vs {
+		process(context.Background(), v)
+	}
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "pool.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg := analysistest.LoadPackage(t, dir, "example.com/internal/sim/pool")
+	findings, err := analysis.RunPackage(pkg, []*analysis.Analyzer{ctxflow.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawMalformed, sawFinding bool
+	for _, f := range findings {
+		if f.Analyzer == "allow" && strings.Contains(f.Message, "no reason") {
+			sawMalformed = true
+		}
+		if f.Analyzer == "ctxflow" {
+			sawFinding = true
+		}
+	}
+	if !sawMalformed {
+		t.Errorf("unreasoned //lint:allow not reported as malformed; findings: %v", findings)
+	}
+	if !sawFinding {
+		t.Errorf("unreasoned //lint:allow suppressed the ctxflow finding; findings: %v", findings)
+	}
+}

@@ -1,0 +1,108 @@
+// Package pool exercises the ctxflow rules: struct-field stashing,
+// parameter position, exported loops without a context, unbounded loops
+// that never observe cancellation, and fresh contexts shadowing a threaded
+// one.
+package pool
+
+import "context"
+
+type holder struct {
+	ctx context.Context // want "struct field"
+	n   int
+}
+
+type clean struct {
+	n int
+}
+
+// BadOrder buries the context behind a value parameter.
+func BadOrder(n int, ctx context.Context) { // want "first parameter"
+	process(ctx, n)
+}
+
+// process is a context-accepting callee for the loop checks.
+func process(ctx context.Context, v int) {}
+
+// step has a Context sibling, the Run/RunContext delegation shape.
+func step() {}
+
+func stepContext(ctx context.Context) {}
+
+// Drain loops over work calling a context-accepting callee but gives its
+// callers no way to cancel the loop.
+func Drain(vs []int) { // want "takes no context.Context"
+	for _, v := range vs {
+		process(context.Background(), v)
+	}
+}
+
+// Pump loops calling step although stepContext exists.
+func Pump(n int) { // want "takes no context.Context"
+	for i := 0; i < n; i++ {
+		step()
+	}
+}
+
+// DrainContext is the compliant shape: ctx first, threaded to the callee.
+func DrainContext(ctx context.Context, vs []int) {
+	for _, v := range vs {
+		process(ctx, v)
+	}
+}
+
+// Wrap delegates once with a fresh context — the sanctioned non-ctx entry
+// point. A single call is not a loop, so no finding.
+func Wrap(vs []int) {
+	DrainContext(context.Background(), vs)
+}
+
+// Relay accepts a context and then abandons it.
+func Relay(ctx context.Context, vs []int) {
+	for _, v := range vs {
+		process(context.Background(), v) // want "context.Background passed while ctx is in scope"
+	}
+}
+
+// Once drops its context outside any loop; still a detached callee.
+func Once(ctx context.Context) {
+	process(context.TODO(), 1) // want "context.TODO passed while ctx is in scope"
+}
+
+// Spin holds a context it never consults.
+func Spin(ctx context.Context, ch chan int) {
+	for { // want "unbounded loop"
+		<-ch
+	}
+}
+
+// SpinSelect observes cancellation through ctx.Done.
+func SpinSelect(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case v := <-ch:
+			process(ctx, v)
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// SpinErr observes cancellation through the loop condition.
+func SpinErr(ctx context.Context, ch chan int) {
+	for ctx.Err() == nil {
+		process(ctx, <-ch)
+	}
+}
+
+// RangeChan ends when the channel closes; close is the cancellation.
+func RangeChan(ctx context.Context, ch chan int) {
+	for v := range ch {
+		process(ctx, v)
+	}
+}
+
+// Detached pins the escape hatch: a reasoned allow suppresses the finding.
+func Detached(ctx context.Context) {
+	//lint:allow ctxflow checkpoint flush must complete even after cancellation
+	process(context.Background(), 0)
+}

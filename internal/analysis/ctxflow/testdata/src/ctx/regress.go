@@ -1,0 +1,15 @@
+package pool
+
+import "context"
+
+// PoolWorker seeds the regression the analyzer must catch: PR 4's worker
+// pools range over the jobs channel so that closing it stops every worker,
+// and the select consults ctx.Done. This revert swaps the range for a bare
+// receive inside for{}, so neither closing the channel nor canceling the
+// context ends the loop.
+func PoolWorker(ctx context.Context, jobs chan int) {
+	for { // want "unbounded loop"
+		v := <-jobs
+		process(ctx, v)
+	}
+}

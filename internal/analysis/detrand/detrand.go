@@ -13,9 +13,9 @@
 package detrand
 
 import (
+	"fmt"
 	"go/ast"
 	"go/types"
-	"strings"
 
 	"odbgc/internal/analysis"
 )
@@ -44,18 +44,11 @@ var DeterministicDirs = []string{
 	"internal/simerr",
 }
 
-// covered reports whether pkgPath is one of the deterministic packages or a
-// subpackage of one.
-func covered(pkgPath string) bool {
-	for _, d := range DeterministicDirs {
-		if pkgPath == d ||
-			strings.HasSuffix(pkgPath, "/"+d) ||
-			strings.HasPrefix(pkgPath, d+"/") ||
-			strings.Contains(pkgPath, "/"+d+"/") {
-			return true
-		}
-	}
-	return false
+// Covered reports whether pkgPath is one of the deterministic packages or a
+// subpackage of one. The detrand-transitive analyzer shares it, so the two
+// checks always agree on which packages carry the determinism contract.
+func Covered(pkgPath string) bool {
+	return analysis.PathCovered(pkgPath, DeterministicDirs)
 }
 
 // randConstructors are the math/rand and math/rand/v2 functions that build
@@ -92,8 +85,44 @@ var osForbidden = map[string]bool{
 	"ExpandEnv": true,
 }
 
+// Forbidden classifies a call against the nondeterminism rules. When the
+// call is one of the forbidden endpoints it returns a short description
+// ("time.Now (wall clock)") and true; otherwise "", false. detrand reports
+// these directly inside the deterministic packages; detrand-transitive
+// treats them as the sinks of its whole-module chain search.
+func Forbidden(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pkgName, ok := info.Uses[ident].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	switch pkgName.Imported().Path() {
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[name] {
+			return fmt.Sprintf("%s.%s (unseeded randomness)", pkgName.Imported().Name(), name), true
+		}
+	case "time":
+		if timeForbidden[name] {
+			return fmt.Sprintf("time.%s (wall clock)", name), true
+		}
+	case "os":
+		if osForbidden[name] {
+			return fmt.Sprintf("os.%s (environment)", name), true
+		}
+	}
+	return "", false
+}
+
 func run(pass *analysis.Pass) error {
-	if !covered(pass.Pkg.Path()) {
+	if !Covered(pass.Pkg.Path()) {
 		return nil
 	}
 	for _, file := range pass.Files {

@@ -1,0 +1,106 @@
+// Package detrandtrans extends detrand through the module call graph:
+// a deterministic package must not reach unseeded randomness, the wall
+// clock, or the environment through ANY chain of calls, not just directly.
+// detrand catches `time.Now()` written inside internal/sim; this analyzer
+// catches internal/sim calling a helper in an uncovered package that calls
+// `time.Now()` three frames down.
+//
+// Findings point at the first call of the chain — the line inside the
+// deterministic package where determinism leaks out — and name the chain
+// and the sink, so the fix site (thread the value, or annotate the sink)
+// is visible from the diagnostic alone.
+//
+// Suppression composes with detrand's: a sink annotated with a reasoned
+// //lint:allow detrand (or detrand-transitive) stops being a forbidden
+// endpoint for the whole-chain search, so one allow at the sink covers
+// every caller instead of demanding one per chain. Chains of length zero
+// (the forbidden call in the function's own body) are detrand's job and
+// are not re-reported here.
+package detrandtrans
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"odbgc/internal/analysis"
+	"odbgc/internal/analysis/callgraph"
+	"odbgc/internal/analysis/detrand"
+)
+
+// Analyzer is the detrand-transitive check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand-transitive",
+	Doc:  "forbid call chains from deterministic packages to randomness, clocks, or the environment",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !detrand.Covered(pass.Pkg.Path()) {
+		return nil
+	}
+	graph := callgraph.For(pass.Module)
+	sinks := sinkIndex(pass.Module, graph)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			path := graph.PathTo(fn, func(n *callgraph.Node) bool {
+				return len(sinks[n]) > 0
+			})
+			if path == nil {
+				continue
+			}
+			var chain []string
+			for _, e := range path {
+				chain = append(chain, e.Callee.Func.Name())
+			}
+			sink := sinks[path[len(path)-1].Callee][0]
+			pass.Reportf(path[0].Pos(),
+				"deterministic package reaches %s via %s; thread the value through the config or add //lint:allow detrand at the sink",
+				sink, strings.Join(chain, " -> "))
+		}
+	}
+	return nil
+}
+
+// sinkMemoKey namespaces the sink index in the module memo.
+const sinkMemoKey = "detrandtrans.sinks"
+
+// sinkIndex maps each module function to the forbidden calls its own body
+// makes, computed once per run. Sinks carrying a reasoned //lint:allow for
+// detrand or detrand-transitive are dropped here, which is what lets one
+// annotation at the sink silence every chain that reaches it.
+func sinkIndex(mod *analysis.Module, graph *callgraph.Graph) map[*callgraph.Node][]string {
+	v, _ := mod.Memo(sinkMemoKey, func() (any, error) {
+		sinks := make(map[*callgraph.Node][]string)
+		for _, n := range graph.Nodes() {
+			node := n
+			ast.Inspect(node.Decl, func(x ast.Node) bool {
+				call, ok := x.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				desc, ok := detrand.Forbidden(node.Pkg.Info, call)
+				if !ok {
+					return true
+				}
+				pos := node.Pkg.Fset.Position(call.Pos())
+				if mod.AllowedAt("detrand", pos) || mod.AllowedAt("detrand-transitive", pos) {
+					return true
+				}
+				sinks[node] = append(sinks[node], fmt.Sprintf("%s at %s:%d", desc, pos.Filename, pos.Line))
+				return true
+			})
+		}
+		return sinks, nil
+	})
+	return v.(map[*callgraph.Node][]string)
+}

@@ -1,0 +1,319 @@
+// Package errflow enforces the error discipline the simerr taxonomy
+// depends on, on every path through the module:
+//
+//   - no call may silently discard an error result — a bare call statement
+//     or deferred call whose trailing error vanishes is a finding, while an
+//     explicit `_ =` records that the discard was a decision (functions
+//     documented never to fail — the fmt print family, bytes.Buffer,
+//     strings.Builder, hash.Hash — are exempt);
+//   - sentinel errors must be compared with errors.Is, never == or !=,
+//     because classified errors arrive wrapped;
+//   - a function that can see a classified error (it references a sentinel
+//     or, per the module call graph, transitively calls something that
+//     does) must wrap errors with %w — formatting one with %v or %s breaks
+//     errors.Is and simerr.Classify for every caller above it.
+//
+// The third rule is the interprocedural one: the set of "classification
+// capable" functions is computed once per run over the whole-module call
+// graph and shared through the module memo.
+package errflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"odbgc/internal/analysis"
+	"odbgc/internal/analysis/callgraph"
+)
+
+// Analyzer is the errflow check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errflow",
+	Doc:  "forbid discarded errors, ==/!= sentinel comparisons, and non-%w wrapping of classified errors",
+	Run:  run,
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	caps := capableSet(pass.Module)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok && discardsError(info, call) {
+					pass.Reportf(call.Pos(),
+						"result of %s includes an error that is silently discarded; handle it or assign it to _", types.ExprString(call.Fun))
+				}
+			case *ast.DeferStmt:
+				if discardsError(info, s.Call) {
+					pass.Reportf(s.Call.Pos(),
+						"deferred %s discards its error; hoist it into the function's error return or acknowledge it with _ in a wrapper", types.ExprString(s.Call.Fun))
+				}
+			case *ast.BinaryExpr:
+				if (s.Op == token.EQL || s.Op == token.NEQ) && sentinelComparison(info, s) {
+					pass.Reportf(s.Pos(),
+						"error compared with %s; use errors.Is so wrapped and classified chains still match", s.Op)
+				}
+			}
+			return true
+		})
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok || !caps[fn] {
+				continue
+			}
+			checkWraps(pass, fd)
+		}
+	}
+	return nil
+}
+
+// discardsError reports whether the statement-level call returns an error
+// (alone or as the trailing result) that nothing receives.
+func discardsError(info *types.Info, call *ast.CallExpr) bool {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return false // conversion, not a call
+	}
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if tuple, ok := t.(*types.Tuple); ok {
+		if tuple.Len() == 0 {
+			return false
+		}
+		t = tuple.At(tuple.Len() - 1).Type()
+	}
+	if !isErrorType(t) {
+		return false
+	}
+	return !neverFails(info, call)
+}
+
+// neverFails exempts the callees whose error results are documented to
+// always be nil: the fmt print family and the in-memory writers.
+func neverFails(info *types.Info, call *ast.CallExpr) bool {
+	callee := callgraph.Callee(info, call)
+	if callee == nil {
+		return false
+	}
+	if pkg := callee.Pkg(); pkg != nil && pkg.Path() == "fmt" {
+		name := callee.Name()
+		if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") {
+			return true
+		}
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch {
+	case obj.Pkg().Path() == "bytes" && obj.Name() == "Buffer":
+		return true
+	case obj.Pkg().Path() == "strings" && obj.Name() == "Builder":
+		return true
+	case obj.Pkg().Path() == "hash":
+		return true
+	}
+	return false
+}
+
+// sentinelComparison reports whether both operands are errors and neither
+// is the nil literal.
+func sentinelComparison(info *types.Info, b *ast.BinaryExpr) bool {
+	for _, e := range []ast.Expr{b.X, b.Y} {
+		tv, ok := info.Types[e]
+		if !ok || tv.IsNil() || !isErrorType(tv.Type) {
+			return false
+		}
+	}
+	return true
+}
+
+// capableSet computes, once per module, the functions through which a
+// sentinel error can flow: those whose bodies reference a package-level
+// Err* error variable (outside errors.Is/As checks), plus everything that
+// transitively calls one.
+func capableSet(mod *analysis.Module) map[*types.Func]bool {
+	v, _ := mod.Memo("errflow.capable", func() (any, error) {
+		g := callgraph.For(mod)
+		caps := make(map[*types.Func]bool)
+		for _, n := range g.Nodes() {
+			if referencesSentinel(n) {
+				caps[n.Func] = true
+			}
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, n := range g.Nodes() {
+				if caps[n.Func] {
+					continue
+				}
+				for _, e := range n.Out {
+					if caps[e.Callee.Func] {
+						caps[n.Func] = true
+						changed = true
+						break
+					}
+				}
+			}
+		}
+		return caps, nil
+	})
+	return v.(map[*types.Func]bool)
+}
+
+// referencesSentinel reports whether the function's body mentions a
+// package-level error variable named Err*. Mentions inside errors.Is and
+// errors.As argument lists do not count: checking for a sentinel is not the
+// same as producing one.
+func referencesSentinel(n *callgraph.Node) bool {
+	info := n.Pkg.Info
+	found := false
+	ast.Inspect(n.Decl, func(node ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := node.(*ast.CallExpr); ok && isErrorsCheck(info, call) {
+			return false
+		}
+		ident, ok := node.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[ident].(*types.Var)
+		if !ok || !isErrorType(v.Type()) || !strings.HasPrefix(v.Name(), "Err") {
+			return true
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isErrorsCheck(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := info.Uses[ident].(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != "errors" {
+		return false
+	}
+	return sel.Sel.Name == "Is" || sel.Sel.Name == "As"
+}
+
+// checkWraps reports fmt.Errorf calls in fd that format an error argument
+// with a verb other than %w.
+func checkWraps(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isFmtErrorf(info, call) || len(call.Args) < 2 {
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		format, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		for arg, verb := range verbArgs(format, call.Args[1:]) {
+			if verb == 'w' {
+				continue
+			}
+			if tv, ok := info.Types[arg]; ok && isErrorType(tv.Type) {
+				pass.Reportf(arg.Pos(),
+					"error formatted with %%%c loses the sentinel for errors.Is and simerr.Classify; wrap with %%w", verb)
+			}
+		}
+		return true
+	})
+}
+
+func isFmtErrorf(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return false
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := info.Uses[ident].(*types.PkgName)
+	return ok && pkgName.Imported().Path() == "fmt"
+}
+
+// verbArgs pairs each formatting verb in format with its argument, in
+// order. A * width or precision consumes an argument of its own; %% binds
+// nothing. Explicit argument indexes are rare enough in this codebase that
+// they are not modeled; a format using them simply pairs conservatively.
+func verbArgs(format string, args []ast.Expr) map[ast.Expr]byte {
+	m := make(map[ast.Expr]byte)
+	ai := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		for i < len(format) {
+			c := format[i]
+			if c == '*' {
+				ai++
+				i++
+				continue
+			}
+			if c == '+' || c == '-' || c == '#' || c == ' ' || c == '0' || c == '.' || (c >= '1' && c <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		if ai < len(args) {
+			m[args[ai]] = format[i]
+			ai++
+		}
+	}
+	return m
+}

@@ -1,0 +1,95 @@
+// Package pipe exercises the errflow rules: discarded results, deferred
+// discards, == sentinel comparisons, and non-%w wrapping in functions a
+// classified error can flow through.
+package pipe
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// ErrStall is the package's sentinel; referencing it makes a function
+// classification capable.
+var ErrStall = errors.New("pipeline stalled")
+
+func step() error { return ErrStall }
+
+func Discard() {
+	step()     // want "silently discarded"
+	_ = step() // deliberate discard is acknowledged
+}
+
+func DeferDiscard(f *os.File) {
+	defer f.Close() // want "deferred f.Close discards its error"
+}
+
+func DeferAcknowledged(f *os.File) {
+	defer func() { _ = f.Close() }()
+}
+
+func Compare(err error) bool {
+	if err == ErrStall { // want "use errors.Is"
+		return true
+	}
+	return errors.Is(err, ErrStall)
+}
+
+func CompareNeq(err error) bool {
+	return err != ErrStall // want "use errors.Is"
+}
+
+func NilChecksStayLegal(err error) bool {
+	return err == nil || nil != err
+}
+
+// Wrap sees ErrStall through step, so %v breaks classification upstream.
+func Wrap() error {
+	if err := step(); err != nil {
+		return fmt.Errorf("step failed: %v", err) // want "wrap with %w"
+	}
+	return nil
+}
+
+func WrapKeepsChain() error {
+	if err := step(); err != nil {
+		return fmt.Errorf("step failed: %w", err)
+	}
+	return nil
+}
+
+// TransitiveWrap never names the sentinel but reaches it through the call
+// graph: Wrap -> step -> ErrStall.
+func TransitiveWrap() error {
+	if err := WrapKeepsChain(); err != nil {
+		return fmt.Errorf("run: %s", err) // want "wrap with %w"
+	}
+	return nil
+}
+
+// opaque builds a fresh, unclassified error; checkOnly merely tests for the
+// sentinel with errors.Is, which does not make it capable.
+func opaque() error { return errors.New("opaque") }
+
+func checkOnly(err error) bool { return errors.Is(err, ErrStall) }
+
+// WrapUnclassified wraps an error no sentinel can flow into; %v is legal
+// here (if regrettable), so the call-graph gate must keep this silent.
+func WrapUnclassified() error {
+	if err := opaque(); err != nil {
+		return fmt.Errorf("opaque: %v", err)
+	}
+	return nil
+}
+
+func PrintFamilyExempt(buf *bytes.Buffer) {
+	fmt.Println("progress")
+	fmt.Fprintf(buf, "x=%d", 1)
+	buf.WriteByte('\n')
+}
+
+func Allowed() {
+	//lint:allow errflow best-effort cache warm; a miss only costs time
+	step()
+}

@@ -1,0 +1,76 @@
+// Package goleak requires every goroutine the module starts to be
+// cancelable: a `go` statement whose body spins in an unbounded loop with
+// no way to observe shutdown outlives the run that spawned it, holds its
+// resources forever, and — under the batch engine's two-stage shutdown —
+// turns graceful drain into a hang.
+//
+// For each `go` statement the analyzer builds the control-flow graph of
+// the goroutine's body (a function literal in place, or the declaration a
+// named call resolves to through the module call graph) and demands that
+// every `for {}` loop can end: by ranging over a channel a close() ends,
+// by checking ctx.Err()/ctx.Done(), or by receiving on a channel from a
+// block that escapes the loop (the done-channel idiom). Bounded loops and
+// straight-line goroutines pass untouched; goroutines whose target cannot
+// be resolved statically are skipped rather than guessed at.
+package goleak
+
+import (
+	"go/ast"
+	"go/types"
+
+	"odbgc/internal/analysis"
+	"odbgc/internal/analysis/callgraph"
+	"odbgc/internal/analysis/cfg"
+)
+
+// Analyzer is the goleak check.
+var Analyzer = &analysis.Analyzer{
+	Name: "goleak",
+	Doc:  "require every go statement's goroutine to reach a cancellation point",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body, info := goroutineBody(pass, g)
+			if body == nil {
+				return true
+			}
+			flow := cfg.New(body)
+			for _, l := range flow.Loops {
+				if l.Unbounded && !flow.LoopCancelable(l, info) {
+					pos := pass.Fset.Position(l.Stmt.Pos())
+					pass.Reportf(g.Pos(),
+						"goroutine spins in an unbounded loop (%s line %d) with no cancellation point; range over a closable channel or select on ctx.Done()",
+						pos.Filename, pos.Line)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// goroutineBody resolves the body the go statement will run: the literal's
+// own body, or the declaration behind a named call when the module call
+// graph can see it. The types.Info returned belongs to the package that
+// declared the body, which may differ from the pass's package.
+func goroutineBody(pass *analysis.Pass, g *ast.GoStmt) (*ast.BlockStmt, *types.Info) {
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		return lit.Body, pass.TypesInfo
+	}
+	callee := callgraph.Callee(pass.TypesInfo, g.Call)
+	if callee == nil {
+		return nil, nil
+	}
+	node := callgraph.For(pass.Module).Lookup(callee)
+	if node == nil || node.Decl == nil || node.Decl.Body == nil {
+		return nil, nil
+	}
+	return node.Decl.Body, node.Pkg.Info
+}

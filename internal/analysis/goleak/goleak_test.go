@@ -1,0 +1,56 @@
+package goleak_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"odbgc/internal/analysis"
+	"odbgc/internal/analysis/analysistest"
+	"odbgc/internal/analysis/goleak"
+)
+
+func TestGoleak(t *testing.T) {
+	analysistest.Run(t, "testdata/src/workers", goleak.Analyzer, "example.com/internal/sim/workers")
+}
+
+// TestUnreasonedAllowRejected pins the suppression contract: an allow
+// without a reason is itself a finding and suppresses nothing.
+func TestUnreasonedAllowRejected(t *testing.T) {
+	dir := t.TempDir()
+	src := `package workers
+
+func Spin(beat chan int) {
+	//lint:allow goleak
+	go func() {
+		for {
+			beat <- 1
+		}
+	}()
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "workers.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg := analysistest.LoadPackage(t, dir, "example.com/internal/sim/workers")
+	findings, err := analysis.RunPackage(pkg, []*analysis.Analyzer{goleak.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawMalformed, sawFinding bool
+	for _, f := range findings {
+		if f.Analyzer == "allow" && strings.Contains(f.Message, "no reason") {
+			sawMalformed = true
+		}
+		if f.Analyzer == "goleak" {
+			sawFinding = true
+		}
+	}
+	if !sawMalformed {
+		t.Errorf("unreasoned //lint:allow not reported as malformed; findings: %v", findings)
+	}
+	if !sawFinding {
+		t.Errorf("unreasoned //lint:allow suppressed the goleak finding; findings: %v", findings)
+	}
+}

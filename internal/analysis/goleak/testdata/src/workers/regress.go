@@ -1,0 +1,16 @@
+package workers
+
+import "context"
+
+// Leak seeds the regression the analyzer must catch: PR 4's worker pools
+// range over the jobs channel so closing it releases every worker. This
+// revert swaps the range for a bare receive inside for{}, so the goroutine
+// survives both channel close and context cancellation.
+func Leak(ctx context.Context, jobs chan int) {
+	go func() { // want "unbounded loop"
+		for {
+			v := <-jobs
+			process(v)
+		}
+	}()
+}

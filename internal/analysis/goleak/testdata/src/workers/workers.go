@@ -1,0 +1,84 @@
+// Package workers exercises the goleak rules: unbounded goroutine loops
+// with and without cancellation points, in literals and named functions.
+package workers
+
+import "context"
+
+func process(int) {}
+
+func RangeOverChannel(jobs chan int) {
+	go func() {
+		for v := range jobs {
+			process(v)
+		}
+	}()
+}
+
+func CtxSelect(ctx context.Context, jobs chan int) {
+	go func() {
+		for {
+			select {
+			case v := <-jobs:
+				process(v)
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+func DoneChannel(jobs chan int, done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case v := <-jobs:
+				process(v)
+			case <-done:
+				return
+			}
+		}
+	}()
+}
+
+func ErrPoll(ctx context.Context, jobs chan int) {
+	go func() {
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+			process(<-jobs)
+		}
+	}()
+}
+
+func BoundedWork(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			process(i)
+		}
+	}()
+}
+
+func StraightLine(v int) {
+	go process(v)
+}
+
+func drainForever(jobs chan int) {
+	for {
+		process(<-jobs)
+	}
+}
+
+// NamedLeak resolves the goroutine body through the call graph.
+func NamedLeak(jobs chan int) {
+	go drainForever(jobs) // want "unbounded loop"
+}
+
+func Heartbeat(beat chan int) {
+	//lint:allow goleak heartbeat runs for the process lifetime by design
+	go func() {
+		for {
+			beat <- 1
+		}
+	}()
+}

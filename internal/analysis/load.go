@@ -3,6 +3,7 @@ package analysis
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -67,7 +68,7 @@ func Load(fset *token.FileSet, dir string, patterns []string) ([]*Package, error
 	dec := json.NewDecoder(&stdout)
 	for {
 		var lp listedPackage
-		if err := dec.Decode(&lp); err == io.EOF {
+		if err := dec.Decode(&lp); errors.Is(err, io.EOF) {
 			break
 		} else if err != nil {
 			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Module is the whole-program view a dataflow analyzer sees: every package
+// the driver loaded for this run, plus lazily built module-wide artifacts
+// (the call graph, sink indexes) shared across analyzers through Memo.
+//
+// Single-package runs — the analysistest harness, a driver invocation on one
+// directory — get a Module containing just that package, so interprocedural
+// analyzers degrade gracefully to intra-package analysis instead of needing
+// a separate code path.
+type Module struct {
+	Packages []*Package
+
+	memo   map[string]any
+	allows map[allowKey]map[string]bool
+}
+
+// NewModule wraps the loaded packages for module-wide analysis.
+func NewModule(pkgs []*Package) *Module {
+	return &Module{Packages: pkgs, memo: make(map[string]any)}
+}
+
+// Memo returns the cached artifact under key, building it on first use.
+// Analyzers use it to share one call graph (or other whole-module indexes)
+// across the analyzer suite instead of rebuilding per pass.
+func (m *Module) Memo(key string, build func() (any, error)) (any, error) {
+	if v, ok := m.memo[key]; ok {
+		return v, nil
+	}
+	v, err := build()
+	if err != nil {
+		return nil, err
+	}
+	m.memo[key] = v
+	return v, nil
+}
+
+// AllowedAt reports whether a well-formed //lint:allow comment for the named
+// analyzer covers pos, looking across every package of the module. Unlike
+// the per-package suppression filter applied to findings, this lets a
+// transitive analyzer honor a suppression at its *sink*: a wall-clock read
+// annotated //lint:allow detrand stops being a forbidden endpoint for
+// detrand-transitive's whole-chain search, so one reasoned allow covers
+// every caller instead of demanding one per chain.
+func (m *Module) AllowedAt(analyzer string, pos token.Position) bool {
+	if m.allows == nil {
+		m.allows = make(map[allowKey]map[string]bool)
+		for _, pkg := range m.Packages {
+			for _, f := range pkg.Files {
+				for _, cg := range f.Comments {
+					for _, c := range cg.List {
+						text := strings.TrimSpace(c.Text)
+						if !strings.HasPrefix(text, AllowPrefix) {
+							continue
+						}
+						fields := strings.Fields(strings.TrimPrefix(text, AllowPrefix))
+						if len(fields) < 2 {
+							continue // unreasoned; never suppresses
+						}
+						p := pkg.Fset.Position(c.End())
+						k := allowKey{file: p.Filename, line: p.Line}
+						if m.allows[k] == nil {
+							m.allows[k] = make(map[string]bool)
+						}
+						m.allows[k][fields[0]] = true
+					}
+				}
+			}
+		}
+	}
+	if m.allows[allowKey{pos.Filename, pos.Line}][analyzer] {
+		return true
+	}
+	return m.allows[allowKey{pos.Filename, pos.Line - 1}][analyzer]
+}

@@ -7,11 +7,26 @@ import (
 // RunPackage applies the analyzers to one loaded package, filters the
 // results through the package's //lint:allow comments, and returns the
 // surviving findings sorted by position. Malformed allow comments are
-// themselves findings, so a suppression can never silently rot.
+// themselves findings, so a suppression can never silently rot. The package
+// is analyzed as a one-package module; use RunPackages for whole-module
+// dataflow.
 func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
-	known := make(map[string]bool, len(analyzers))
+	return runPackage(NewModule([]*Package{pkg}), pkg, analyzers)
+}
+
+// KnownAllowNames extends the analyzer-name set //lint:allow directives may
+// reference. A driver running a filtered subset of a larger suite (odbglint
+// -only) registers the full suite here so a suppression for an unselected
+// analyzer is not misreported as unknown.
+var KnownAllowNames []string
+
+func runPackage(mod *Module, pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	known := make(map[string]bool, len(analyzers)+len(KnownAllowNames))
 	for _, a := range analyzers {
 		known[a.Name] = true
+	}
+	for _, name := range KnownAllowNames {
+		known[name] = true
 	}
 	fset := pkg.Fset
 	sup := CollectSuppressions(fset, pkg.Files, known)
@@ -26,6 +41,7 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			Module:    mod,
 			Report:    func(d Diagnostic) { diags = append(diags, d) },
 		}
 		if err := a.Run(pass); err != nil {
@@ -44,11 +60,14 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 }
 
 // RunPackages applies the analyzers to every package and concatenates the
-// findings in deterministic order.
+// findings in deterministic order. All packages share one Module, so the
+// interprocedural analyzers (errflow's wrap discipline, detrand-transitive's
+// chain search) see the complete call graph of the run.
 func RunPackages(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	mod := NewModule(pkgs)
 	var out []Finding
 	for _, pkg := range pkgs {
-		fs, err := RunPackage(pkg, analyzers)
+		fs, err := runPackage(mod, pkg, analyzers)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"odbgc/internal/core"
@@ -15,7 +17,7 @@ import (
 // paper's figures: partition-selection policy, pointer-fixup cost model,
 // buffer size relative to partitions (§3.1's discussion), and Reorg2's
 // declustering batch size.
-func (r *Runner) Ablations() (*Report, error) {
+func (r *Runner) Ablations(ctx context.Context) (*Report, error) {
 	rep := &Report{
 		ID:    "ablations",
 		Title: "Design-choice ablations (selection, fixups, buffer, declustering)",
@@ -23,7 +25,7 @@ func (r *Runner) Ablations() (*Report, error) {
 	t := &metrics.Table{Header: []string{"study", "variant", "metric", "value"}}
 
 	opts := r.opts
-	traces, err := r.traces.get(opts.Connectivity, opts.SeedBase, 1)
+	traces, err := r.traces.get(ctx, opts.Connectivity, opts.SeedBase, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -44,7 +46,7 @@ func (r *Runner) Ablations() (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := s.RunContext(r.context(), tr)
+		res, err := s.RunContext(ctx, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -66,7 +68,7 @@ func (r *Runner) Ablations() (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := s.RunContext(r.context(), tr)
+		res, err := s.RunContext(ctx, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -89,7 +91,7 @@ func (r *Runner) Ablations() (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := s.RunContext(r.context(), tr)
+		res, err := s.RunContext(ctx, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -117,7 +119,7 @@ func (r *Runner) Ablations() (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := s.RunContext(r.context(), btr)
+		res, err := s.RunContext(ctx, btr)
 		if err != nil {
 			return nil, err
 		}

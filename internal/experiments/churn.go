@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"odbgc/internal/core"
@@ -14,7 +16,7 @@ import (
 // violate the policies' assumptions? — on the directory/file churn
 // workload: leaf-object garbage (no clusters), hot/cold update skew, and
 // bursty phase structure.
-func (r *Runner) Churn() (*Report, error) {
+func (r *Runner) Churn(ctx context.Context) (*Report, error) {
 	opts := r.opts
 	traces := make([]*trace.Trace, opts.Runs)
 	for i := range traces {
@@ -36,7 +38,7 @@ func (r *Runner) Churn() (*Report, error) {
 	saio := &metrics.Series{Name: "saio_achieved"}
 	for _, frac := range []float64{0.10, 0.20, 0.30} {
 		frac := frac
-		mr, err := r.runMany(sim.RunnerConfig{
+		mr, err := r.runMany(ctx, sim.RunnerConfig{
 			Traces: traces,
 			MakePolicy: func(int) (core.RatePolicy, error) {
 				return core.NewSAIO(core.SAIOConfig{Frac: frac})
@@ -69,7 +71,7 @@ func (r *Runner) Churn() (*Report, error) {
 		series := &metrics.Series{Name: v.label + "_achieved"}
 		for _, frac := range []float64{0.05, 0.10, 0.20} {
 			frac := frac
-			mr, err := r.runMany(sim.RunnerConfig{
+			mr, err := r.runMany(ctx, sim.RunnerConfig{
 				Traces: traces,
 				MakePolicy: func(int) (core.RatePolicy, error) {
 					est, err := core.NewEstimator(v.estName, 0)

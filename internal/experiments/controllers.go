@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"odbgc/internal/core"
@@ -12,9 +14,9 @@ import (
 // the paper's two (CGS/CB, FGS/HB), its oracle, and this reproduction's
 // additional design-space points (windowed FGS, per-partition FGS) — at a
 // sweep of requested garbage levels.
-func (r *Runner) Estimators() (*Report, error) {
+func (r *Runner) Estimators(ctx context.Context) (*Report, error) {
 	opts := r.opts
-	traces, err := r.traces.get(opts.Connectivity, opts.SeedBase, opts.Runs)
+	traces, err := r.traces.get(ctx, opts.Connectivity, opts.SeedBase, opts.Runs)
 	if err != nil {
 		return nil, err
 	}
@@ -29,7 +31,7 @@ func (r *Runner) Estimators() (*Report, error) {
 		series := &metrics.Series{Name: "achieved_" + estName}
 		for _, frac := range []float64{0.05, 0.10, 0.20} {
 			frac := frac
-			mr, err := r.runMany(sim.RunnerConfig{
+			mr, err := r.runMany(ctx, sim.RunnerConfig{
 				Traces: traces,
 				MakePolicy: func(int) (core.RatePolicy, error) {
 					est, err := core.NewEstimator(estName, 0)
@@ -61,9 +63,9 @@ func (r *Runner) Estimators() (*Report, error) {
 // Controllers compares the paper's SAGA controller against a textbook PI
 // controller at the same garbage targets, with the oracle and FGS/HB
 // estimators.
-func (r *Runner) Controllers() (*Report, error) {
+func (r *Runner) Controllers(ctx context.Context) (*Report, error) {
 	opts := r.opts
-	traces, err := r.traces.get(opts.Connectivity, opts.SeedBase, opts.Runs)
+	traces, err := r.traces.get(ctx, opts.Connectivity, opts.SeedBase, opts.Runs)
 	if err != nil {
 		return nil, err
 	}
@@ -80,7 +82,7 @@ func (r *Runner) Controllers() (*Report, error) {
 			series := &metrics.Series{Name: fmt.Sprintf("achieved_%s_%s", ctl, estName)}
 			for _, frac := range []float64{0.05, 0.10, 0.20} {
 				frac := frac
-				mr, err := r.runMany(sim.RunnerConfig{
+				mr, err := r.runMany(ctx, sim.RunnerConfig{
 					Traces: traces,
 					MakePolicy: func(int) (core.RatePolicy, error) {
 						est, err := core.NewEstimator(estName, 0)

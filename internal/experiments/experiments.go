@@ -147,18 +147,18 @@ func (r *Report) String() string {
 
 // traceCache shares generated traces across experiments with the same
 // parameters, since trace generation dominates sweep cost. It generates
-// under the runner's current context and concurrency bound.
+// under the caller's context and the runner's concurrency bound.
 type traceCache struct {
 	r *Runner
 	m map[string][]*trace.Trace
 }
 
-func (tc *traceCache) get(conn int, base int64, n int) ([]*trace.Trace, error) {
+func (tc *traceCache) get(ctx context.Context, conn int, base int64, n int) ([]*trace.Trace, error) {
 	key := fmt.Sprintf("%d/%d/%d", conn, base, n)
 	if ts, ok := tc.m[key]; ok {
 		return ts, nil
 	}
-	ts, err := sim.GenerateTracesContext(tc.r.context(), oo7.SmallPrime(conn), base, n, tc.r.opts.Parallel)
+	ts, err := sim.GenerateTracesContext(ctx, oo7.SmallPrime(conn), base, n, tc.r.opts.Parallel)
 	if err != nil {
 		return nil, err
 	}
@@ -167,15 +167,11 @@ func (tc *traceCache) get(conn int, base int64, n int) ([]*trace.Trace, error) {
 }
 
 // Runner executes experiments, sharing trace generation between them.
+// Cancellation arrives as the explicit ctx argument every experiment method
+// takes as its first parameter; the runner itself never holds a context.
 type Runner struct {
 	opts   Options
 	traces *traceCache
-
-	// runCtx is the context of the RunContext/AllContext call in flight.
-	// Experiments run one at a time per Runner, so a plain field (rather
-	// than threading ctx through all thirteen figure methods) is safe; it is
-	// nil between calls.
-	runCtx context.Context
 
 	// curExp and batch key the per-batch checkpoint subdirectories while an
 	// experiment runs.
@@ -183,19 +179,11 @@ type Runner struct {
 	batch  int
 }
 
-// context is the context of the experiment in flight.
-func (r *Runner) context() context.Context {
-	if r.runCtx == nil {
-		return context.Background()
-	}
-	return r.runCtx
-}
-
-// runMany is sim.RunManyContext with the runner's context and its
+// runMany is sim.RunManyContext with the caller's context and the runner's
 // fault-injection, checkpoint, and supervision options applied. Each batch
 // within an experiment gets its own checkpoint subdirectory, numbered in
 // execution order.
-func (r *Runner) runMany(cfg sim.RunnerConfig) (*sim.MultiResult, error) {
+func (r *Runner) runMany(ctx context.Context, cfg sim.RunnerConfig) (*sim.MultiResult, error) {
 	cfg.FaultProfile = r.opts.FaultProfile
 	cfg.FaultSeed = r.opts.FaultSeed
 	cfg.Parallel = r.opts.Parallel
@@ -214,7 +202,7 @@ func (r *Runner) runMany(cfg sim.RunnerConfig) (*sim.MultiResult, error) {
 		cfg.EventsDir = filepath.Join(r.opts.EventsDir,
 			fmt.Sprintf("%s-batch%03d", r.curExp, r.batch))
 	}
-	return sim.RunManyContext(r.context(), cfg)
+	return sim.RunManyContext(ctx, cfg)
 }
 
 // NewRunner returns a Runner with the given options.
@@ -241,36 +229,34 @@ func (r *Runner) Run(name string) (*Report, error) {
 // supervision options in Options (Parallel, RunTimeout, MaxAttempts, Drain)
 // apply to every batch it runs.
 func (r *Runner) RunContext(ctx context.Context, name string) (*Report, error) {
-	r.runCtx = ctx
-	defer func() { r.runCtx = nil }()
 	r.curExp, r.batch = name, 0
 	switch name {
 	case "table1":
-		return r.Table1()
+		return r.Table1(ctx)
 	case "fig1":
-		return r.Fig1()
+		return r.Fig1(ctx)
 	case "fig2":
-		return r.Fig2()
+		return r.Fig2(ctx)
 	case "fig4":
-		return r.Fig4()
+		return r.Fig4(ctx)
 	case "fig5":
-		return r.Fig5()
+		return r.Fig5(ctx)
 	case "fig6":
-		return r.Fig6()
+		return r.Fig6(ctx)
 	case "fig7a":
-		return r.Fig7a()
+		return r.Fig7a(ctx)
 	case "fig7b":
-		return r.Fig7b()
+		return r.Fig7b(ctx)
 	case "fig8":
-		return r.Fig8()
+		return r.Fig8(ctx)
 	case "ablations":
-		return r.Ablations()
+		return r.Ablations(ctx)
 	case "estimators":
-		return r.Estimators()
+		return r.Estimators(ctx)
 	case "controllers":
-		return r.Controllers()
+		return r.Controllers(ctx)
 	case "churn":
-		return r.Churn()
+		return r.Churn(ctx)
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
 	}
@@ -301,7 +287,7 @@ func (r *Runner) AllContext(ctx context.Context) ([]*Report, error) {
 
 // Table1 reports the OO7 Small' parameters and the derived database sizes
 // across connectivities, against the paper's 3.7–7.9 MB band.
-func (r *Runner) Table1() (*Report, error) {
+func (r *Runner) Table1(ctx context.Context) (*Report, error) {
 	rep := &Report{
 		ID:    "table1",
 		Title: "OO7 benchmark database parameters and derived structure",
@@ -351,7 +337,7 @@ func (r *Runner) Table1() (*Report, error) {
 }
 
 // Fig2 reports the application phase sequence and per-phase event counts.
-func (r *Runner) Fig2() (*Report, error) {
+func (r *Runner) Fig2(ctx context.Context) (*Report, error) {
 	opts := r.opts
 	tr, err := oo7.FullTrace(oo7.SmallPrime(opts.Connectivity), opts.SeedBase)
 	if err != nil {
@@ -393,9 +379,9 @@ func (r *Runner) Fig2() (*Report, error) {
 
 // Fig1 sweeps fixed collection rates and reports total I/O operations
 // (Figure 1a) and total garbage collected (Figure 1b).
-func (r *Runner) Fig1() (*Report, error) {
+func (r *Runner) Fig1(ctx context.Context) (*Report, error) {
 	opts := r.opts
-	traces, err := r.traces.get(opts.Connectivity, opts.SeedBase, opts.Runs)
+	traces, err := r.traces.get(ctx, opts.Connectivity, opts.SeedBase, opts.Runs)
 	if err != nil {
 		return nil, err
 	}
@@ -414,7 +400,7 @@ func (r *Runner) Fig1() (*Report, error) {
 	}}
 	for _, rate := range rates {
 		rate := rate
-		mr, err := r.runMany(sim.RunnerConfig{
+		mr, err := r.runMany(ctx, sim.RunnerConfig{
 			Traces: traces,
 			MakePolicy: func(int) (core.RatePolicy, error) {
 				return core.NewFixedRate(rate)
@@ -447,9 +433,9 @@ var saioFracs = []float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.40, 0.50}
 
 // Fig4 sweeps SAIO_Frac and reports achieved collector-I/O percentage with
 // min/max bars over the seeded runs.
-func (r *Runner) Fig4() (*Report, error) {
+func (r *Runner) Fig4(ctx context.Context) (*Report, error) {
 	opts := r.opts
-	traces, err := r.traces.get(opts.Connectivity, opts.SeedBase, opts.Runs)
+	traces, err := r.traces.get(ctx, opts.Connectivity, opts.SeedBase, opts.Runs)
 	if err != nil {
 		return nil, err
 	}
@@ -465,7 +451,7 @@ func (r *Runner) Fig4() (*Report, error) {
 	t := &metrics.Table{Header: []string{"requested %", "achieved %", "min %", "max %", "collections"}}
 	for _, frac := range saioFracs {
 		frac := frac
-		mr, err := r.runMany(sim.RunnerConfig{
+		mr, err := r.runMany(ctx, sim.RunnerConfig{
 			Traces: traces,
 			MakePolicy: func(int) (core.RatePolicy, error) {
 				return core.NewSAIO(core.SAIOConfig{Frac: frac})
@@ -498,9 +484,9 @@ var sagaEstimators = []string{"oracle", "cgs-cb", "fgs-hb"}
 
 // Fig5 sweeps SAGA_Frac for each garbage estimator and reports achieved
 // garbage percentage with min/max bars.
-func (r *Runner) Fig5() (*Report, error) {
+func (r *Runner) Fig5(ctx context.Context) (*Report, error) {
 	opts := r.opts
-	traces, err := r.traces.get(opts.Connectivity, opts.SeedBase, opts.Runs)
+	traces, err := r.traces.get(ctx, opts.Connectivity, opts.SeedBase, opts.Runs)
 	if err != nil {
 		return nil, err
 	}
@@ -516,7 +502,7 @@ func (r *Runner) Fig5() (*Report, error) {
 		series := &metrics.Series{Name: "achieved_" + estName}
 		for _, frac := range sagaFracs {
 			frac := frac
-			mr, err := r.runMany(sim.RunnerConfig{
+			mr, err := r.runMany(ctx, sim.RunnerConfig{
 				Traces: traces,
 				MakePolicy: func(int) (core.RatePolicy, error) {
 					est, err := core.NewEstimator(estName, 0.8)
@@ -547,9 +533,9 @@ func (r *Runner) Fig5() (*Report, error) {
 
 // Fig6 produces the time-varying target/actual/estimated garbage series for
 // the CGS/CB (a) and FGS/HB (b) heuristics at a 10% request.
-func (r *Runner) Fig6() (*Report, error) {
+func (r *Runner) Fig6(ctx context.Context) (*Report, error) {
 	opts := r.opts
-	traces, err := r.traces.get(opts.Connectivity, opts.SeedBase, 1)
+	traces, err := r.traces.get(ctx, opts.Connectivity, opts.SeedBase, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -572,7 +558,7 @@ func (r *Runner) Fig6() (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := s.RunContext(r.context(), traces[0])
+		res, err := s.RunContext(ctx, traces[0])
 		if err != nil {
 			return nil, err
 		}
@@ -596,9 +582,9 @@ func (r *Runner) Fig6() (*Report, error) {
 
 // Fig7a studies the FGS/HB history parameter h ∈ {0.50, 0.80, 0.95} at a
 // 10% request, reporting estimated and actual garbage per collection.
-func (r *Runner) Fig7a() (*Report, error) {
+func (r *Runner) Fig7a(ctx context.Context) (*Report, error) {
 	opts := r.opts
-	traces, err := r.traces.get(opts.Connectivity, opts.SeedBase, 1)
+	traces, err := r.traces.get(ctx, opts.Connectivity, opts.SeedBase, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -621,7 +607,7 @@ func (r *Runner) Fig7a() (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := s.RunContext(r.context(), traces[0])
+		res, err := s.RunContext(ctx, traces[0])
 		if err != nil {
 			return nil, err
 		}
@@ -642,9 +628,9 @@ func (r *Runner) Fig7a() (*Report, error) {
 
 // Fig7b reports collection rate, collection yield and garbage percentage
 // over time for FGS/HB with h = 0.8 at a 10% request.
-func (r *Runner) Fig7b() (*Report, error) {
+func (r *Runner) Fig7b(ctx context.Context) (*Report, error) {
 	opts := r.opts
-	traces, err := r.traces.get(opts.Connectivity, opts.SeedBase, 1)
+	traces, err := r.traces.get(ctx, opts.Connectivity, opts.SeedBase, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -660,7 +646,7 @@ func (r *Runner) Fig7b() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.RunContext(r.context(), traces[0])
+	res, err := s.RunContext(ctx, traces[0])
 	if err != nil {
 		return nil, err
 	}
@@ -691,7 +677,7 @@ func (r *Runner) Fig7b() (*Report, error) {
 
 // Fig8 repeats the SAIO and SAGA accuracy sweeps at connectivities 6 and 9
 // (one run per point, as in the paper).
-func (r *Runner) Fig8() (*Report, error) {
+func (r *Runner) Fig8(ctx context.Context) (*Report, error) {
 	opts := r.opts
 	rep := &Report{
 		ID:    "fig8",
@@ -701,14 +687,14 @@ func (r *Runner) Fig8() (*Report, error) {
 	}
 	t := &metrics.Table{Header: []string{"connectivity", "policy", "requested %", "achieved %"}}
 	for _, conn := range []int{6, 9} {
-		traces, err := r.traces.get(conn, opts.SeedBase, 1)
+		traces, err := r.traces.get(ctx, conn, opts.SeedBase, 1)
 		if err != nil {
 			return nil, err
 		}
 		saio := &metrics.Series{Name: fmt.Sprintf("conn%d_saio_achieved", conn)}
 		for _, frac := range saioFracs {
 			frac := frac
-			mr, err := r.runMany(sim.RunnerConfig{
+			mr, err := r.runMany(ctx, sim.RunnerConfig{
 				Traces: traces,
 				MakePolicy: func(int) (core.RatePolicy, error) {
 					return core.NewSAIO(core.SAIOConfig{Frac: frac})
@@ -727,7 +713,7 @@ func (r *Runner) Fig8() (*Report, error) {
 			saga := &metrics.Series{Name: fmt.Sprintf("conn%d_saga_%s_achieved", conn, estName)}
 			for _, frac := range sagaFracs {
 				frac := frac
-				mr, err := r.runMany(sim.RunnerConfig{
+				mr, err := r.runMany(ctx, sim.RunnerConfig{
 					Traces: traces,
 					MakePolicy: func(int) (core.RatePolicy, error) {
 						est, err := core.NewEstimator(estName, 0.8)

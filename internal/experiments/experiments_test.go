@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -12,7 +13,7 @@ import (
 var fastOpts = Options{Runs: 3}
 
 func TestTable1(t *testing.T) {
-	rep, err := NewRunner(fastOpts).Table1()
+	rep, err := NewRunner(fastOpts).Table1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,7 +24,7 @@ func TestTable1(t *testing.T) {
 }
 
 func TestFig1Shape(t *testing.T) {
-	rep, err := NewRunner(fastOpts).Fig1()
+	rep, err := NewRunner(fastOpts).Fig1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestFig1Shape(t *testing.T) {
 }
 
 func TestFig4Shape(t *testing.T) {
-	rep, err := NewRunner(fastOpts).Fig4()
+	rep, err := NewRunner(fastOpts).Fig4(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestFig4Shape(t *testing.T) {
 }
 
 func TestFig5Shape(t *testing.T) {
-	rep, err := NewRunner(fastOpts).Fig5()
+	rep, err := NewRunner(fastOpts).Fig5(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -29,7 +30,7 @@ func seriesNames(rep *Report) []string {
 }
 
 func TestFig2Shape(t *testing.T) {
-	rep, err := NewRunner(fastOpts).Fig2()
+	rep, err := NewRunner(fastOpts).Fig2(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestFig2Shape(t *testing.T) {
 }
 
 func TestFig6Shape(t *testing.T) {
-	rep, err := NewRunner(fastOpts).Fig6()
+	rep, err := NewRunner(fastOpts).Fig6(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,14 +74,14 @@ func TestFig6Shape(t *testing.T) {
 
 func TestFig7Shapes(t *testing.T) {
 	r := NewRunner(fastOpts)
-	repA, err := r.Fig7a()
+	repA, err := r.Fig7a(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(repA.Series) != 6 {
 		t.Fatalf("fig7a series = %d, want 6 (3 h values x actual/estimated)", len(repA.Series))
 	}
-	repB, err := r.Fig7b()
+	repB, err := r.Fig7b(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestFig7Shapes(t *testing.T) {
 }
 
 func TestFig8Shape(t *testing.T) {
-	rep, err := NewRunner(fastOpts).Fig8()
+	rep, err := NewRunner(fastOpts).Fig8(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestFig8Shape(t *testing.T) {
 }
 
 func TestAblationsShape(t *testing.T) {
-	rep, err := NewRunner(fastOpts).Ablations()
+	rep, err := NewRunner(fastOpts).Ablations(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestAblationsShape(t *testing.T) {
 }
 
 func TestEstimatorsStudyShape(t *testing.T) {
-	rep, err := NewRunner(fastOpts).Estimators()
+	rep, err := NewRunner(fastOpts).Estimators(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ func TestEstimatorsStudyShape(t *testing.T) {
 }
 
 func TestControllersStudyShape(t *testing.T) {
-	rep, err := NewRunner(fastOpts).Controllers()
+	rep, err := NewRunner(fastOpts).Controllers(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestControllersStudyShape(t *testing.T) {
 }
 
 func TestChurnStudyShape(t *testing.T) {
-	rep, err := NewRunner(Options{Runs: 2}).Churn()
+	rep, err := NewRunner(Options{Runs: 2}).Churn(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +235,7 @@ func TestRunnerAllNamesResolve(t *testing.T) {
 }
 
 func TestReportPlotRendering(t *testing.T) {
-	rep, err := NewRunner(fastOpts).Fig7b()
+	rep, err := NewRunner(fastOpts).Fig7b(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,7 @@ package obs
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -266,7 +267,7 @@ func ReadAll(rd io.Reader) ([]*Envelope, error) {
 	var out []*Envelope
 	for {
 		env, err := r.Read()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return out, nil
 		}
 		if err != nil {

@@ -111,9 +111,9 @@ func saveRunResult(path string, res *Result) error {
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name())
+	defer func() { _ = os.Remove(tmp.Name()) }()
 	if _, err := tmp.Write(buf.Bytes()); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		return err
 	}
 	if err := tmp.Close(); err != nil {
@@ -458,7 +458,7 @@ func runAttempt(ctx context.Context, cfg RunnerConfig, i, attempt int) (*Result,
 	s, err := New(simCfg)
 	if err != nil {
 		if events != nil {
-			events.Close()
+			_ = events.Close()
 		}
 		return nil, fmt.Errorf("sim: run %d: %w", i, err)
 	}

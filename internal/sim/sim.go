@@ -12,6 +12,7 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 
@@ -331,7 +332,7 @@ func (s *Simulator) RunStreamContext(ctx context.Context, src EventSource) (*Res
 			return nil, fmt.Errorf("sim: run stopped at event %d: %w", s.step, simerr.FromContext(err))
 		}
 		e, err := src.Read()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return s.Finish()
 		}
 		if err != nil {

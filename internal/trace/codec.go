@@ -197,7 +197,7 @@ func (r *Reader) Read() (Event, error) {
 	}
 	kb, err := r.br.ReadByte()
 	if err != nil {
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			// Clean event boundary, but no trailer: the stream was cut.
 			return e, r.truncation()
 		}
@@ -268,7 +268,7 @@ func (r *Reader) Read() (Event, error) {
 		return e, fmt.Errorf("trace: unknown event kind byte %d", kb)
 	}
 	if err != nil {
-		if err == io.EOF || err == io.ErrUnexpectedEOF {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 			// The stream ended inside an event: truncation. In lenient mode
 			// the partial event is discarded and the stream ends normally.
 			return Event{}, r.truncation()
@@ -299,7 +299,7 @@ func ReadAll(r io.Reader) (*Trace, error) {
 	t := &Trace{}
 	for {
 		e, err := tr.Read()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return t, nil
 		}
 		if err != nil {
@@ -322,7 +322,7 @@ func ReadAllLenient(r io.Reader) (*Trace, bool, error) {
 	t := &Trace{}
 	for {
 		e, err := tr.Read()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return t, tr.Truncated(), nil
 		}
 		if err != nil {
@@ -408,7 +408,7 @@ func ReadJSON(r io.Reader) (*Trace, error) {
 	t := &Trace{}
 	for i := 0; ; i++ {
 		var je jsonEvent
-		if err := dec.Decode(&je); err == io.EOF {
+		if err := dec.Decode(&je); errors.Is(err, io.EOF) {
 			return t, nil
 		} else if err != nil {
 			return nil, fmt.Errorf("trace: decoding JSON event %d: %w", i, err)
