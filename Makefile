@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race race vet lint lint-fix-report fuzz bench experiments examples soak clean
+.PHONY: all build test test-short test-race race vet lint lint-fix-report fuzz bench experiments examples soak server-smoke clean
 
 all: build vet lint test
 
@@ -59,6 +59,12 @@ experiments:
 # uninterrupted reference byte for byte (see README "Resilience").
 soak:
 	./scripts/soak.sh
+
+# Overload smoke: odbgcd (built -race) under a 4x chaos burst from
+# odbgload must shed on /metrics and drain cleanly on SIGINT mid-load
+# (see README "Serving mode").
+server-smoke:
+	./scripts/server_smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -1,0 +1,100 @@
+// Command odbgload drives an odbgcd server with open-loop load and
+// optional network chaos, reporting achieved throughput, shed rate, and
+// latency percentiles as JSON.
+//
+// Usage:
+//
+//	odbgload -addr 127.0.0.1:7421 -rate 500 -duration 10s
+//	odbgload -rate 2000 -workers 16 -net-profile net-chaos -seed 7
+//
+// Open-loop means arrivals are scheduled by the clock, not by responses: a
+// saturated server faces a growing backlog instead of a politely waiting
+// client, which is what makes admission control and shedding observable.
+// The chaos profiles (see -net-profile) add slow clients, mid-request
+// disconnects, malformed frames, and arrival bursts, all deterministic for
+// a given -seed.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"odbgc/internal/fault"
+	"odbgc/internal/obs"
+	"odbgc/internal/server"
+)
+
+func main() {
+	sd := obs.NewShutdown(context.Background())
+	stop := sd.Notify()
+	defer stop()
+	if err := runWithShutdown(sd, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "odbgload:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the CLI with no signals wired; tests drive it directly.
+func run(args []string, stdout, stderr io.Writer) error {
+	return runWithShutdown(obs.NewShutdown(context.Background()), args, stdout, stderr)
+}
+
+func runWithShutdown(sd *obs.Shutdown, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("odbgload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:7421", "odbgcd server to drive")
+		rate     = fs.Float64("rate", 200, "arrival rate in requests per second (open loop)")
+		duration = fs.Duration("duration", 5*time.Second, "how long to generate arrivals")
+		workers  = fs.Int("workers", 8, "client session pool size")
+		profName = fs.String("net-profile", "net-off", "network chaos profile: "+strings.Join(fault.NetProfileNames(), ", "))
+		seed     = fs.Int64("seed", 1, "seed for the chaos schedule (same seed, same schedule)")
+		timeout  = fs.Duration("timeout", 2*time.Second, "per-request deadline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("usage: odbgload [flags] (no positional arguments)")
+	}
+	profile, err := fault.LookupNetProfile(*profName)
+	if err != nil {
+		return err
+	}
+
+	// SIGINT ends the run early; the partial report still prints. The
+	// second signal hard-cancels via the context.
+	ctx, cancel := context.WithCancel(sd.Context())
+	defer cancel()
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-sd.Draining():
+			cancel()
+		case <-watchDone:
+		}
+	}()
+
+	rep, err := server.RunLoad(ctx, server.LoadConfig{
+		Addr:           *addr,
+		Rate:           *rate,
+		Duration:       *duration,
+		Workers:        *workers,
+		Profile:        profile,
+		Seed:           *seed,
+		RequestTimeout: *timeout,
+	})
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"odbgc/internal/core"
+	"odbgc/internal/gc"
+	"odbgc/internal/objstore"
+	"odbgc/internal/obs"
+	"odbgc/internal/server"
+	"odbgc/internal/storage"
+)
+
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"bad profile", []string{"-net-profile", "bogus"}, "profile"},
+		{"zero rate", []string{"-rate", "0", "-duration", "1s"}, "rate"},
+		{"zero duration", []string{"-duration", "0s"}, "duration"},
+		{"positional args", []string{"stray"}, "usage"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			err := run(tc.args, &out, &errb)
+			if err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("args %v: error %q does not mention %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestLoadCLIAgainstServer runs the CLI end to end against a real server
+// and checks the JSON report parses and is coherent.
+func TestLoadCLIAgainstServer(t *testing.T) {
+	store := objstore.NewStore()
+	mgr, err := storage.NewManager(storage.Config{PageSize: 1024, PagesPerPartition: 4, BufferPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := core.NewFixedRate(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := obs.NewLive()
+	m := server.NewMetrics(live.Registry())
+	eng, err := server.NewEngine(gc.NewHeap(store, mgr), server.EngineConfig{
+		Policy: pol, Selection: gc.UpdatedPointer{}, QueueDepth: 16, Metrics: m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Addr: "127.0.0.1:0"}, eng, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	drain := make(chan struct{})
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, drain) }()
+	// done has capacity 1, so the server goroutine never leaks even when
+	// the test fails before the drain path consumes the channel.
+	defer cancel()
+
+	var out, errb bytes.Buffer
+	err = run([]string{
+		"-addr", addr,
+		"-rate", "300", "-duration", "300ms", "-workers", "4",
+		"-net-profile", "net-flaky", "-seed", "3",
+	}, &out, &errb)
+	if err != nil {
+		t.Fatalf("load run failed: %v (stderr: %s)", err, errb.String())
+	}
+	var rep server.LoadReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, out.String())
+	}
+	if rep.Arrivals == 0 || rep.OK == 0 {
+		t.Fatalf("report shows no traffic: %+v", rep)
+	}
+	if rep.AchievedRPS <= 0 {
+		t.Errorf("achieved rps %v, want > 0", rep.AchievedRPS)
+	}
+
+	close(drain)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("server drain returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not drain")
+	}
+}

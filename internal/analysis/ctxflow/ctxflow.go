@@ -46,6 +46,7 @@ var CoveredDirs = []string{
 	"internal/sim",
 	"internal/experiments",
 	"internal/fault",
+	"internal/server",
 }
 
 func run(pass *analysis.Pass) error {

@@ -1,0 +1,65 @@
+// serverloop.go exercises goleak on the shapes a TCP server grows: an
+// accept loop spawning per-session goroutines, session read loops, and a
+// watcher. Seeded from internal/server's accept/session/watcher structure
+// so the analyzer keeps passing judgment on the loops we actually ship.
+package workers
+
+import "context"
+
+// listener and conn stand in for net.Listener / net.Conn; goleak only
+// cares about the loop structure, not the I/O.
+type listener interface {
+	Accept() (conn, error)
+}
+
+type conn interface {
+	Read([]byte) (int, error)
+	Close() error
+}
+
+func handle(conn) {}
+
+// AcceptLoop is the server's shape: the accept loop re-checks ctx at every
+// iteration, and each session goroutine does the same. Both pass.
+func AcceptLoop(ctx context.Context, ln listener) {
+	go func() {
+		for ctx.Err() == nil {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				for ctx.Err() == nil {
+					buf := make([]byte, 1)
+					if _, err := c.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+}
+
+// AcceptLoopLeaks is the same loop with the cancellation check dropped:
+// nothing ever stops it, so a hung Accept pins the goroutine forever.
+func AcceptLoopLeaks(ln listener) {
+	go func() { // want "unbounded loop"
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				continue
+			}
+			handle(c)
+		}
+	}()
+}
+
+// SessionWatcher drains a done channel per session — the range makes the
+// loop bounded by channel closure.
+func SessionWatcher(sessions chan conn) {
+	go func() {
+		for c := range sessions {
+			handle(c)
+		}
+	}()
+}

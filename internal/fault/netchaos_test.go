@@ -1,0 +1,153 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestLookupNetProfile(t *testing.T) {
+	cases := []struct {
+		name    string
+		wantErr bool
+		active  bool
+	}{
+		{"", false, false}, // empty resolves to net-off
+		{"net-off", false, false},
+		{"net-slow", false, true},
+		{"net-flaky", false, true},
+		{"net-burst", false, true},
+		{"net-chaos", false, true},
+		{"net-bogus", true, false},
+	}
+	for _, c := range cases {
+		p, err := LookupNetProfile(c.name)
+		if (err != nil) != c.wantErr {
+			t.Errorf("LookupNetProfile(%q) error = %v, wantErr %v", c.name, err, c.wantErr)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if got := p.Active(); got != c.active {
+			t.Errorf("LookupNetProfile(%q).Active() = %v, want %v", c.name, got, c.active)
+		}
+	}
+}
+
+func TestNetProfileNamesSorted(t *testing.T) {
+	names := NetProfileNames()
+	if len(names) != len(netProfiles) {
+		t.Fatalf("NetProfileNames returned %d names, registry has %d", len(names), len(netProfiles))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not strictly sorted: %v", names)
+		}
+	}
+	for _, n := range names {
+		p, err := LookupNetProfile(n)
+		if err != nil {
+			t.Errorf("listed profile %q does not resolve: %v", n, err)
+		}
+		if p.Name != n {
+			t.Errorf("profile %q carries Name %q", n, p.Name)
+		}
+	}
+}
+
+// TestNetChaosDeterministic pins the core property: same profile + same seed
+// means the identical decision schedule, draw for draw.
+func TestNetChaosDeterministic(t *testing.T) {
+	p, err := LookupNetProfile("net-chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	run := func(seed int64) []NetDecision {
+		c := NewNetChaos(p, seed)
+		ds := make([]NetDecision, n)
+		for i := range ds {
+			ds[i] = c.Next()
+		}
+		return ds
+	}
+	a, b := run(42), run(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different chaos schedules")
+	}
+	other := run(43)
+	if reflect.DeepEqual(a, other) {
+		t.Fatal("different seeds produced identical 500-draw schedules (rng is suspect)")
+	}
+}
+
+// TestNetChaosOffIsQuiet pins that the default profile never injects: every
+// decision is the identity (full speed, no disconnect, no garbage, no burst).
+func TestNetChaosOffIsQuiet(t *testing.T) {
+	p, err := LookupNetProfile("net-off")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewNetChaos(p, 7)
+	for i := 0; i < 1000; i++ {
+		d := c.Next()
+		if d.SlowFactor != 1 || d.Disconnect || d.Malformed || d.Burst != 0 {
+			t.Fatalf("net-off injected chaos at draw %d: %+v", i, d)
+		}
+	}
+	st := c.Stats()
+	want := NetChaosStats{Requests: 1000}
+	if st != want {
+		t.Fatalf("net-off stats = %+v, want %+v", st, want)
+	}
+}
+
+// TestNetChaosRatesRoughlyHonored sanity-checks that over many draws each
+// knob fires in the right ballpark (loose 2x bounds — this is a smoke test
+// of wiring, not a statistics test).
+func TestNetChaosRatesRoughlyHonored(t *testing.T) {
+	p, err := LookupNetProfile("net-chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewNetChaos(p, 12345)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		d := c.Next()
+		if d.SlowFactor < 1 || d.SlowFactor > p.SlowFactorMax {
+			t.Fatalf("slow factor %v outside [1, %v]", d.SlowFactor, p.SlowFactorMax)
+		}
+		if d.Burst != 0 && d.Burst != p.BurstLen {
+			t.Fatalf("burst %d, want 0 or %d", d.Burst, p.BurstLen)
+		}
+	}
+	st := c.Stats()
+	check := func(name string, got uint64, prob float64) {
+		t.Helper()
+		lo, hi := uint64(float64(n)*prob/2), uint64(float64(n)*prob*2)
+		if got < lo || got > hi {
+			t.Errorf("%s fired %d times over %d draws at p=%v, want within [%d, %d]", name, got, n, prob, lo, hi)
+		}
+	}
+	check("slow", st.Slow, p.SlowProb)
+	check("disconnect", st.Disconnects, p.DisconnectProb)
+	check("malformed", st.Malformed, p.MalformedProb)
+	check("burst", st.Bursts, p.BurstProb)
+}
+
+func TestMalformedFrameDeterministic(t *testing.T) {
+	p, err := LookupNetProfile("net-flaky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := NewNetChaos(p, 99), NewNetChaos(p, 99)
+	for i := 0; i < 50; i++ {
+		fa, fb := a.MalformedFrame(), b.MalformedFrame()
+		if !reflect.DeepEqual(fa, fb) {
+			t.Fatalf("draw %d: same seed produced different malformed frames", i)
+		}
+		if len(fa) < 4 {
+			t.Fatalf("draw %d: frame shorter than a length prefix: %d bytes", i, len(fa))
+		}
+	}
+}

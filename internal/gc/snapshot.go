@@ -41,6 +41,7 @@ type HeapSnapshot struct {
 	TotalCollected   uint64
 	TotalCollections uint64
 	PhysicalFixups   bool
+	Oracleless       bool
 }
 
 func sortCounters(cs []PartitionCounter) {
@@ -57,6 +58,7 @@ func (h *Heap) Snapshot() *HeapSnapshot {
 		TotalCollected:   h.totalCollected,
 		TotalCollections: h.totalCollections,
 		PhysicalFixups:   h.physicalFixups,
+		Oracleless:       h.oracleless,
 	}
 	for p, m := range h.remset {
 		for dst, srcs := range m {
@@ -110,6 +112,7 @@ func RestoreHeap(st *HeapSnapshot) (*Heap, error) {
 	}
 	h := NewHeap(store, disk)
 	h.physicalFixups = st.PhysicalFixups
+	h.oracleless = st.Oracleless
 	for _, e := range st.Remset {
 		if e.Count <= 0 {
 			return nil, fmt.Errorf("gc: non-positive remset count %d for %v->%v", e.Count, e.Src, e.Dst)

@@ -1,0 +1,195 @@
+package server
+
+import (
+	"math"
+	"testing"
+
+	"odbgc/internal/core"
+	"odbgc/internal/gc"
+)
+
+// scriptedEstimator replays a fixed sequence of estimates; after the
+// script runs out it repeats the last value.
+type scriptedEstimator struct {
+	name   string
+	script []float64
+	i      int
+	obs    int
+}
+
+func (s *scriptedEstimator) Name() string { return s.name }
+func (s *scriptedEstimator) ObserveCollection(core.HeapState, gc.CollectionResult) {
+	s.obs++
+}
+func (s *scriptedEstimator) EstimateGarbage(core.HeapState) float64 {
+	v := s.script[len(s.script)-1]
+	if s.i < len(s.script) {
+		v = s.script[s.i]
+		s.i++
+	}
+	return v
+}
+
+// fixedState is a minimal HeapState fixture.
+type fixedState struct{}
+
+func (fixedState) DatabaseBytes() int          { return 10_000 }
+func (fixedState) ActualGarbageBytes() int     { return 0 }
+func (fixedState) TotalCollectedBytes() uint64 { return 0 }
+func (fixedState) SumPartitionOverwrites() int { return 0 }
+func (fixedState) NumPartitions() int          { return 4 }
+
+func repeat(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestBreakerTripsAndServesFallback(t *testing.T) {
+	nan := math.NaN()
+	primary := &scriptedEstimator{name: "flaky", script: append(repeat(100, 2), repeat(nan, 10)...)}
+	fallback := &scriptedEstimator{name: "steady", script: []float64{500}}
+	b, err := NewBreaker(BreakerConfig{TripAfter: 3, Cooldown: 4, HalfOpenProbes: 2}, primary, fallback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fixedState{}
+
+	// Two good estimates: closed, primary value served.
+	for i := 0; i < 2; i++ {
+		if got := b.EstimateGarbage(h); got != 100 {
+			t.Fatalf("estimate %d = %v, want primary's 100", i, got)
+		}
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after good signals, want closed", b.State())
+	}
+	// Three consecutive NaNs trip it; the fallback serves from the first
+	// bad signal on (the controller never sees an unusable number).
+	for i := 0; i < 3; i++ {
+		if got := b.EstimateGarbage(h); got != 500 {
+			t.Fatalf("bad-signal estimate %d = %v, want fallback's 500", i, got)
+		}
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after %d bad signals, want open", b.State(), 3)
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", b.Trips())
+	}
+}
+
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	nan := math.NaN()
+	// 3 bad (trip) → 4 in cooldown → good probes from then on.
+	script := append(repeat(nan, 7), repeat(42, 10)...)
+	primary := &scriptedEstimator{name: "flaky", script: script}
+	fallback := &scriptedEstimator{name: "steady", script: []float64{500}}
+	b, err := NewBreaker(BreakerConfig{TripAfter: 3, Cooldown: 4, HalfOpenProbes: 2}, primary, fallback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fixedState{}
+	for i := 0; i < 3; i++ {
+		_ = b.EstimateGarbage(h) // trip
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("not open after trip: %v", b.State())
+	}
+	// Cooldown: 4 estimates served by the fallback, then half-open.
+	for i := 0; i < 4; i++ {
+		if got := b.EstimateGarbage(h); got != 500 {
+			t.Fatalf("cooldown estimate %d = %v, want 500", i, got)
+		}
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v after cooldown, want half-open", b.State())
+	}
+	// Two good probes close it; probes serve the primary.
+	for i := 0; i < 2; i++ {
+		if got := b.EstimateGarbage(h); got != 42 {
+			t.Fatalf("probe %d = %v, want primary's 42", i, got)
+		}
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after good probes, want closed", b.State())
+	}
+	if b.Recoveries() != 1 {
+		t.Fatalf("recoveries = %d, want 1", b.Recoveries())
+	}
+	// Healthy again: primary keeps serving.
+	if got := b.EstimateGarbage(h); got != 42 {
+		t.Fatalf("post-recovery estimate %v, want 42", got)
+	}
+}
+
+func TestBreakerBadProbeReopens(t *testing.T) {
+	nan := math.NaN()
+	// 2 bad (trip at TripAfter=2) → 2 cooldown → 1 bad probe → reopen.
+	script := append(repeat(nan, 4), nan)
+	primary := &scriptedEstimator{name: "flaky", script: script}
+	fallback := &scriptedEstimator{name: "steady", script: []float64{500}}
+	b, err := NewBreaker(BreakerConfig{TripAfter: 2, Cooldown: 2, HalfOpenProbes: 2}, primary, fallback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fixedState{}
+	for i := 0; i < 2; i++ {
+		_ = b.EstimateGarbage(h) // trip 1
+	}
+	for i := 0; i < 2; i++ {
+		_ = b.EstimateGarbage(h) // cooldown → half-open
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v, want half-open", b.State())
+	}
+	if got := b.EstimateGarbage(h); got != 500 {
+		t.Fatalf("bad probe served %v, want fallback's 500", got)
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after bad probe, want open", b.State())
+	}
+	if b.Trips() != 2 {
+		t.Fatalf("trips = %d, want 2 (initial + re-trip)", b.Trips())
+	}
+}
+
+func TestBreakerRecordFailureTrips(t *testing.T) {
+	primary := &scriptedEstimator{name: "fine", script: []float64{100}}
+	fallback := &scriptedEstimator{name: "steady", script: []float64{500}}
+	b, err := NewBreaker(BreakerConfig{TripAfter: 2, Cooldown: 2, HalfOpenProbes: 1}, primary, fallback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// External failures (collection errors) trip the breaker even though
+	// the primary's numbers look plausible.
+	b.RecordFailure()
+	if b.State() != BreakerClosed {
+		t.Fatalf("one failure opened the breaker early")
+	}
+	b.RecordFailure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after TripAfter failures, want open", b.State())
+	}
+	if b.BadSignals() != 2 {
+		t.Fatalf("bad signals = %d, want 2", b.BadSignals())
+	}
+}
+
+func TestBreakerObservesBothEstimators(t *testing.T) {
+	primary := &scriptedEstimator{name: "p", script: []float64{1}}
+	fallback := &scriptedEstimator{name: "f", script: []float64{2}}
+	b, err := NewBreaker(BreakerConfig{}, primary, fallback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.ObserveCollection(fixedState{}, gc.CollectionResult{})
+	if primary.obs != 1 || fallback.obs != 1 {
+		t.Fatalf("observations primary=%d fallback=%d, want 1/1 (fallback must stay warm)", primary.obs, fallback.obs)
+	}
+	if b.Name() != "breaker(p->f)" {
+		t.Fatalf("name = %q", b.Name())
+	}
+}

@@ -1,0 +1,415 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"odbgc/internal/core"
+	"odbgc/internal/gc"
+	"odbgc/internal/objstore"
+	"odbgc/internal/obs"
+	"odbgc/internal/simerr"
+)
+
+// EngineConfig parameterizes the request engine.
+type EngineConfig struct {
+	// Policy decides when the online collector runs; consulted after every
+	// admitted request against the live clock. Required.
+	Policy core.RatePolicy
+	// Selection picks the partition each collection processes. Required.
+	Selection gc.SelectionPolicy
+	// QueueDepth bounds the admission queue: requests beyond it are shed
+	// immediately. Defaults to 128.
+	QueueDepth int
+	// ServiceDelay is artificial per-request service time, the knob that
+	// makes overload reproducible in tests and demos: with a delay of d,
+	// sustained arrival above QueueDepth/d keeps the queue full. Zero means
+	// requests cost only their real work.
+	ServiceDelay time.Duration
+	// Breaker, when set, is observed after every collection so its state
+	// reaches /metrics. It should be the same value wired into the Policy's
+	// estimator.
+	Breaker *Breaker
+	// Metrics is the serving-path metrics sink (nil for none).
+	Metrics *Metrics
+	// Observer receives Decision/Collection events as the online GC runs
+	// (nil for none). Step carries the admitted-request count.
+	Observer obs.Observer
+}
+
+func (c *EngineConfig) validate() error {
+	if c.Policy == nil {
+		return fmt.Errorf("server: engine requires a rate policy")
+	}
+	if c.Selection == nil {
+		return fmt.Errorf("server: engine requires a selection policy")
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 128
+	}
+	if c.QueueDepth < 0 {
+		return fmt.Errorf("server: queue depth %d must be positive", c.QueueDepth)
+	}
+	return nil
+}
+
+// call is one admitted request in flight: the request, its queue deadline,
+// and the buffered channel its response lands on (buffered so the engine
+// never blocks on a waiter that gave up).
+type call struct {
+	req      Request
+	deadline time.Time // zero means none
+	done     chan Response
+}
+
+// Engine owns the heap. Exactly one goroutine (Run) touches gc.Heap,
+// objstore.Store, the policy, and the estimator, so none of them need
+// locks and the GC decision sequence stays deterministic for a given
+// request order. Sessions talk to it through Submit, which enforces
+// admission control: the queue is the only buffer, and it is bounded.
+type Engine struct {
+	cfg   EngineConfig
+	heap  *gc.Heap
+	queue chan *call
+
+	draining atomic.Bool
+	requests uint64 // admitted requests processed (engine goroutine only)
+
+	// ewmaMs is the exponentially weighted mean service time in
+	// milliseconds, stored as float64 bits so Submit (session goroutines)
+	// can read it without a lock for retry-after hints.
+	ewmaMs atomic.Uint64
+}
+
+// NewEngine builds an engine over the heap. The heap must be in oracleless
+// mode (the server has no replay annotations); NewEngine enforces it.
+func NewEngine(heap *gc.Heap, cfg EngineConfig) (*Engine, error) {
+	if heap == nil {
+		return nil, fmt.Errorf("server: engine requires a heap")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	heap.SetOracleless(true)
+	return &Engine{
+		cfg:   cfg,
+		heap:  heap,
+		queue: make(chan *call, cfg.QueueDepth),
+	}, nil
+}
+
+// QueueDepth returns the admission bound.
+func (e *Engine) QueueDepth() int { return cap(e.queue) }
+
+// BeginDrain stops admission: every Submit from now on is answered
+// StatusClosed. Already-queued calls still execute.
+func (e *Engine) BeginDrain() { e.draining.Store(true) }
+
+// CloseQueue ends the engine's run loop once the queue empties. It must be
+// called exactly once, after every session that could Submit has exited.
+func (e *Engine) CloseQueue() { close(e.queue) }
+
+// retryAfterMs estimates when shed work is worth retrying: the observed
+// mean service time times the queue bound — roughly one full queue's
+// worth of draining — with a floor of 1ms so the hint is never zero.
+func (e *Engine) retryAfterMs() int {
+	ewma := math.Float64frombits(e.ewmaMs.Load())
+	ms := int(ewma * float64(cap(e.queue)))
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
+}
+
+// Submit runs one request through admission control and waits for its
+// response. The fast failure paths never block:
+//
+//   - draining server: StatusClosed immediately;
+//   - full queue: StatusShed immediately, with a retry-after hint;
+//   - ctx done while waiting: a classified error response (the admitted
+//     request may still execute; its response is dropped).
+func (e *Engine) Submit(ctx context.Context, req Request) Response {
+	if e.draining.Load() {
+		return Response{ID: req.ID, Status: StatusClosed,
+			Error: simerr.SessionClosedf("server draining").Error()}
+	}
+	c := &call{req: req, done: make(chan Response, 1)}
+	if dl, ok := ctx.Deadline(); ok {
+		c.deadline = dl
+	}
+	select {
+	case e.queue <- c:
+	default:
+		e.cfg.Metrics.Shed()
+		return Response{ID: req.ID, Status: StatusShed,
+			Error:        simerr.Overloadedf("admission queue full (%d deep)", cap(e.queue)).Error(),
+			RetryAfterMs: e.retryAfterMs()}
+	}
+	select {
+	case resp := <-c.done:
+		return resp
+	case <-ctx.Done():
+		err := simerr.FromContext(ctx.Err())
+		e.cfg.Metrics.Error(simerr.Classify(err))
+		return Response{ID: req.ID, Status: StatusError, Error: err.Error()}
+	}
+}
+
+// Run is the engine loop: it executes queued calls one at a time until the
+// queue is closed and empty (clean drain, returns nil) or ctx is cancelled
+// (hard stop, returns the classified context error). Only this goroutine
+// touches the heap.
+func (e *Engine) Run(ctx context.Context) error {
+	for {
+		select {
+		case <-ctx.Done():
+			return simerr.FromContext(ctx.Err())
+		case c, ok := <-e.queue:
+			if !ok {
+				return nil
+			}
+			e.process(c)
+		}
+	}
+}
+
+// process executes one admitted call: deadline check, the op itself, the
+// artificial service delay, then a GC policy consultation — the online
+// equivalent of the simulator's per-event ShouldCollect probe.
+func (e *Engine) process(c *call) {
+	start := time.Now()
+	if !c.deadline.IsZero() && start.After(c.deadline) {
+		// The waiter's deadline passed while the call sat in queue; skip
+		// the work — under overload, executing dead requests only digs the
+		// hole deeper.
+		e.cfg.Metrics.Expired()
+		c.done <- Response{ID: c.req.ID, Status: StatusError,
+			Error: simerr.FromContext(context.DeadlineExceeded).Error()}
+		return
+	}
+	e.cfg.Metrics.RequestStart()
+	e.requests++
+	resp := e.apply(c.req)
+	if e.cfg.ServiceDelay > 0 {
+		time.Sleep(e.cfg.ServiceDelay)
+	}
+	c.done <- resp
+
+	// GC after responding: collection time is not billed to the request
+	// that happened to trigger it.
+	if e.cfg.Policy.ShouldCollect(e.clock()) {
+		e.collect()
+	}
+
+	ms := float64(time.Since(start)) / float64(time.Millisecond)
+	e.cfg.Metrics.RequestEnd(ms)
+	const w = 0.9 // smoothing for the retry-after hint
+	prev := math.Float64frombits(e.ewmaMs.Load())
+	if prev == 0 {
+		prev = ms
+	}
+	e.ewmaMs.Store(math.Float64bits(w*prev + (1-w)*ms))
+}
+
+// clock assembles the policy clock from live counters, exactly as the
+// simulator does from replayed ones.
+func (e *Engine) clock() core.Clock {
+	st := e.heap.Disk().Stats()
+	return core.Clock{AppIO: st.AppIO(), GCIO: st.GCIO(), Overwrites: e.heap.OverwriteClock()}
+}
+
+// fail classifies, counts, and formats an op error.
+func (e *Engine) fail(id uint64, err error) Response {
+	e.cfg.Metrics.Error(simerr.Classify(err))
+	return Response{ID: id, Status: StatusError, Error: err.Error()}
+}
+
+// apply executes one op against the heap.
+func (e *Engine) apply(req Request) Response {
+	switch req.Op {
+	case OpPing:
+		return Response{ID: req.ID, Status: StatusOK}
+	case OpCreate:
+		if req.Size <= 0 {
+			return e.fail(req.ID, fmt.Errorf("create: size %d must be positive", req.Size))
+		}
+		oid := e.heap.Store().NextOID()
+		if err := e.heap.Create(oid, objstore.ClassUnknown, req.Size, req.Slots); err != nil {
+			return e.fail(req.ID, err)
+		}
+		// New objects are pinned as roots until the client links them into
+		// the graph and unroots them: without replay annotations, an
+		// unpinned object could be reclaimed between its create and the
+		// set that makes it reachable.
+		if err := e.heap.Store().AddRoot(oid); err != nil {
+			return e.fail(req.ID, err)
+		}
+		return Response{ID: req.ID, Status: StatusOK, OID: uint64(oid)}
+	case OpAccess:
+		if err := e.heap.Access(objstore.OID(req.OID)); err != nil {
+			return e.fail(req.ID, err)
+		}
+		return Response{ID: req.ID, Status: StatusOK}
+	case OpUpdate:
+		if err := e.heap.Update(objstore.OID(req.OID)); err != nil {
+			return e.fail(req.ID, err)
+		}
+		return Response{ID: req.ID, Status: StatusOK}
+	case OpSet:
+		src := objstore.OID(req.OID)
+		o := e.heap.Store().Get(src)
+		if o == nil {
+			return e.fail(req.ID, fmt.Errorf("set: absent object %v", src))
+		}
+		if req.Slot < 0 || req.Slot >= len(o.Slots) {
+			return e.fail(req.ID, fmt.Errorf("set: slot %d out of range [0,%d) on %v", req.Slot, len(o.Slots), src))
+		}
+		old := o.Slots[req.Slot]
+		// An overwrite of a nil slot is an initializing store: it cannot
+		// create garbage and does not advance the overwrite clock.
+		init := old.IsNil()
+		if err := e.heap.Overwrite(src, req.Slot, old, objstore.OID(req.Dst), init); err != nil {
+			return e.fail(req.ID, err)
+		}
+		return Response{ID: req.ID, Status: StatusOK, Old: uint64(old)}
+	case OpRoot:
+		if err := e.heap.Store().AddRoot(objstore.OID(req.OID)); err != nil {
+			return e.fail(req.ID, err)
+		}
+		return Response{ID: req.ID, Status: StatusOK}
+	case OpUnroot:
+		if e.heap.Store().Get(objstore.OID(req.OID)) == nil {
+			return e.fail(req.ID, fmt.Errorf("unroot: absent object %v", objstore.OID(req.OID)))
+		}
+		e.heap.Store().RemoveRoot(objstore.OID(req.OID))
+		return Response{ID: req.ID, Status: StatusOK}
+	case OpStats:
+		return Response{ID: req.ID, Status: StatusOK, Stats: e.stats()}
+	default:
+		return e.fail(req.ID, fmt.Errorf("unknown op %q", req.Op))
+	}
+}
+
+// Snapshot returns the engine's statistics. Safe only while the engine
+// loop is not running (before Run starts, or after it returns); the daemon
+// calls it post-drain to stamp the run manifest.
+func (e *Engine) Snapshot() *Stats { return e.stats() }
+
+// Requests returns the number of admitted requests processed, under the
+// same conditions as Snapshot.
+func (e *Engine) Requests() uint64 { return e.requests }
+
+// stats snapshots the live database and controller state. Runs on the
+// engine goroutine, so the reads need no locks.
+func (e *Engine) stats() *Stats {
+	disk := e.heap.Disk().Stats()
+	st := &Stats{
+		Objects:        e.heap.Store().Len(),
+		DBBytes:        e.heap.DatabaseBytes(),
+		Partitions:     e.heap.NumPartitions(),
+		Roots:          len(e.heap.Store().Roots()),
+		OverwriteClock: e.heap.OverwriteClock(),
+		Collections:    e.heap.Collections(),
+		ReclaimedBytes: e.heap.TotalCollectedBytes(),
+		AppIO:          disk.AppIO(),
+		GCIO:           disk.GCIO(),
+		Policy:         e.cfg.Policy.Name(),
+		QueueLen:       len(e.queue),
+		QueueDepth:     cap(e.queue),
+	}
+	if e.cfg.Breaker != nil {
+		st.BreakerState = e.cfg.Breaker.State().String()
+	}
+	return st
+}
+
+// collect runs one online collection: partition selection, the copy pass,
+// policy feedback, breaker bookkeeping, and observer events — the serving
+// twin of the simulator's collect step.
+func (e *Engine) collect() {
+	now := e.clock()
+	part, ok := e.cfg.Selection.Select(e.heap)
+	if !ok {
+		// Nothing worth collecting; reschedule off an empty result so the
+		// policy does not retrigger on every request.
+		e.cfg.Policy.AfterCollection(now, e.heap, gc.CollectionResult{})
+		e.emitDecision(now, false)
+		return
+	}
+	res, err := e.heap.Collect(part)
+	if err != nil {
+		// A failed collection is a policy-path failure: count it, feed the
+		// breaker, and keep serving — the heap refuses to mutate on the
+		// error paths that matter, and client traffic must not die with
+		// the collector.
+		err = simerr.WrapPolicyFailure("online collection", err)
+		e.cfg.Metrics.Error(simerr.Classify(err))
+		if e.cfg.Breaker != nil {
+			e.cfg.Breaker.RecordFailure()
+			e.cfg.Metrics.BreakerObserve(e.cfg.Breaker.State(), e.cfg.Breaker.Trips(), e.cfg.Breaker.Recoveries())
+		}
+		return
+	}
+	if yo, ok := e.cfg.Selection.(gc.YieldObserver); ok {
+		yo.ObserveCollection(res)
+	}
+	after := e.clock()
+	e.cfg.Policy.AfterCollection(after, e.heap, res)
+	if e.cfg.Breaker != nil {
+		e.cfg.Metrics.BreakerObserve(e.cfg.Breaker.State(), e.cfg.Breaker.Trips(), e.cfg.Breaker.Recoveries())
+	}
+	e.emitDecision(after, true)
+	if e.cfg.Observer != nil {
+		ev := obs.Collection{
+			Index:            int(e.heap.Collections()),
+			Step:             int(e.requests),
+			Phase:            "serving",
+			Clock:            obs.ClockOf(after),
+			Partition:        int(res.Partition),
+			ReclaimedBytes:   res.ReclaimedBytes,
+			ReclaimedObjects: res.ReclaimedObjects,
+			LiveBytes:        res.LiveBytes,
+			PartitionPO:      res.PartitionPO,
+			IO:               obs.IO{AppReads: res.IO.AppReads, AppWrites: res.IO.AppWrites, GCReads: res.IO.GCReads, GCWrites: res.IO.GCWrites},
+			DBBytes:          e.heap.DatabaseBytes(),
+		}
+		if d, ok := e.cfg.Policy.(interface {
+			LastEstimate() float64
+			LastTarget() float64
+			LastInterval() uint64
+		}); ok {
+			if db := ev.DBBytes; db > 0 {
+				ev.EstimatedFrac = obs.Float(d.LastEstimate() / float64(db))
+				ev.TargetFrac = obs.Float(d.LastTarget() / float64(db))
+			}
+			ev.NextInterval = d.LastInterval()
+		}
+		e.cfg.Observer.ObserveCollection(ev)
+	}
+}
+
+// emitDecision reports one policy consultation to the observer.
+func (e *Engine) emitDecision(now core.Clock, collected bool) {
+	if e.cfg.Observer == nil {
+		return
+	}
+	d := obs.Decision{
+		Step:      int(e.requests),
+		Clock:     obs.ClockOf(now),
+		DBBytes:   e.heap.DatabaseBytes(),
+		Collected: collected,
+	}
+	if diag, ok := e.cfg.Policy.(interface {
+		LastEstimate() float64
+		LastTarget() float64
+		LastInterval() uint64
+	}); ok {
+		d.Estimate = obs.Float(diag.LastEstimate())
+		d.Target = obs.Float(diag.LastTarget())
+		d.NextInterval = diag.LastInterval()
+	}
+	e.cfg.Observer.ObserveDecision(d)
+}

@@ -1,0 +1,339 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"odbgc/internal/fault"
+)
+
+// LoadConfig parameterizes the open-loop load generator.
+type LoadConfig struct {
+	// Addr is the server to drive.
+	Addr string
+	// Rate is the arrival rate in requests per second. Open-loop: arrivals
+	// are scheduled by the clock, not by responses, so a slow server faces
+	// a growing backlog instead of an accommodating client.
+	Rate float64
+	// Duration is how long arrivals are generated.
+	Duration time.Duration
+	// Workers is the client session pool size. Defaults to 8.
+	Workers int
+	// Profile is the network chaos profile (zero value: no chaos).
+	Profile fault.NetProfile
+	// Seed drives the chaos schedule; same seed, same schedule.
+	Seed int64
+	// RequestTimeout bounds each request. Defaults to 2s.
+	RequestTimeout time.Duration
+}
+
+func (c *LoadConfig) validate() error {
+	if c.Addr == "" {
+		return fmt.Errorf("server: load config needs an address")
+	}
+	if c.Rate <= 0 {
+		return fmt.Errorf("server: arrival rate %.2f must be positive", c.Rate)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("server: load duration must be positive")
+	}
+	if c.Workers == 0 {
+		c.Workers = 8
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("server: worker count %d must be positive", c.Workers)
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 2 * time.Second
+	}
+	return nil
+}
+
+// LoadReport is the generator's result, JSON-ready for the CLI and the
+// smoke test.
+type LoadReport struct {
+	Arrivals   uint64 `json:"arrivals"`
+	OK         uint64 `json:"ok"`
+	Shed       uint64 `json:"shed"`
+	Closed     uint64 `json:"closed"`
+	Errors     uint64 `json:"errors"`
+	ConnErrors uint64 `json:"conn_errors"`
+	// LagDropped counts arrivals abandoned client-side because every
+	// worker was busy and the dispatch buffer was full — the open-loop
+	// generator refuses to queue unboundedly, same as the server.
+	LagDropped uint64 `json:"lag_dropped"`
+
+	MalformedSent uint64 `json:"malformed_sent"`
+	Disconnects   uint64 `json:"disconnects_injected"`
+	Slow          uint64 `json:"slow_injected"`
+	Bursts        uint64 `json:"bursts_injected"`
+
+	DurationMs  float64 `json:"duration_ms"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	ShedRate    float64 `json:"shed_rate"`
+
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP90Ms float64 `json:"latency_p90_ms"`
+	LatencyP99Ms float64 `json:"latency_p99_ms"`
+	LatencyMaxMs float64 `json:"latency_max_ms"`
+}
+
+// token is one scheduled arrival and its chaos verdict.
+type token struct {
+	d fault.NetDecision
+}
+
+// loadState is the shared scoreboard the workers write.
+type loadState struct {
+	mu        sync.Mutex
+	rep       LoadReport
+	latencies []float64 // ms, successful round trips only
+}
+
+func (st *loadState) record(fn func(*LoadReport)) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	fn(&st.rep)
+}
+
+func (st *loadState) latency(ms float64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.latencies = append(st.latencies, ms)
+}
+
+// RunLoad drives the server at the configured arrival rate with the
+// configured chaos, returning the aggregate report. It returns early (with
+// the partial report) when ctx ends.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	chaos := fault.NewNetChaos(cfg.Profile, cfg.Seed)
+	st := &loadState{}
+	tokens := make(chan token, cfg.Workers*4)
+
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Workers; i++ {
+		w := &loadWorker{cfg: cfg, st: st, id: i}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.run(ctx, tokens)
+		}()
+	}
+
+	// Open-loop dispatcher: arrivals land on the clock schedule. A full
+	// token buffer means the client fleet is saturated; the arrival is
+	// dropped and counted rather than queued forever.
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	start := time.Now()
+	next := start
+	dispatch := func(d fault.NetDecision) {
+		st.record(func(r *LoadReport) { r.Arrivals++ })
+		select {
+		case tokens <- token{d: d}:
+		default:
+			st.record(func(r *LoadReport) { r.LagDropped++ })
+		}
+	}
+	for ctx.Err() == nil && time.Since(start) < cfg.Duration {
+		next = next.Add(interval)
+		if wait := time.Until(next); wait > 0 {
+			time.Sleep(wait)
+		}
+		d := chaos.Next()
+		dispatch(d)
+		for i := 0; i < d.Burst; i++ {
+			extra := chaos.Next()
+			extra.Burst = 0 // bursts do not nest
+			dispatch(extra)
+		}
+	}
+	close(tokens)
+	wg.Wait()
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	rep := st.rep
+	cs := chaos.Stats()
+	rep.MalformedSent = cs.Malformed
+	rep.Disconnects = cs.Disconnects
+	rep.Slow = cs.Slow
+	rep.Bursts = cs.Bursts
+	rep.DurationMs = float64(time.Since(start)) / float64(time.Millisecond)
+	if rep.DurationMs > 0 {
+		rep.AchievedRPS = float64(rep.OK) / (rep.DurationMs / 1000)
+	}
+	if answered := rep.OK + rep.Shed + rep.Closed + rep.Errors; answered > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(answered)
+	}
+	sort.Float64s(st.latencies)
+	rep.LatencyP50Ms = percentile(st.latencies, 0.50)
+	rep.LatencyP90Ms = percentile(st.latencies, 0.90)
+	rep.LatencyP99Ms = percentile(st.latencies, 0.99)
+	if n := len(st.latencies); n > 0 {
+		rep.LatencyMaxMs = st.latencies[n-1]
+	}
+	return &rep, nil
+}
+
+// percentile reads the p-quantile from an ascending slice (0 when empty).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// loadWorker is one client session: a connection, a rooted hub object, and
+// a rotating op mix that creates children, links them into the hub,
+// unpins them, and overwrites the links — the steady garbage production
+// the online controllers regulate.
+type loadWorker struct {
+	cfg LoadConfig
+	st  *loadState
+	id  int
+
+	cli       *Client
+	hub       uint64 // rooted anchor object; survives reconnects
+	lastChild uint64
+	seq       int
+	slot      int
+}
+
+const hubSlots = 8
+
+// run consumes arrival tokens until the channel closes or ctx ends.
+func (w *loadWorker) run(ctx context.Context, tokens <-chan token) {
+	defer w.close()
+	for t := range tokens {
+		if ctx.Err() != nil {
+			return
+		}
+		w.one(ctx, t.d)
+	}
+}
+
+func (w *loadWorker) close() {
+	if w.cli != nil {
+		_ = w.cli.Close()
+		w.cli = nil
+	}
+}
+
+// ensure dials and, on first contact, creates the worker's hub object.
+func (w *loadWorker) ensure(ctx context.Context) bool {
+	if w.cli != nil {
+		return true
+	}
+	cli, err := Dial(w.cfg.Addr, w.cfg.RequestTimeout)
+	if err != nil {
+		w.st.record(func(r *LoadReport) { r.ConnErrors++ })
+		return false
+	}
+	w.cli = cli
+	if w.hub == 0 {
+		reqCtx, cancel := context.WithTimeout(ctx, w.cfg.RequestTimeout)
+		oid, err := cli.Create(reqCtx, 256, hubSlots)
+		cancel()
+		if err != nil {
+			// Creation can be shed under overload; the next arrival
+			// retries it.
+			w.st.record(func(r *LoadReport) { r.Errors++ })
+			return false
+		}
+		w.hub = oid
+	}
+	return true
+}
+
+// nextRequest draws the next op in the worker's rotation.
+func (w *loadWorker) nextRequest() Request {
+	w.seq++
+	switch w.seq % 5 {
+	case 0:
+		return Request{Op: OpCreate, Size: 64 + (w.seq%7)*16, Slots: 2}
+	case 1:
+		if w.lastChild != 0 {
+			w.slot = (w.slot + 1) % hubSlots
+			return Request{Op: OpSet, OID: w.hub, Slot: w.slot, Dst: w.lastChild}
+		}
+		return Request{Op: OpAccess, OID: w.hub}
+	case 2:
+		if w.lastChild != 0 {
+			return Request{Op: OpUnroot, OID: w.lastChild}
+		}
+		return Request{Op: OpAccess, OID: w.hub}
+	case 3:
+		return Request{Op: OpAccess, OID: w.hub}
+	default:
+		return Request{Op: OpUpdate, OID: w.hub}
+	}
+}
+
+// one performs a single arrival: chaos first, then the real request.
+func (w *loadWorker) one(ctx context.Context, d fault.NetDecision) {
+	if !w.ensure(ctx) {
+		return
+	}
+	conn := w.cli.Conn()
+	switch {
+	case d.Malformed:
+		// Ship garbage bytes; the server counts the violation and drops
+		// the connection, so reconnect on the next arrival.
+		_ = conn.SetDeadline(time.Now().Add(w.cfg.RequestTimeout))
+		_, _ = conn.Write(fault.NewNetChaos(w.cfg.Profile, w.cfg.Seed+int64(w.id)+int64(w.seq)).MalformedFrame())
+		w.close()
+		return
+	case d.Disconnect:
+		// Send a real request, then vanish before reading the response.
+		req := w.nextRequest()
+		_ = conn.SetDeadline(time.Now().Add(w.cfg.RequestTimeout))
+		_ = WriteFrame(conn, req)
+		w.close()
+		return
+	}
+	if d.SlowFactor > 1 {
+		// A slow client: stall before the request, holding the session
+		// open without useful work.
+		time.Sleep(time.Duration(d.SlowFactor * float64(time.Millisecond)))
+	}
+
+	req := w.nextRequest()
+	reqCtx, cancel := context.WithTimeout(ctx, w.cfg.RequestTimeout)
+	start := time.Now()
+	resp, err := w.cli.Do(reqCtx, req)
+	cancel()
+	if err != nil {
+		w.st.record(func(r *LoadReport) { r.ConnErrors++ })
+		w.close()
+		return
+	}
+	ms := float64(time.Since(start)) / float64(time.Millisecond)
+	switch resp.Status {
+	case StatusOK:
+		w.st.latency(ms)
+		w.st.record(func(r *LoadReport) { r.OK++ })
+		if req.Op == OpCreate {
+			w.lastChild = resp.OID
+		}
+	case StatusShed:
+		w.st.record(func(r *LoadReport) { r.Shed++ })
+	case StatusClosed:
+		w.st.record(func(r *LoadReport) { r.Closed++ })
+		w.close()
+	default:
+		w.st.record(func(r *LoadReport) { r.Errors++ })
+	}
+}

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"fmt"
+
+	"odbgc/internal/obs"
+	"odbgc/internal/simerr"
+)
+
+// Serving-mode metric names, registered alongside the simulator metrics on
+// the same obs.Registry so one /metrics scrape covers the whole process.
+const (
+	MetricSessionsActive    = "odbgc_server_sessions_active"
+	MetricSessionsTotal     = "odbgc_server_sessions_total"
+	MetricShed              = "odbgc_server_shed_total"
+	MetricRequests          = "odbgc_server_requests_total"
+	MetricInflight          = "odbgc_server_requests_inflight"
+	MetricMalformed         = "odbgc_server_malformed_total"
+	MetricIdleReaped        = "odbgc_server_idle_reaped_total"
+	MetricExpired           = "odbgc_server_expired_total"
+	MetricBreakerState      = "odbgc_server_breaker_state"
+	MetricBreakerTrips      = "odbgc_server_breaker_trips_total"
+	MetricBreakerRecoveries = "odbgc_server_breaker_recoveries_total"
+	MetricLatency           = "odbgc_server_request_latency_ms"
+)
+
+// ErrorMetric is the per-class failed-request counter name for a simerr
+// class: odbgc_server_errors_<class>_total. The registry has no label
+// support, so each class gets its own flat metric, mirroring
+// obs.RunFailureMetric.
+func ErrorMetric(class simerr.Class) string {
+	return fmt.Sprintf("odbgc_server_errors_%s_total", class)
+}
+
+// Metrics folds serving-path events into a registry. A nil *Metrics is a
+// valid no-op sink, so tests can wire components without observability.
+type Metrics struct {
+	reg *obs.Registry
+}
+
+// NewMetrics registers the serving-mode metrics on reg and returns the
+// sink. Registering the same names twice is an error only inside the
+// registry; names here are compile-time constants, so registration cannot
+// fail.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	counters := []struct{ name, help string }{
+		{MetricSessionsTotal, "client sessions accepted"},
+		{MetricShed, "requests refused by admission control"},
+		{MetricRequests, "requests admitted and executed"},
+		{MetricMalformed, "malformed frames received"},
+		{MetricIdleReaped, "sessions closed by the idle reaper"},
+		{MetricExpired, "admitted requests dropped because their deadline passed in queue"},
+		{MetricBreakerTrips, "estimator circuit breaker trips"},
+		{MetricBreakerRecoveries, "estimator circuit breaker recoveries"},
+	}
+	for _, c := range counters {
+		_ = reg.RegisterCounter(c.name, c.help)
+	}
+	gauges := []struct{ name, help string }{
+		{MetricSessionsActive, "client sessions currently open"},
+		{MetricInflight, "requests admitted and not yet answered"},
+		{MetricBreakerState, "estimator breaker state: 0 closed, 1 half-open, 2 open"},
+	}
+	for _, g := range gauges {
+		_ = reg.RegisterGauge(g.name, g.help)
+	}
+	_ = reg.RegisterHistogram(MetricLatency, "request latency from admission to response, milliseconds", 0, 1000, 20)
+	for _, class := range simerr.FailureClasses() {
+		_ = reg.RegisterCounter(ErrorMetric(class),
+			fmt.Sprintf("requests that failed with class %s", class))
+	}
+	return &Metrics{reg: reg}
+}
+
+// Registry returns the underlying registry, or nil for the no-op sink.
+func (m *Metrics) Registry() *obs.Registry {
+	if m == nil {
+		return nil
+	}
+	return m.reg
+}
+
+func (m *Metrics) add(name string, v float64) {
+	if m != nil {
+		m.reg.Add(name, v)
+	}
+}
+
+func (m *Metrics) set(name string, v float64) {
+	if m != nil {
+		m.reg.Set(name, v)
+	}
+}
+
+// SessionStart counts an accepted session.
+func (m *Metrics) SessionStart() {
+	m.add(MetricSessionsTotal, 1)
+	m.add(MetricSessionsActive, 1)
+}
+
+// SessionEnd retires a session.
+func (m *Metrics) SessionEnd() { m.add(MetricSessionsActive, -1) }
+
+// Shed counts an admission refusal.
+func (m *Metrics) Shed() { m.add(MetricShed, 1) }
+
+// RequestStart counts an admitted request entering execution.
+func (m *Metrics) RequestStart() {
+	m.add(MetricRequests, 1)
+	m.add(MetricInflight, 1)
+}
+
+// RequestEnd retires an admitted request, recording its latency.
+func (m *Metrics) RequestEnd(latencyMs float64) {
+	m.add(MetricInflight, -1)
+	if m != nil {
+		m.reg.Observe(MetricLatency, latencyMs)
+	}
+}
+
+// Malformed counts a protocol violation.
+func (m *Metrics) Malformed() { m.add(MetricMalformed, 1) }
+
+// IdleReaped counts a session closed for inactivity.
+func (m *Metrics) IdleReaped() { m.add(MetricIdleReaped, 1) }
+
+// Expired counts an admitted request dropped unexecuted because its
+// deadline passed while queued.
+func (m *Metrics) Expired() { m.add(MetricExpired, 1) }
+
+// Error counts a failed request under its simerr class.
+func (m *Metrics) Error(class simerr.Class) { m.add(ErrorMetric(class), 1) }
+
+// BreakerObserve publishes the breaker's current state and cumulative
+// trip/recovery counters (counters are set as totals via gauge-style
+// deltas computed by the caller; the breaker reports monotone values, so
+// the metrics layer stores the difference).
+func (m *Metrics) BreakerObserve(state BreakerState, trips, recoveries uint64) {
+	if m == nil {
+		return
+	}
+	m.set(MetricBreakerState, float64(state))
+	// Counters must only move forward; compute the delta from what the
+	// registry already holds.
+	if cur := m.reg.Counter(MetricBreakerTrips); float64(trips) > cur {
+		m.add(MetricBreakerTrips, float64(trips)-cur)
+	}
+	if cur := m.reg.Counter(MetricBreakerRecoveries); float64(recoveries) > cur {
+		m.add(MetricBreakerRecoveries, float64(recoveries)-cur)
+	}
+}

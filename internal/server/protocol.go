@@ -1,0 +1,152 @@
+// Package server is the network-facing front end of the object database:
+// many concurrent client sessions create, access, update, and unlink
+// objects against a live gc.Heap while the paper's SAIO/SAGA controllers
+// run online, fed by the server's own streaming allocation/overwrite
+// statistics instead of oracle trace annotations.
+//
+// The package is built around one robustness spine:
+//
+//   - admission control: a bounded request queue; requests past the limit
+//     are shed immediately with a retry-after hint (simerr.ErrOverloaded),
+//     never buffered unboundedly;
+//   - deadlines: per-request deadlines, per-session idle timeouts with
+//     reaping, and a drain grace period;
+//   - a circuit breaker around the garbage estimator that degrades to the
+//     coarse fallback on repeated bad signals and recovers via half-open
+//     probes;
+//   - two-stage shutdown: stop accepting, drain in-flight sessions, flush
+//     observability artifacts, then hard-cancel whatever remains.
+//
+// The wire protocol is deliberately small: length-prefixed JSON frames
+// (a big-endian uint32 byte count, then that many bytes of one JSON
+// document) over TCP. One request frame yields exactly one response frame.
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrameBytes bounds a single frame's payload. Anything larger is
+// rejected before allocation, so a hostile length prefix cannot make the
+// server reserve gigabytes.
+const MaxFrameBytes = 64 * 1024
+
+// Request ops.
+const (
+	OpPing   = "ping"   // liveness probe; echoes ok
+	OpCreate = "create" // allocate an object (Size bytes, Slots pointer slots); auto-rooted
+	OpAccess = "access" // read an object (application read I/O)
+	OpUpdate = "update" // non-pointer write to an object
+	OpSet    = "set"    // pointer overwrite: OID's slot Slot now points at Dst (0 = nil)
+	OpRoot   = "root"   // pin an object in the persistent root set
+	OpUnroot = "unroot" // unpin; an unlinked object becomes garbage
+	OpStats  = "stats"  // server/database statistics snapshot
+)
+
+// Response statuses.
+const (
+	StatusOK     = "ok"
+	StatusError  = "error"  // the op failed; Error carries the reason
+	StatusShed   = "shed"   // admission control refused the request; retry later
+	StatusClosed = "closed" // the server is draining; open a new connection elsewhere
+)
+
+// Request is one client frame.
+type Request struct {
+	ID    uint64 `json:"id"`
+	Op    string `json:"op"`
+	OID   uint64 `json:"oid,omitempty"`
+	Size  int    `json:"size,omitempty"`
+	Slots int    `json:"slots,omitempty"`
+	Slot  int    `json:"slot,omitempty"`
+	Dst   uint64 `json:"dst,omitempty"`
+}
+
+// Stats is the payload of an OpStats response: enough of the live heap and
+// controller state for a client (or the smoke test) to see the online GC
+// working.
+type Stats struct {
+	Objects        int    `json:"objects"`
+	DBBytes        int    `json:"db_bytes"`
+	Partitions     int    `json:"partitions"`
+	Roots          int    `json:"roots"`
+	OverwriteClock uint64 `json:"overwrite_clock"`
+	Collections    uint64 `json:"collections"`
+	ReclaimedBytes uint64 `json:"reclaimed_bytes"`
+	AppIO          uint64 `json:"app_io"`
+	GCIO           uint64 `json:"gc_io"`
+	Policy         string `json:"policy"`
+	BreakerState   string `json:"breaker_state,omitempty"`
+	QueueLen       int    `json:"queue_len"`
+	QueueDepth     int    `json:"queue_depth"`
+}
+
+// Response is one server frame.
+type Response struct {
+	ID     uint64 `json:"id"`
+	Status string `json:"status"`
+	OID    uint64 `json:"oid,omitempty"` // assigned OID for create
+	Old    uint64 `json:"old,omitempty"` // previous slot value for set
+	Error  string `json:"error,omitempty"`
+	// RetryAfterMs accompanies StatusShed: the server's estimate of when
+	// capacity will free up, derived from observed service times and the
+	// queue bound.
+	RetryAfterMs int    `json:"retry_after_ms,omitempty"`
+	Stats        *Stats `json:"stats,omitempty"`
+}
+
+// WriteFrame marshals v and writes it as one length-prefixed frame.
+func WriteFrame(w io.Writer, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("server: encoding frame: %w", err)
+	}
+	if len(b) > MaxFrameBytes {
+		return fmt.Errorf("server: frame of %d bytes exceeds limit %d", len(b), MaxFrameBytes)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame into v. A declared length past
+// MaxFrameBytes or a payload that is not valid JSON returns an error
+// wrapping errMalformed, which the session layer counts and treats as
+// fatal for the connection (the frame boundary is lost).
+func ReadFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrameBytes {
+		return fmt.Errorf("%w: declared length %d outside (0,%d]", errMalformed, n, MaxFrameBytes)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return err
+	}
+	if err := json.Unmarshal(b, v); err != nil {
+		return fmt.Errorf("%w: %v", errMalformed, err)
+	}
+	return nil
+}
+
+// errMalformed tags protocol violations (bad length prefix, non-JSON
+// payload) so the session layer can distinguish hostile bytes from plain
+// disconnects.
+var errMalformed = errors.New("server: malformed frame")
+
+// IsMalformed reports whether err is a protocol violation rather than an
+// I/O failure.
+func IsMalformed(err error) bool {
+	return errors.Is(err, errMalformed)
+}

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Request{ID: 7, Op: OpSet, OID: 42, Slot: 3, Dst: 99}
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out Request
+	if err := ReadFrame(&buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
+func TestReadFrameRejectsHostileLength(t *testing.T) {
+	// A 4 GiB declared length must be refused before any allocation.
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	var out Request
+	err := ReadFrame(&buf, &out)
+	if err == nil {
+		t.Fatal("hostile length prefix accepted")
+	}
+	if !IsMalformed(err) {
+		t.Fatalf("hostile length classified as %v, want malformed", err)
+	}
+}
+
+func TestReadFrameRejectsZeroLength(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0})
+	var out Request
+	if err := ReadFrame(&buf, &out); !IsMalformed(err) {
+		t.Fatalf("zero-length frame: got %v, want malformed", err)
+	}
+}
+
+func TestReadFrameRejectsBadJSON(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("{not json")
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	buf.Write(hdr[:])
+	buf.Write(payload)
+	var out Request
+	err := ReadFrame(&buf, &out)
+	if !IsMalformed(err) {
+		t.Fatalf("bad JSON: got %v, want malformed", err)
+	}
+}
+
+func TestReadFrameTruncatedIsNotMalformed(t *testing.T) {
+	// A clean disconnect mid-frame is an I/O condition, not a protocol
+	// violation: the session layer must not count it as hostile.
+	var full bytes.Buffer
+	if err := WriteFrame(&full, Request{ID: 1, Op: OpPing}); err != nil {
+		t.Fatal(err)
+	}
+	half := full.Bytes()[:full.Len()-3]
+	var out Request
+	err := ReadFrame(bytes.NewReader(half), &out)
+	if err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+	if IsMalformed(err) {
+		t.Fatalf("truncation classified as malformed: %v", err)
+	}
+	if err != io.ErrUnexpectedEOF {
+		t.Logf("truncation surfaced as %v", err) // informational; exact error is the stdlib's
+	}
+}
+
+func TestWriteFrameRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	big := Response{Error: strings.Repeat("x", MaxFrameBytes)}
+	if err := WriteFrame(&buf, big); err == nil {
+		t.Fatal("oversized frame written")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("oversize rejection leaked %d bytes onto the wire", buf.Len())
+	}
+}

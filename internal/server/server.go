@@ -1,0 +1,279 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"odbgc/internal/simerr"
+)
+
+// Config parameterizes the network front end.
+type Config struct {
+	// Addr is the TCP listen address ("127.0.0.1:0" for an ephemeral port).
+	Addr string
+	// MaxSessions bounds concurrent client sessions; connections past the
+	// bound receive a shed frame and are closed. Defaults to 64.
+	MaxSessions int
+	// IdleTimeout reaps sessions that send nothing for this long.
+	// Defaults to 30s.
+	IdleTimeout time.Duration
+	// RequestTimeout bounds each request from admission to response.
+	// Defaults to 5s.
+	RequestTimeout time.Duration
+	// DrainGrace bounds how long draining sessions may take to finish
+	// their in-flight request once stage-1 shutdown begins. Defaults to 2s.
+	DrainGrace time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 64
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 30 * time.Second
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.DrainGrace == 0 {
+		c.DrainGrace = 2 * time.Second
+	}
+}
+
+// Server accepts client sessions and routes their requests through the
+// engine's admission control. Its lifetime is one Serve call.
+type Server struct {
+	cfg    Config
+	engine *Engine
+	m      *Metrics
+
+	ln       net.Listener
+	draining atomic.Bool
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+
+	sessions atomic.Int64 // active session count, for admission at accept
+}
+
+// New builds a server over an engine. Metrics may be nil.
+func New(cfg Config, engine *Engine, m *Metrics) (*Server, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("server: nil engine")
+	}
+	if cfg.MaxSessions < 0 {
+		return nil, fmt.Errorf("server: MaxSessions %d must be positive", cfg.MaxSessions)
+	}
+	cfg.applyDefaults()
+	return &Server{cfg: cfg, engine: engine, m: m, conns: make(map[net.Conn]struct{})}, nil
+}
+
+// Listen binds the configured address. It is separate from Serve so
+// callers can learn the bound address (ephemeral ports in tests) before
+// traffic starts.
+func (s *Server) Listen() (string, error) {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address ("" before Listen).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Serve runs the accept loop until drain closes or ctx is cancelled,
+// then shuts down in two stages:
+//
+//	stage 1 (drain closes): the listener closes, sessions are nudged via
+//	  a read deadline of now+DrainGrace, in-flight requests finish, the
+//	  engine drains its queue, and Serve returns nil — a clean drain.
+//	stage 2 (ctx cancelled): every connection is closed immediately and
+//	  Serve returns the classified context error.
+//
+// Listen must have been called first.
+func (s *Server) Serve(ctx context.Context, drain <-chan struct{}) error {
+	if s.ln == nil {
+		return fmt.Errorf("server: Serve before Listen")
+	}
+
+	engineDone := make(chan error, 1)
+	go func() { engineDone <- s.engine.Run(ctx) }()
+
+	// The watcher turns shutdown signals into listener/connection closes,
+	// because Accept and Read have no context of their own. Two straight
+	// selects, no loop: stage 1 then stage 2.
+	acceptDone := make(chan struct{})
+	watcherDone := make(chan struct{})
+	go func() {
+		defer close(watcherDone)
+		select {
+		case <-drain:
+			s.beginDrain()
+		case <-ctx.Done():
+			s.beginDrain()
+		case <-acceptDone:
+			return
+		}
+		select {
+		case <-ctx.Done():
+			s.closeAll()
+		case <-acceptDone:
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for ctx.Err() == nil {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			// The only way Accept fails here is the listener closing —
+			// shutdown — or a fatal socket error; either way the loop ends.
+			break
+		}
+		if s.draining.Load() {
+			_ = WriteFrame(conn, Response{Status: StatusClosed,
+				Error: simerr.SessionClosedf("server draining").Error()})
+			_ = conn.Close()
+			continue
+		}
+		if s.sessions.Load() >= int64(s.cfg.MaxSessions) {
+			// Session-level load shedding: tell the client to back off and
+			// free the socket; never queue unbounded connections.
+			s.m.Shed()
+			_ = WriteFrame(conn, Response{Status: StatusShed,
+				Error:        simerr.Overloadedf("session limit %d reached", s.cfg.MaxSessions).Error(),
+				RetryAfterMs: s.engine.retryAfterMs()})
+			_ = conn.Close()
+			continue
+		}
+		s.track(conn)
+		s.sessions.Add(1)
+		s.m.SessionStart()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer s.m.SessionEnd()
+			defer s.sessions.Add(-1)
+			defer s.untrack(conn)
+			defer func() { _ = conn.Close() }()
+			s.session(ctx, conn)
+		}()
+	}
+	close(acceptDone)
+	_ = s.ln.Close()
+
+	// Drain: wait for every session to finish, then let the engine empty
+	// its queue. Sessions are bounded by DrainGrace (their read deadlines
+	// were nudged) or by ctx (stage 2 closes their conns), so this wait
+	// terminates.
+	wg.Wait()
+	s.engine.CloseQueue()
+	err := <-engineDone
+	<-watcherDone
+	if err != nil && ctx.Err() != nil {
+		return err
+	}
+	return nil
+}
+
+func (s *Server) track(conn net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.conns[conn] = struct{}{}
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, conn)
+}
+
+// beginDrain enters stage 1: no new sessions or requests, and every open
+// connection's read deadline is pulled in so blocked sessions wake within
+// the grace period. The flag is set strictly before the deadline nudge so
+// a session that overwrites the nudged deadline with its idle deadline is
+// guaranteed to observe draining on its next check and re-arm the short
+// deadline itself.
+func (s *Server) beginDrain() {
+	s.draining.Store(true)
+	s.engine.BeginDrain()
+	_ = s.ln.Close()
+	dl := time.Now().Add(s.cfg.DrainGrace)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for conn := range s.conns {
+		_ = conn.SetReadDeadline(dl)
+	}
+}
+
+// closeAll is stage 2: hard-close every connection.
+func (s *Server) closeAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+}
+
+// session serves one connection: read a frame, submit it, write the
+// response, repeat until the client goes away, the idle deadline fires,
+// the drain begins, or ctx ends.
+func (s *Server) session(ctx context.Context, conn net.Conn) {
+	for ctx.Err() == nil {
+		if s.draining.Load() {
+			_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.DrainGrace))
+			_ = WriteFrame(conn, Response{Status: StatusClosed,
+				Error: simerr.SessionClosedf("server draining").Error()})
+			return
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		if s.draining.Load() {
+			// The idle deadline just overwrote the drain nudge; re-arm the
+			// short one and take the draining path on the next read error
+			// or loop turn.
+			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.DrainGrace))
+		}
+		var req Request
+		if err := ReadFrame(conn, &req); err != nil {
+			switch {
+			case IsMalformed(err):
+				// Hostile or corrupt bytes: the frame boundary is gone, so
+				// the connection cannot be saved. Best-effort error frame,
+				// then close.
+				s.m.Malformed()
+				_ = conn.SetWriteDeadline(time.Now().Add(time.Second))
+				_ = WriteFrame(conn, Response{Status: StatusError, Error: err.Error()})
+			case isTimeout(err) && !s.draining.Load():
+				s.m.IdleReaped()
+			case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
+				// Client went away between frames (or mid-frame); normal.
+			}
+			return
+		}
+		reqCtx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		resp := s.engine.Submit(reqCtx, req)
+		cancel()
+		_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.RequestTimeout))
+		if err := WriteFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// isTimeout reports whether err is a deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

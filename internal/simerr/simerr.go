@@ -34,6 +34,14 @@ import (
 //   - ErrPolicyFailure: a rate policy, estimator, or selection policy could
 //     not be built or misbehaved; retrying without a config change is futile.
 //   - ErrCorruptTrace: an input event stream is truncated or damaged.
+//   - ErrOverloaded: the serving path refused work because an admission
+//     limit (bounded queue, session cap) was reached. The request was shed
+//     before touching any state; retrying after a backoff is the right
+//     response, and the server attaches a retry-after hint.
+//   - ErrSessionClosed: a client session ended before the request could be
+//     served — the server is draining, the connection idled out, or the peer
+//     disconnected mid-request. Not a defect; the request may be resent on a
+//     fresh session once the server is accepting again.
 var (
 	ErrCanceled          = errors.New("simerr: canceled")
 	ErrTimeout           = errors.New("simerr: timeout")
@@ -41,6 +49,8 @@ var (
 	ErrCorruptCheckpoint = errors.New("simerr: corrupt checkpoint")
 	ErrPolicyFailure     = errors.New("simerr: policy failure")
 	ErrCorruptTrace      = errors.New("simerr: corrupt trace")
+	ErrOverloaded        = errors.New("simerr: overloaded")
+	ErrSessionClosed     = errors.New("simerr: session closed")
 )
 
 // Class is a failure bucket for counters and reports. The zero value is
@@ -56,6 +66,8 @@ const (
 	ClassCorruptCheckpoint Class = "corrupt_checkpoint"
 	ClassPolicyFailure     Class = "policy_failure"
 	ClassCorruptTrace      Class = "corrupt_trace"
+	ClassOverloaded        Class = "overloaded"
+	ClassSessionClosed     Class = "session_closed"
 	ClassOther             Class = "other"
 )
 
@@ -65,6 +77,7 @@ func FailureClasses() []Class {
 	return []Class{
 		ClassCanceled, ClassTimeout, ClassFaultExhausted,
 		ClassCorruptCheckpoint, ClassPolicyFailure, ClassCorruptTrace,
+		ClassOverloaded, ClassSessionClosed,
 		ClassOther,
 	}
 }
@@ -81,6 +94,8 @@ var classOf = []struct {
 	{ErrCorruptCheckpoint, ClassCorruptCheckpoint},
 	{ErrCorruptTrace, ClassCorruptTrace},
 	{ErrFaultExhausted, ClassFaultExhausted},
+	{ErrOverloaded, ClassOverloaded},
+	{ErrSessionClosed, ClassSessionClosed},
 	{ErrPolicyFailure, ClassPolicyFailure},
 	{ErrCanceled, ClassCanceled},
 }
@@ -152,4 +167,17 @@ func WrapFaultExhausted(detail string, cause error) error {
 		return fmt.Errorf("%w: %s", ErrFaultExhausted, detail)
 	}
 	return fmt.Errorf("%w: %s: %w", ErrFaultExhausted, detail, cause)
+}
+
+// Overloadedf builds an ErrOverloaded-classified error (an admission limit
+// refused the work before any state changed).
+func Overloadedf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrOverloaded, fmt.Sprintf(format, args...))
+}
+
+// SessionClosedf builds an ErrSessionClosed-classified error (the session
+// ended — drain, idle reap, or peer disconnect — before the request was
+// served).
+func SessionClosedf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrSessionClosed, fmt.Sprintf(format, args...))
 }

@@ -11,6 +11,7 @@ func TestSentinelsAreDistinct(t *testing.T) {
 	sentinels := []error{
 		ErrCanceled, ErrTimeout, ErrFaultExhausted,
 		ErrCorruptCheckpoint, ErrPolicyFailure, ErrCorruptTrace,
+		ErrOverloaded, ErrSessionClosed,
 	}
 	for i, a := range sentinels {
 		for j, b := range sentinels {
@@ -33,11 +34,21 @@ func TestClassify(t *testing.T) {
 		{WrapCorruptCheckpoint("run-003.gob", errors.New("bad checksum")), ClassCorruptCheckpoint},
 		{WrapPolicyFailure("building saga", errors.New("bad frac")), ClassPolicyFailure},
 		{fmt.Errorf("trace: %w", ErrCorruptTrace), ClassCorruptTrace},
+		{ErrOverloaded, ClassOverloaded},
+		{Overloadedf("queue full (%d waiting)", 128), ClassOverloaded},
+		{ErrSessionClosed, ClassSessionClosed},
+		{SessionClosedf("server draining"), ClassSessionClosed},
 		{context.Canceled, ClassCanceled},
 		{context.DeadlineExceeded, ClassTimeout},
 		{errors.New("disk on fire"), ClassOther},
 		// Precedence: a timeout that surfaced via cancellation is a timeout.
 		{fmt.Errorf("%w: %w", ErrCanceled, ErrTimeout), ClassTimeout},
+		// Precedence: a request shed during drain reports the admission
+		// refusal, not the drain's cancellation.
+		{fmt.Errorf("%w: %w", ErrCanceled, ErrOverloaded), ClassOverloaded},
+		// Precedence: a session that closed because the drain deadline
+		// elapsed reports the timeout — the sharper diagnosis.
+		{fmt.Errorf("%w: %w", ErrSessionClosed, ErrTimeout), ClassTimeout},
 	}
 	for _, c := range cases {
 		if got := Classify(c.err); got != c.want {

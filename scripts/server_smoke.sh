@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Overload smoke test for the serving stack: odbgcd (built with -race) is
+# driven by an odbgload chaos burst at several times its admission capacity,
+# /metrics must show load shedding, and a SIGINT mid-load must drain the
+# server cleanly — exit 0, drain summary printed, manifest flushed.
+#
+# Usage: scripts/server_smoke.sh [workdir]   (defaults to a fresh mktemp -d)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work=${1:-$(mktemp -d)}
+mkdir -p "$work"
+echo "server-smoke: working under $work"
+
+go build -race -o "$work/odbgcd" ./cmd/odbgcd
+go build -race -o "$work/odbgload" ./cmd/odbgload
+
+addr=127.0.0.1:9471
+http=127.0.0.1:9472
+
+# A deliberately small server: queue of 4 with 5ms service time caps
+# admission near 200 req/s, so an 800 req/s burst is ~4x capacity.
+"$work/odbgcd" -addr "$addr" -http "$http" \
+  -policy saga -frac 0.10 -estimator fgs-hb -fallback-estimator cgs-cb \
+  -queue-depth 4 -service-delay 5ms -max-sessions 32 \
+  -page-size 1024 -pages-per-partition 4 -buffer-pages 8 \
+  -manifest "$work/run.manifest.json" -events "$work/events.jsonl" \
+  >"$work/daemon.out" 2>&1 &
+daemon=$!
+
+for _ in $(seq 1 100); do
+  curl -fsS "http://$http/healthz" >/dev/null 2>&1 && break
+  if ! kill -0 "$daemon" 2>/dev/null; then
+    echo "server-smoke: daemon died on startup" >&2
+    cat "$work/daemon.out" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+curl -fsS "http://$http/healthz"
+echo "server-smoke: daemon healthy on $addr"
+
+"$work/odbgload" -addr "$addr" -rate 800 -duration 6s -workers 8 \
+  -net-profile net-chaos -seed 7 >"$work/load.json" 2>"$work/load.err" &
+load=$!
+
+# Mid-burst: the server must be shedding, with sessions active.
+sleep 2
+curl -fsS "http://$http/metrics" -o "$work/metrics.txt"
+grep '^odbgc_server_' "$work/metrics.txt" | head -n 20
+grep -Eq '^odbgc_server_shed_total [1-9]' "$work/metrics.txt"
+grep -q '^odbgc_server_sessions_active ' "$work/metrics.txt"
+grep -Eq '^odbgc_server_requests_total [1-9]' "$work/metrics.txt"
+echo "server-smoke: shedding confirmed under 4x overload"
+
+# SIGINT mid-load: stage-1 drain. The daemon must exit 0 on its own (a
+# data race would fail the -race build with a nonzero exit).
+kill -INT "$daemon"
+if ! wait "$daemon"; then
+  echo "server-smoke: daemon exited nonzero after SIGINT" >&2
+  cat "$work/daemon.out" >&2
+  exit 1
+fi
+grep -q '^drained:' "$work/daemon.out"
+echo "server-smoke: daemon drained cleanly mid-load"
+
+wait "$load" || {
+  echo "server-smoke: load generator failed" >&2
+  cat "$work/load.err" >&2
+  exit 1
+}
+
+# The manifest and event log were flushed on the drain path.
+test -s "$work/run.manifest.json"
+test -s "$work/events.jsonl"
+grep -q '"summary_sha256"' "$work/run.manifest.json" || grep -q '"sha256"' "$work/run.manifest.json"
+
+echo "server-smoke: load report:"
+cat "$work/load.json"
+echo "server-smoke: daemon summary:"
+cat "$work/daemon.out"
