@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race race vet lint lint-fix-report fuzz bench experiments examples soak server-smoke clean
+.PHONY: all build test test-short test-race race vet lint lint-fix-report lint-allocbudget fuzz bench bench-diff experiments examples soak server-smoke clean
 
 all: build vet lint test
 
@@ -14,10 +14,17 @@ vet:
 
 # Repository invariants: determinism (direct and transitive), panic-free
 # libraries, snapshot completeness, context threading, error discipline,
-# cancelable goroutines (see README "Code invariants" and internal/analysis).
+# cancelable goroutines, and the performance layer (hot-path allocation,
+# boxing, defer, and append-growth checks plus the allocation budget in
+# lint/allocbudget.json — see README "Code invariants" and internal/analysis).
 lint:
 	$(GO) vet ./...
-	$(GO) run ./cmd/odbglint ./...
+	$(GO) run ./cmd/odbglint -allocbudget ./...
+
+# Re-baseline the per-hot-function allocation budget after deliberate
+# changes; the diff to lint/allocbudget.json is the reviewable artifact.
+lint-allocbudget:
+	$(GO) run ./cmd/odbglint -write-allocbudget ./...
 
 # Every open finding as a file:line path, one per line, for editors and
 # scripted triage. Exits zero even with findings; `make lint` is the gate.
@@ -45,9 +52,16 @@ fuzz:
 
 # Benchmark sweep. One iteration per benchmark keeps the sweep quick; the
 # parsed JSON baseline (ns/op, allocs/op per benchmark) lands in
-# BENCH_PR5.json for mechanical diffing across PRs.
+# BENCH_PR7.json for mechanical diffing across PRs.
 bench:
-	$(GO) test -bench=. -benchmem -benchtime 1x . | $(GO) run ./cmd/benchjson -o BENCH_PR5.json
+	$(GO) test -bench=. -benchmem -benchtime 1x . | $(GO) run ./cmd/benchjson -o BENCH_PR7.json
+
+# Per-benchmark deltas against the previous committed baseline — the
+# one-command perf claim for PR bodies. The threshold is 50% because the
+# committed baselines run at -benchtime 1x, where ns/op carries real
+# noise; allocs/op is exact at any iteration count.
+bench-diff:
+	$(GO) run ./cmd/benchjson -diff BENCH_PR5.json BENCH_PR7.json -threshold 50
 
 # Full paper regeneration: every table and figure, 10 seeded runs per data
 # point, CSV series under results/.

@@ -1,13 +1,17 @@
 // Command benchjson converts `go test -bench` output on stdin into a JSON
 // benchmark report, so benchmark baselines can be committed and diffed
-// mechanically (see `make bench`, which writes BENCH_PR3.json).
+// mechanically (see `make bench`, which writes the current baseline).
 //
 // Usage:
 //
-//	go test -bench=. -benchmem . | benchjson -o BENCH_PR3.json
+//	go test -bench=. -benchmem . | benchjson -o BENCH_PR7.json
+//	benchjson -diff BENCH_PR5.json BENCH_PR7.json [-threshold 25]
 //
-// The benchmark text is echoed to stdout unchanged, so benchjson can sit at
-// the end of a pipe without hiding the run from the operator.
+// In conversion mode the benchmark text is echoed to stdout unchanged, so
+// benchjson can sit at the end of a pipe without hiding the run from the
+// operator. In diff mode the two reports are compared benchmark by
+// benchmark and the command fails when any shared benchmark's ns/op or
+// allocs/op grew by more than the threshold percentage.
 package main
 
 import (
@@ -49,14 +53,17 @@ func main() {
 }
 
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	if len(args) > 0 && args[0] == "-diff" {
+		return runDiff(args[1:], stdout)
+	}
 	var out string
 	switch {
 	case len(args) == 0:
-		return fmt.Errorf("usage: go test -bench=. -benchmem | benchjson -o report.json")
+		return fmt.Errorf("usage: go test -bench=. -benchmem | benchjson -o report.json\n       benchjson -diff old.json new.json [-threshold pct]")
 	case len(args) == 2 && args[0] == "-o":
 		out = args[1]
 	default:
-		return fmt.Errorf("unknown arguments %v; want -o report.json", args)
+		return fmt.Errorf("unknown arguments %v; want -o report.json or -diff old.json new.json", args)
 	}
 
 	rep := Report{Version: 1}
@@ -99,6 +106,113 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), out)
 	return nil
+}
+
+// runDiff compares two reports written by the conversion mode. It prints a
+// per-benchmark table of ns/op and allocs/op deltas and fails when any
+// benchmark present in both reports regressed by more than the threshold.
+func runDiff(args []string, stdout io.Writer) error {
+	threshold := 25.0 // percent
+	var paths []string
+	for i := 0; i < len(args); i++ {
+		if args[i] == "-threshold" {
+			if i+1 >= len(args) {
+				return fmt.Errorf("-threshold needs a percentage")
+			}
+			v, err := strconv.ParseFloat(args[i+1], 64)
+			if err != nil || v < 0 {
+				return fmt.Errorf("bad -threshold %q; want a non-negative percentage", args[i+1])
+			}
+			threshold = v
+			i++
+			continue
+		}
+		paths = append(paths, args[i])
+	}
+	if len(paths) != 2 {
+		return fmt.Errorf("usage: benchjson -diff old.json new.json [-threshold pct]")
+	}
+	old, err := loadReport(paths[0])
+	if err != nil {
+		return err
+	}
+	cur, err := loadReport(paths[1])
+	if err != nil {
+		return err
+	}
+	oldBy := make(map[string]Benchmark, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		oldBy[b.Name] = b
+	}
+
+	var regressions []string
+	fmt.Fprintf(stdout, "%-40s %14s %14s %8s %10s %10s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δ", "old allocs", "new allocs", "Δ")
+	for _, nb := range cur.Benchmarks {
+		ob, shared := oldBy[nb.Name]
+		if !shared {
+			fmt.Fprintf(stdout, "%-40s %14s %14.0f %8s %10s %10.0f %8s\n",
+				nb.Name, "-", nb.NsPerOp, "new", "-", nb.AllocsPerOp, "new")
+			continue
+		}
+		delete(oldBy, nb.Name)
+		nsDelta := pctDelta(ob.NsPerOp, nb.NsPerOp)
+		allocDelta := pctDelta(ob.AllocsPerOp, nb.AllocsPerOp)
+		fmt.Fprintf(stdout, "%-40s %14.0f %14.0f %7.1f%% %10.0f %10.0f %7.1f%%\n",
+			nb.Name, ob.NsPerOp, nb.NsPerOp, nsDelta, ob.AllocsPerOp, nb.AllocsPerOp, allocDelta)
+		if nsDelta > threshold {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: ns/op +%.1f%% (threshold %.1f%%)", nb.Name, nsDelta, threshold))
+		}
+		if allocDelta > threshold && ob.AllocsPerOp > 0 {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: allocs/op +%.1f%% (threshold %.1f%%)", nb.Name, allocDelta, threshold))
+		}
+	}
+	var dropped []string
+	for name := range oldBy {
+		dropped = append(dropped, name)
+	}
+	sort.Strings(dropped)
+	for _, name := range dropped {
+		fmt.Fprintf(stdout, "%-40s only in %s\n", name, paths[0])
+	}
+	if len(regressions) > 0 {
+		sort.Strings(regressions)
+		for _, r := range regressions {
+			fmt.Fprintln(stdout, "REGRESSION", r)
+		}
+		return fmt.Errorf("%d benchmark regression(s) beyond %.1f%%", len(regressions), threshold)
+	}
+	fmt.Fprintf(stdout, "benchjson: no regressions beyond %.1f%%\n", threshold)
+	return nil
+}
+
+// pctDelta returns the percentage change from old to new; a vanishing old
+// value with a real new value reads as +100%.
+func pctDelta(old, new float64) float64 {
+	if old == 0 {
+		if new == 0 {
+			return 0
+		}
+		return 100
+	}
+	return (new - old) / old * 100
+}
+
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return &rep, nil
 }
 
 // parseLine parses one result line:

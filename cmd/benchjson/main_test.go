@@ -62,6 +62,73 @@ func TestBenchjson(t *testing.T) {
 	}
 }
 
+func writeReport(t *testing.T, path string, benchmarks []Benchmark) {
+	t.Helper()
+	data, err := json.Marshal(Report{Version: 1, Benchmarks: benchmarks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBenchjsonDiff(t *testing.T) {
+	dir := t.TempDir()
+	old := filepath.Join(dir, "old.json")
+	cur := filepath.Join(dir, "new.json")
+	writeReport(t, old, []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 100},
+		{Name: "BenchmarkB", NsPerOp: 500, AllocsPerOp: 10},
+		{Name: "BenchmarkGone", NsPerOp: 1},
+	})
+	writeReport(t, cur, []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 900, AllocsPerOp: 20}, // improved
+		{Name: "BenchmarkB", NsPerOp: 510, AllocsPerOp: 11}, // within threshold
+		{Name: "BenchmarkNew", NsPerOp: 5},
+	})
+
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-diff", old, cur}, strings.NewReader(""), &stdout, &stderr); err != nil {
+		t.Fatalf("improvement flagged as regression: %v\n%s", err, stdout.String())
+	}
+	for _, want := range []string{"BenchmarkA", "BenchmarkNew", "BenchmarkGone", "no regressions"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("diff output missing %q:\n%s", want, stdout.String())
+		}
+	}
+
+	// A ns/op regression beyond the threshold fails.
+	writeReport(t, cur, []Benchmark{{Name: "BenchmarkA", NsPerOp: 2000, AllocsPerOp: 100}})
+	stdout.Reset()
+	err := run([]string{"-diff", old, cur}, strings.NewReader(""), &stdout, &stderr)
+	if err == nil {
+		t.Fatalf("100%% ns/op regression accepted:\n%s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "REGRESSION BenchmarkA: ns/op +100.0%") {
+		t.Errorf("regression line missing:\n%s", stdout.String())
+	}
+
+	// The same numbers pass with a loose threshold.
+	if err := run([]string{"-diff", old, cur, "-threshold", "150"}, strings.NewReader(""), &stdout, &stderr); err != nil {
+		t.Errorf("regression within a loosened threshold rejected: %v", err)
+	}
+
+	// Alloc growth alone also fails.
+	writeReport(t, cur, []Benchmark{{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 200}})
+	stdout.Reset()
+	if err := run([]string{"-diff", old, cur}, strings.NewReader(""), &stdout, &stderr); err == nil {
+		t.Errorf("alloc regression accepted:\n%s", stdout.String())
+	}
+
+	if err := run([]string{"-diff", old}, strings.NewReader(""), &stdout, &stderr); err == nil {
+		t.Error("single-path diff accepted")
+	}
+	if err := run([]string{"-diff", old, cur, "-threshold", "x"}, strings.NewReader(""), &stdout, &stderr); err == nil {
+		t.Error("bad threshold accepted")
+	}
+}
+
 func TestBenchjsonErrors(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if err := run(nil, strings.NewReader(""), &stdout, &stderr); err == nil {

@@ -16,8 +16,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
+	"odbgc/internal/metrics"
 	"odbgc/internal/obs"
 	"odbgc/internal/simerr"
 )
@@ -162,14 +164,26 @@ func render(e *obs.Envelope) string {
 	}
 }
 
-// printStats renders per-type counts and, when present, the run summary.
+// printStats renders per-type counts, collection-yield and interval
+// distributions, and, when present, the run summary. Everything is
+// accumulated in a single pass over the log: samples are appended once and
+// the histogram buckets are filled once after the range is known, never
+// rebuilt per event — large JSONL logs stay O(events).
 func printStats(w io.Writer, events []*obs.Envelope) {
 	counts := make(map[string]int)
 	var end *obs.RunEnd
+	var reclaimed, intervals []float64
 	for _, e := range events {
 		counts[e.Type]++
-		if e.Type == obs.TypeRunEnd {
+		switch e.Type {
+		case obs.TypeRunEnd:
 			end = e.RunEnd
+		case obs.TypeCollection:
+			c := e.Collection
+			reclaimed = append(reclaimed, float64(c.ReclaimedBytes))
+			if c.Interval > 0 {
+				intervals = append(intervals, float64(c.Interval))
+			}
 		}
 	}
 	fmt.Fprintf(w, "events: %d\n", len(events))
@@ -178,8 +192,39 @@ func printStats(w io.Writer, events []*obs.Envelope) {
 			fmt.Fprintf(w, "  %-11s %d\n", t, counts[t])
 		}
 	}
+	printHistogram(w, "reclaimed bytes per collection", reclaimed)
+	printHistogram(w, "steps between collections", intervals)
 	if end != nil {
 		fmt.Fprintf(w, "summary: %d trace events, %d collections, gc I/O %.2f%%, garbage %.2f%%, reclaimed %dB\n",
 			end.Events, end.Collections, float64(end.GCIOFrac)*100, float64(end.GarbageFrac)*100, end.Reclaimed)
 	}
+}
+
+// printHistogram buckets the samples over their observed range and renders
+// the distribution. Fewer than two samples have no distribution to show.
+func printHistogram(w io.Writer, title string, samples []float64) {
+	if len(samples) < 2 {
+		return
+	}
+	lo, hi := samples[0], samples[0]
+	for _, v := range samples[1:] {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	if lo == hi {
+		fmt.Fprintf(w, "%s: %d samples, all %.0f\n", title, len(samples), lo)
+		return
+	}
+	n := 10
+	if len(samples) < n {
+		n = len(samples)
+	}
+	// hi is nudged up so the maximum lands in the top bucket, not overflow.
+	h, err := metrics.NewHistogram(lo, hi*(1+1e-9)+1e-9, n)
+	if err != nil {
+		return
+	}
+	for _, v := range samples {
+		h.Add(v)
+	}
+	fmt.Fprintf(w, "%s (%d samples, mean %.1f):\n%s", title, h.N(), h.Mean(), h.String())
 }

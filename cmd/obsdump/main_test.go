@@ -83,6 +83,43 @@ func TestObsdumpStats(t *testing.T) {
 	if !strings.Contains(out, "events: 8") || !strings.Contains(out, "summary: 1200 trace events") {
 		t.Errorf("stats output wrong:\n%s", out)
 	}
+	// One collection: no distribution lines for a single sample.
+	if strings.Contains(out, "reclaimed bytes per collection") {
+		t.Errorf("single-sample distribution printed:\n%s", out)
+	}
+}
+
+func TestObsdumpStatsDistributions(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := obs.NewJSONLWriter(f)
+	w.ObserveRunStart(obs.RunStart{Policy: "saga", Selection: "updated-pointer"})
+	for i := 1; i <= 20; i++ {
+		w.ObserveCollection(obs.Collection{
+			Index: i, Step: i * 50, Phase: "GenDB",
+			ReclaimedBytes: 100 * i, Interval: 50,
+		})
+	}
+	w.ObserveRunEnd(obs.RunEnd{Events: 1000, Collections: 20})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-stats", path}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "reclaimed bytes per collection (20 samples, mean 1050.0)") {
+		t.Errorf("reclaimed distribution missing:\n%s", out)
+	}
+	// All intervals identical: the degenerate single-value form.
+	if !strings.Contains(out, "steps between collections: 20 samples, all 50") {
+		t.Errorf("interval distribution missing:\n%s", out)
+	}
 }
 
 func TestObsdumpCheck(t *testing.T) {

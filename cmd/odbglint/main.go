@@ -24,10 +24,27 @@
 //	                   cancellation
 //	detrand-transitive call chains from deterministic packages to
 //	                   randomness, clocks, or the environment
+//	hotalloc           compiler-confirmed heap allocations on hot loop
+//	                   paths
+//	hotbox             allocating interface conversions (boxing) on hot
+//	                   paths
+//	hotdefer           defer statements inside hot loops
+//	prealloc           append-growth in hot range loops with derivable
+//	                   length
 //
-// The last four are dataflow analyzers built on the control-flow graphs of
-// internal/analysis/cfg and the whole-module call graph of
-// internal/analysis/callgraph.
+// ctxflow, errflow, goleak, and detrand-transitive are dataflow analyzers
+// built on the control-flow graphs of internal/analysis/cfg and the
+// whole-module call graph of internal/analysis/callgraph. The last four are
+// the performance layer: internal/analysis/hotpath marks the hot region
+// (benchmark bodies, curated simulator/trace/server roots, unbounded serving
+// loops, closed over the call graph) and internal/analysis/escape turns
+// `go build -gcflags='-m=2 -l'` diagnostics into the allocation facts they
+// join against.
+//
+// The performance layer also maintains an allocation budget:
+//
+//	go run ./cmd/odbglint -allocbudget ./...        # fail on hot-path allocation growth
+//	go run ./cmd/odbglint -write-allocbudget ./...  # re-baseline lint/allocbudget.json
 //
 // A genuinely intended violation is suppressed in place with
 //
@@ -43,16 +60,25 @@ import (
 	"go/token"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"odbgc/internal/analysis"
+	"odbgc/internal/analysis/allocbudget"
+	"odbgc/internal/analysis/callgraph"
 	"odbgc/internal/analysis/ctxflow"
 	"odbgc/internal/analysis/detrand"
 	"odbgc/internal/analysis/detrandtrans"
 	"odbgc/internal/analysis/errflow"
+	"odbgc/internal/analysis/escape"
 	"odbgc/internal/analysis/goleak"
+	"odbgc/internal/analysis/hotalloc"
+	"odbgc/internal/analysis/hotbox"
+	"odbgc/internal/analysis/hotdefer"
+	"odbgc/internal/analysis/hotpath"
 	"odbgc/internal/analysis/maporder"
 	"odbgc/internal/analysis/nopanic"
+	"odbgc/internal/analysis/prealloc"
 	"odbgc/internal/analysis/snapcover"
 )
 
@@ -65,7 +91,17 @@ var analyzers = []*analysis.Analyzer{
 	errflow.Analyzer,
 	goleak.Analyzer,
 	detrandtrans.Analyzer,
+	hotalloc.Analyzer,
+	hotbox.Analyzer,
+	hotdefer.Analyzer,
+	prealloc.Analyzer,
 }
+
+// factAnalyzers names the analyzers that consume compiler escape facts; the
+// driver prewarms the fact tables (bounded-parallel `go build` runs over
+// the hot packages) when any of them — or the allocation budget — is in
+// play.
+var factAnalyzers = map[string]bool{"hotalloc": true, "hotbox": true}
 
 // selectAnalyzers filters the suite down to the comma-separated names in
 // only; an empty only keeps everything. Unknown names are an error so a
@@ -93,8 +129,11 @@ func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	only := flag.String("only", "", "run only the named analyzers (comma-separated)")
+	checkBudget := flag.Bool("allocbudget", false, "also fail when a hot function allocates on more lines than lint/allocbudget.json records")
+	writeBudget := flag.Bool("write-allocbudget", false, "recompute the allocation budget and rewrite the budget file")
+	budgetFile := flag.String("allocbudget-file", filepath.Join("lint", "allocbudget.json"), "allocation budget file")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: odbglint [-only analyzer,...] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: odbglint [-only analyzer,...] [-allocbudget|-write-allocbudget] [packages]\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -125,7 +164,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "odbglint:", err)
 		os.Exit(2)
 	}
-	findings, err := analysis.RunPackages(pkgs, suite)
+	mod := analysis.NewModule(pkgs)
+
+	needFacts := *checkBudget || *writeBudget
+	for _, a := range suite {
+		if factAnalyzers[a.Name] {
+			needFacts = true
+		}
+	}
+	if needFacts {
+		prewarmFacts(mod)
+	}
+
+	findings, err := analysis.RunModule(mod, suite)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "odbglint:", err)
 		os.Exit(2)
@@ -139,8 +190,65 @@ func main() {
 		}
 		fmt.Println(f)
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "odbglint: %d finding(s)\n", len(findings))
+
+	failures := len(findings)
+	switch {
+	case *writeBudget:
+		b, err := allocbudget.Compute(mod)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "odbglint:", err)
+			os.Exit(2)
+		}
+		if err := b.Write(*budgetFile); err != nil {
+			fmt.Fprintln(os.Stderr, "odbglint:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "odbglint: wrote %s (%d budgeted function(s))\n", *budgetFile, len(b.Functions))
+	case *checkBudget:
+		b, err := allocbudget.Compute(mod)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "odbglint:", err)
+			os.Exit(2)
+		}
+		recorded, err := allocbudget.Load(*budgetFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "odbglint:", err)
+			os.Exit(2)
+		}
+		regs := allocbudget.Diff(recorded, b)
+		for _, r := range regs {
+			fmt.Println(r)
+		}
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "odbglint: %d allocation budget regression(s); fix the allocation or re-baseline with -write-allocbudget\n", len(regs))
+		}
+		failures += len(regs)
+	}
+
+	if failures > 0 {
+		if len(findings) > 0 {
+			fmt.Fprintf(os.Stderr, "odbglint: %d finding(s)\n", len(findings))
+		}
 		os.Exit(1)
 	}
+}
+
+// prewarmFacts builds escape fact tables for the packages that contain hot
+// functions, in parallel, before the analyzers run sequentially.
+func prewarmFacts(mod *analysis.Module) {
+	g := callgraph.For(mod)
+	region := hotpath.For(mod)
+	seen := make(map[*analysis.Package]bool)
+	var hotPkgs []*analysis.Package
+	for _, n := range region.Functions(g) {
+		if !seen[n.Pkg] {
+			seen[n.Pkg] = true
+			hotPkgs = append(hotPkgs, n.Pkg)
+		}
+	}
+	workers := runtime.NumCPU()
+	if workers > 8 {
+		workers = 8
+	}
+	escape.Prewarm(mod, hotPkgs, workers)
 }

@@ -1,0 +1,74 @@
+// Package hotalloc reports compiler-confirmed heap allocations that execute
+// once per hot-loop iteration: an allocation inside a loop of a hot
+// function, or anywhere in a loop-hot function (one reached from inside a
+// hot loop — its whole body is per-iteration work; see hotpath).
+//
+// The facts come from the compiler's own escape analysis (escape package),
+// so an `&Event{...}` the backend proves stack-safe is never reported — the
+// analyzer flags exactly the sites `-benchmem` would count. Findings print
+// the call chain from the hot seed, like detrand-transitive, so the
+// diagnostic alone shows why the site is hot. Suppress a deliberate
+// allocation with a reasoned //lint:allow hotalloc comment, or budget it in
+// lint/allocbudget.json.
+package hotalloc
+
+import (
+	"odbgc/internal/analysis"
+	"odbgc/internal/analysis/cfg"
+	"odbgc/internal/analysis/escape"
+	"odbgc/internal/analysis/hotpath"
+)
+
+// Analyzer is the hot-path heap allocation check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbid compiler-confirmed heap allocations on hot loop paths",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	facts := escape.ForPass(pass)
+	if !facts.Available {
+		return nil
+	}
+	region := hotpath.For(pass.Module)
+	for _, hd := range hotpath.HotDecls(pass) {
+		cold := hotpath.ColdSpans(pass.TypesInfo, hd.Decl)
+		// One finding per line: the compiler describes a single allocation
+		// with up to two facts ("moved to heap: x" plus "&x escapes"), and
+		// nested loops revisit the same span.
+		type lineKey struct {
+			file string
+			line int
+		}
+		seen := make(map[lineKey]bool)
+		report := func(fact escape.Fact, where string) {
+			// Error-path allocations are free on the success path.
+			if hotpath.InSpans(cold, escape.Pos(pass.Fset, hd.Decl.Pos(), fact)) {
+				return
+			}
+			k := lineKey{fact.File, fact.Line}
+			if seen[k] {
+				return
+			}
+			seen[k] = true
+			pass.Reportf(escape.LinePos(pass.Fset, hd.Decl.Pos(), fact),
+				"hot-path heap allocation %s: %s (hot via %s); hoist it, reuse a buffer, or add //lint:allow hotalloc <reason>",
+				where, fact.Text, region.Chain(hd.Func))
+		}
+		if region.LoopHot(hd.Func) {
+			// The whole body is per-iteration work for some hot loop
+			// upstream.
+			for _, fact := range facts.HeapFactsBetween(pass.Fset, hd.Decl.Pos(), hd.Decl.End()) {
+				report(fact, "in per-iteration function")
+			}
+			continue
+		}
+		for _, loop := range cfg.New(hd.Decl.Body).Loops {
+			for _, fact := range facts.HeapFactsBetween(pass.Fset, loop.Stmt.Pos(), loop.Stmt.End()) {
+				report(fact, "in loop")
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package hotalloc
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"odbgc/internal/analysis"
+	"odbgc/internal/analysis/analysistest"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "hotpkg"), Analyzer, "example.com/hotpkg")
+}
+
+// TestObsTraceRegressionSeed pins the miniature reproduction of the real
+// internal/obs (per-event envelope escape) and internal/trace (per-event
+// dead-slice make) findings this PR fixed.
+func TestObsTraceRegressionSeed(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "obsseed"), Analyzer, "example.com/obsseed")
+}
+
+// TestUnreasonedAllowRejected drives the fixture directly: an unreasoned
+// //lint:allow hotalloc must not suppress — the driver reports both the
+// malformed allow and the underlying allocation.
+func TestUnreasonedAllowRejected(t *testing.T) {
+	pkg := analysistest.LoadPackage(t, filepath.Join("testdata", "src", "unreasoned"), "example.com/unreasoned")
+	findings, err := analysis.RunPackage(pkg, []*analysis.Analyzer{Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotAllow, gotAlloc bool
+	for _, f := range findings {
+		switch f.Analyzer {
+		case "allow":
+			if strings.Contains(f.Message, "has no reason") {
+				gotAllow = true
+			}
+		case "hotalloc":
+			gotAlloc = true
+		}
+	}
+	if !gotAllow {
+		t.Errorf("missing malformed-allow finding; got %v", findings)
+	}
+	if !gotAlloc {
+		t.Errorf("unreasoned allow suppressed the hotalloc finding; got %v", findings)
+	}
+}

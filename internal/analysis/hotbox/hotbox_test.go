@@ -1,0 +1,12 @@
+package hotbox
+
+import (
+	"path/filepath"
+	"testing"
+
+	"odbgc/internal/analysis/analysistest"
+)
+
+func TestHotbox(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "boxpkg"), Analyzer, "example.com/boxpkg")
+}

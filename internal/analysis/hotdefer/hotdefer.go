@@ -1,0 +1,56 @@
+// Package hotdefer reports defer statements inside hot loops. A defer in a
+// loop body runs its bookkeeping — and often an allocation for the deferred
+// frame — on every iteration, and the deferred calls pile up until the
+// *function* returns, not the iteration: a classic latency and memory trap
+// in event loops. The fix is to hoist the defer out of the loop or inline
+// the cleanup at the end of the iteration; a deliberate per-iteration defer
+// (e.g. scoping a lock inside a func literal) takes a reasoned
+// //lint:allow hotdefer.
+//
+// Purely syntactic — it needs no compiler facts, so it works even where the
+// escape table is unavailable.
+package hotdefer
+
+import (
+	"go/ast"
+
+	"odbgc/internal/analysis"
+	"odbgc/internal/analysis/cfg"
+	"odbgc/internal/analysis/hotpath"
+)
+
+// Analyzer is the defer-in-hot-loop check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotdefer",
+	Doc:  "forbid defer statements inside hot loops",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	region := hotpath.For(pass.Module)
+	for _, hd := range hotpath.HotDecls(pass) {
+		seen := make(map[*ast.DeferStmt]bool)
+		for _, loop := range cfg.New(hd.Decl.Body).Loops {
+			ast.Inspect(loop.Stmt, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncLit:
+					// A defer inside a func literal scopes to the literal,
+					// not the loop: it releases every call, so the pile-up
+					// hazard is gone (the allocation, if any, is hotalloc's
+					// to report).
+					return false
+				case *ast.DeferStmt:
+					if seen[n] {
+						return true
+					}
+					seen[n] = true
+					pass.Reportf(n.Pos(),
+						"defer inside hot loop runs once per iteration and releases only at function return (hot via %s); hoist it or inline the cleanup, or add //lint:allow hotdefer <reason>",
+						region.Chain(hd.Func))
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

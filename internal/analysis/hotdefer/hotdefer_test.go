@@ -1,0 +1,12 @@
+package hotdefer
+
+import (
+	"path/filepath"
+	"testing"
+
+	"odbgc/internal/analysis/analysistest"
+)
+
+func TestHotdefer(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "deferpkg"), Analyzer, "example.com/deferpkg")
+}

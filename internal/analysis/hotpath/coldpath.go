@@ -1,0 +1,170 @@
+package hotpath
+
+// Cold-path detection. A hot function's body is not uniformly hot: the
+// blocks behind an `err != nil` guard and the return statements that
+// construct an error run only when something already went wrong, and an
+// allocation there costs nothing per successful iteration. Treating those
+// spans as hot would bury the real findings under fmt.Errorf boxing — every
+// `return Placement{}, fmt.Errorf(...)` guard boxes its operands — so the
+// perf analyzers, the allocation budget, and the region closure itself all
+// carve them out. The closure carving matters most: a helper reachable only
+// from error returns (an error-formatting String method, a corrupt-input
+// describer) never enters the hot region at all.
+//
+// The detection is deliberately syntactic and conservative: only
+// nil-comparisons of error-typed operands and calls to the module's known
+// error constructors (fmt.Errorf, errors.New/Join, the simerr taxonomy)
+// mark spans cold. A tail call that merely *propagates* an error — `return
+// w.flush()` — stays hot, because flush itself is success-path work.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"odbgc/internal/analysis"
+	"odbgc/internal/analysis/callgraph"
+)
+
+// Span is a half-open position interval [Pos, End) inside one file.
+type Span struct {
+	Pos, End token.Pos
+}
+
+// InSpans reports whether pos falls inside any span.
+func InSpans(spans []Span, pos token.Pos) bool {
+	for _, s := range spans {
+		if s.Pos <= pos && pos < s.End {
+			return true
+		}
+	}
+	return false
+}
+
+// ColdSpans collects decl's error-path spans:
+//
+//   - the body of `if <err-compare> != nil`, and the else branch of
+//     `if <err-compare> == nil`;
+//   - any simple statement (return, assignment, expression, var decl) that
+//     calls an error constructor.
+//
+// Control statements are never marked directly — their inner statements are
+// classified individually — so an `if size <= 0` guard marks only its
+// error-constructing return, not sibling statements.
+func ColdSpans(info *types.Info, decl *ast.FuncDecl) []Span {
+	if decl == nil || decl.Body == nil {
+		return nil
+	}
+	var spans []Span
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			switch errCompare(info, n.Cond) {
+			case token.NEQ:
+				spans = append(spans, Span{n.Body.Pos(), n.Body.End()})
+			case token.EQL:
+				if n.Else != nil {
+					spans = append(spans, Span{n.Else.Pos(), n.Else.End()})
+				}
+			}
+		case *ast.ReturnStmt, *ast.AssignStmt, *ast.ExprStmt, *ast.DeclStmt:
+			if stmtConstructsError(info, n.(ast.Stmt)) {
+				spans = append(spans, Span{n.Pos(), n.End()})
+			}
+		}
+		return true
+	})
+	return spans
+}
+
+// errCompare classifies cond: token.NEQ when it (or any operand of a
+// boolean combination) compares an error-typed value against nil with !=,
+// token.EQL for ==, and token.ILLEGAL otherwise.
+func errCompare(info *types.Info, cond ast.Expr) token.Token {
+	found := token.ILLEGAL
+	ast.Inspect(cond, func(n ast.Node) bool {
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok || (b.Op != token.NEQ && b.Op != token.EQL) {
+			return true
+		}
+		var other ast.Expr
+		switch {
+		case isNil(info, b.Y):
+			other = b.X
+		case isNil(info, b.X):
+			other = b.Y
+		default:
+			return true
+		}
+		if isErrorType(info.TypeOf(other)) {
+			found = b.Op
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// stmtConstructsError reports whether stmt contains a call to a known
+// error constructor.
+func stmtConstructsError(info *types.Info, stmt ast.Stmt) bool {
+	cold := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isErrorConstructor(info, call) {
+			cold = true
+			return false
+		}
+		return true
+	})
+	return cold
+}
+
+// errConstructors names the stdlib error-constructing functions.
+var errConstructors = map[string]map[string]bool{
+	"fmt":    {"Errorf": true},
+	"errors": {"New": true, "Join": true},
+}
+
+// errConstructorPkgs lists module packages whose every exported function
+// builds or wraps errors — the failure taxonomy.
+var errConstructorPkgs = []string{"internal/simerr"}
+
+// isErrorConstructor resolves call's static callee and matches it against
+// the constructor tables.
+func isErrorConstructor(info *types.Info, call *ast.CallExpr) bool {
+	fn := callgraph.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	if names, ok := errConstructors[path]; ok && names[fn.Name()] {
+		return true
+	}
+	return analysis.PathCovered(path, errConstructorPkgs)
+}
+
+// isNil reports whether expr is the predeclared nil.
+func isNil(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	return ok && tv.IsNil()
+}
+
+// isErrorType reports whether t (or *t) implements error.
+var errIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if types.Implements(t, errIface) {
+		return true
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(t), errIface)
+	}
+	return false
+}

@@ -1,0 +1,38 @@
+package hotpath
+
+import (
+	"go/ast"
+	"go/types"
+
+	"odbgc/internal/analysis"
+)
+
+// HotDecl pairs a hot function's syntax with its type-checked identity —
+// the unit the perf analyzers iterate.
+type HotDecl struct {
+	Decl *ast.FuncDecl
+	Func *types.Func
+}
+
+// HotDecls returns the pass's function declarations that fall in the hot
+// region, in source order.
+func HotDecls(pass *analysis.Pass) []HotDecl {
+	region := For(pass.Module)
+	var out []HotDecl
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if region.Hot(fn) {
+				out = append(out, HotDecl{Decl: fd, Func: fn})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,25 @@
+// Package obsloop poses as internal/obs to pin the unbounded-loop seeding:
+// pump's `for {` makes it hot without appearing in any curated table, and
+// consume — called from that loop — is loop-hot.
+package obsloop
+
+type queue struct {
+	ch   chan int
+	seen int
+}
+
+func (q *queue) pump() {
+	for {
+		v, ok := <-q.ch
+		if !ok {
+			return
+		}
+		q.consume(v)
+	}
+}
+
+func (q *queue) consume(v int) { q.seen += v }
+
+func (q *queue) report() int { return q.seen }
+
+var _ = (*queue).report

@@ -1,0 +1,18 @@
+// Package simroot poses as internal/sim (via its pretended import path) to
+// pin the curated-root seeding: Step is a hot root by name, helper becomes
+// hot transitively, and setup stays cold.
+package simroot
+
+type Sim struct{ n int }
+
+func (s *Sim) Step() {
+	for i := 0; i < 4; i++ {
+		s.helper()
+	}
+}
+
+func (s *Sim) helper() { s.n++ }
+
+func (s *Sim) setup() { s.n = 0 }
+
+var _ = (*Sim).setup

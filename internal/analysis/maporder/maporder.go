@@ -154,6 +154,13 @@ func sortedAfter(pass *analysis.Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt
 				found = true
 				return false
 			}
+			// Sorting a sub-slice of the target — slices.Sort(dst[start:]),
+			// the append-to-scratch idiom — still fixes the order of every
+			// element the loop appended.
+			if se, ok := arg.(*ast.SliceExpr); ok && render(pass.Fset, se.X) == target {
+				found = true
+				return false
+			}
 		}
 		return true
 	})

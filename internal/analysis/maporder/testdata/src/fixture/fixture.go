@@ -34,6 +34,17 @@ func helperSorted(m map[int]int) []int {
 	return out
 }
 
+// subsliceSorted is the append-to-scratch idiom: only the tail the loop
+// appended needs sorting, and sorting dst[start:] fixes its order.
+func subsliceSorted(m map[string]int, dst []string) []string {
+	start := len(dst)
+	for k := range m {
+		dst = append(dst, k)
+	}
+	sort.Strings(dst[start:])
+	return dst
+}
+
 func sortInts(v []int) { sort.Ints(v) }
 
 func leakPrint(m map[string]int, b *strings.Builder) {

@@ -1,0 +1,12 @@
+package prealloc
+
+import (
+	"path/filepath"
+	"testing"
+
+	"odbgc/internal/analysis/analysistest"
+)
+
+func TestPrealloc(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "prepkg"), Analyzer, "example.com/prepkg")
+}

@@ -64,9 +64,15 @@ func runPackage(mod *Module, pkg *Package, analyzers []*Analyzer) ([]Finding, er
 // interprocedural analyzers (errflow's wrap discipline, detrand-transitive's
 // chain search) see the complete call graph of the run.
 func RunPackages(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
-	mod := NewModule(pkgs)
+	return RunModule(NewModule(pkgs), analyzers)
+}
+
+// RunModule is RunPackages over a caller-built module — the driver uses it
+// to prewarm module-wide artifacts (escape fact tables) into the same memo
+// the analyzers will read.
+func RunModule(mod *Module, analyzers []*Analyzer) ([]Finding, error) {
 	var out []Finding
-	for _, pkg := range pkgs {
+	for _, pkg := range mod.Packages {
 		fs, err := runPackage(mod, pkg, analyzers)
 		if err != nil {
 			return nil, err

@@ -16,7 +16,7 @@ package gc
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"odbgc/internal/objstore"
 	"odbgc/internal/storage"
@@ -70,6 +70,25 @@ type Heap struct {
 	// collector issues. The simulator injects a transient-fault retrier here
 	// (see package fault); the heap itself stays ignorant of fault policy.
 	retry func(op string, fn func() error) error
+
+	// scratch holds Collect's per-collection working sets, reused across
+	// collections so steady-state collection stops allocating. Valid only
+	// within one Collect call.
+	scratch collectScratch
+}
+
+// collectScratch is the collector's reusable working memory: the maps are
+// cleared and the slices truncated at the start of every collection.
+type collectScratch struct {
+	memberSet map[objstore.OID]struct{}
+	seen      map[objstore.OID]struct{}
+	liveSize  map[objstore.OID]int
+	fixups    map[objstore.OID]struct{}
+	members   []objstore.OID
+	queue     []objstore.OID // doubles as the root list: roots are its prefix
+	live      []objstore.OID
+	deadList  []objstore.OID
+	fixupList []objstore.OID
 }
 
 // NewHeap wraps a store and a storage manager. Both must start empty or the
@@ -82,6 +101,12 @@ func NewHeap(store *objstore.Store, disk *storage.Manager) *Heap {
 		po:              make(map[storage.PartitionID]int),
 		oracleDead:      make(map[objstore.OID]struct{}),
 		oracleDeadBytes: make(map[storage.PartitionID]int),
+		scratch: collectScratch{
+			memberSet: make(map[objstore.OID]struct{}),
+			seen:      make(map[objstore.OID]struct{}),
+			liveSize:  make(map[objstore.OID]int),
+			fixups:    make(map[objstore.OID]struct{}),
+		},
 	}
 }
 
@@ -111,21 +136,21 @@ func (h *Heap) Disk() *storage.Manager { return h.disk }
 // state, so re-running fn after a transient error is safe.
 func (h *Heap) SetRetry(retry func(op string, fn func() error) error) { h.retry = retry }
 
-// withRetry runs one retryable storage operation through the injected
-// wrapper, if any.
-func (h *Heap) withRetry(op string, fn func() error) error {
-	if h.retry == nil {
-		return fn()
-	}
-	return h.retry(op, fn)
-}
+// Call sites test h.retry for nil inline rather than through a helper: the
+// nil fast path then never constructs the operation closure, so the common
+// (fault-free) configuration allocates nothing per storage operation.
 
 // Create allocates an object logically and physically.
 func (h *Heap) Create(oid objstore.OID, class objstore.Class, size, nslots int) error {
 	if _, err := h.store.CreateWithOID(oid, class, size, nslots); err != nil {
 		return err
 	}
-	return h.withRetry("alloc", func() error {
+	if h.retry == nil {
+		_, err := h.disk.Allocate(oid, size)
+		return err
+	}
+	//lint:allow hotalloc closure built only when fault-injection retry is installed
+	return h.retry("alloc", func() error {
 		_, err := h.disk.Allocate(oid, size)
 		return err
 	})
@@ -136,7 +161,11 @@ func (h *Heap) Access(oid objstore.OID) error {
 	if h.store.Get(oid) == nil {
 		return fmt.Errorf("gc: access of absent object %v", oid)
 	}
-	return h.withRetry("read", func() error { return h.disk.Touch(oid, false) })
+	if h.retry == nil {
+		return h.disk.Touch(oid, false)
+	}
+	//lint:allow hotalloc closure built only when fault-injection retry is installed
+	return h.retry("read", func() error { return h.disk.Touch(oid, false) })
 }
 
 // Update simulates a non-pointer write to an object.
@@ -144,7 +173,11 @@ func (h *Heap) Update(oid objstore.OID) error {
 	if h.store.Get(oid) == nil {
 		return fmt.Errorf("gc: update of absent object %v", oid)
 	}
-	return h.withRetry("update", func() error { return h.disk.Touch(oid, true) })
+	if h.retry == nil {
+		return h.disk.Touch(oid, true)
+	}
+	//lint:allow hotalloc closure built only when fault-injection retry is installed
+	return h.retry("update", func() error { return h.disk.Touch(oid, true) })
 }
 
 // Overwrite applies a pointer overwrite: slot i of src now points at dst
@@ -170,7 +203,13 @@ func (h *Heap) Overwrite(src objstore.OID, slot int, wantOld, dst objstore.OID, 
 	if err != nil {
 		return err
 	}
-	if err := h.withRetry("overwrite", func() error { return h.disk.Touch(src, true) }); err != nil {
+	if h.retry == nil {
+		err = h.disk.Touch(src, true)
+	} else {
+		//lint:allow hotalloc closure built only when fault-injection retry is installed
+		err = h.retry("overwrite", func() error { return h.disk.Touch(src, true) })
+	}
+	if err != nil {
 		return err
 	}
 	srcPart, ok := h.disk.PartitionOf(src)
@@ -207,11 +246,13 @@ func (h *Heap) Overwrite(src objstore.OID, slot int, wantOld, dst objstore.OID, 
 func (h *Heap) remsetAdd(p storage.PartitionID, dst, src objstore.OID) {
 	m := h.remset[p]
 	if m == nil {
+		//lint:allow hotalloc amortized: one map per partition, reused for its life
 		m = make(map[objstore.OID]map[objstore.OID]int)
 		h.remset[p] = m
 	}
 	srcs := m[dst]
 	if srcs == nil {
+		//lint:allow hotalloc amortized: one map per remembered target, reused until collection
 		srcs = make(map[objstore.OID]int)
 		m[dst] = srcs
 	}
@@ -356,35 +397,47 @@ func (h *Heap) Collect(p storage.PartitionID) (CollectionResult, error) {
 	defer h.disk.SetIOClass(prevClass)
 
 	// Scan the partition.
-	if err := h.withRetry("scan", func() error { return h.disk.ReadPartition(p) }); err != nil {
+	var err error
+	if h.retry == nil {
+		err = h.disk.ReadPartition(p)
+	} else {
+		//lint:allow hotalloc closure built only when fault-injection retry is installed
+		err = h.retry("scan", func() error { return h.disk.ReadPartition(p) })
+	}
+	if err != nil {
 		return CollectionResult{}, err
 	}
 
-	members := h.disk.ObjectsIn(p)
-	memberSet := make(map[objstore.OID]struct{}, len(members))
+	// All working sets below live in the reusable scratch.
+	sc := &h.scratch
+	clear(sc.memberSet)
+	clear(sc.seen)
+	clear(sc.liveSize)
+	members := h.disk.AppendObjectsIn(sc.members[:0], p)
+	sc.members = members
+	memberSet := sc.memberSet
 	for _, oid := range members {
 		memberSet[oid] = struct{}{}
 	}
 
 	// Partition roots: database roots and externally referenced objects.
-	var rootList []objstore.OID
+	// They seed the traversal queue; live objects are appended behind them.
+	queue := sc.queue[:0]
 	for _, oid := range members {
 		if h.store.IsRoot(oid) || h.ExternallyReferenced(p, oid) {
-			rootList = append(rootList, oid)
+			queue = append(queue, oid)
 		}
 	}
 
 	// Cheney breadth-first copy within the partition. The live list is the
 	// copy order; pointers leaving the partition are not traversed.
-	live := make([]objstore.OID, 0, len(members))
-	seen := make(map[objstore.OID]struct{}, len(members))
-	queue := rootList
-	for _, oid := range rootList {
+	live := sc.live[:0]
+	seen := sc.seen
+	for _, oid := range queue {
 		seen[oid] = struct{}{}
 	}
-	for len(queue) > 0 {
-		oid := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		oid := queue[head]
 		live = append(live, oid)
 		o := h.store.Get(oid)
 		if o == nil {
@@ -404,12 +457,14 @@ func (h *Heap) Collect(p storage.PartitionID) (CollectionResult, error) {
 			queue = append(queue, t)
 		}
 	}
+	sc.queue = queue
+	sc.live = live
 
 	// Everything unreached is garbage. Tear down its bookkeeping before
 	// compaction removes its placement. Sizes are captured up front so the
 	// compaction callback below cannot encounter a missing object.
 	liveBytes := 0
-	liveSize := make(map[objstore.OID]int, len(live))
+	liveSize := sc.liveSize
 	for _, oid := range live {
 		o := h.store.Get(oid)
 		if o == nil {
@@ -418,13 +473,14 @@ func (h *Heap) Collect(p storage.PartitionID) (CollectionResult, error) {
 		liveSize[oid] = o.Size
 		liveBytes += o.Size
 	}
-	var deadList []objstore.OID
+	deadList := sc.deadList[:0]
 	for _, oid := range members {
 		if _, ok := seen[oid]; !ok {
 			deadList = append(deadList, oid)
 		}
 	}
-	sort.Slice(deadList, func(i, j int) bool { return deadList[i] < deadList[j] })
+	sc.deadList = deadList
+	slices.Sort(deadList)
 
 	reclaimedBytes := 0
 	for _, oid := range deadList {
@@ -468,11 +524,18 @@ func (h *Heap) Collect(p storage.PartitionID) (CollectionResult, error) {
 		return CollectionResult{}, fmt.Errorf("gc: negative oracle garbage in partition %d", p)
 	}
 
-	// Compact survivors in copy order.
-	if err := h.withRetry("compact", func() error {
-		_, err := h.disk.Compact(p, live, func(oid objstore.OID) int { return liveSize[oid] })
-		return err
-	}); err != nil {
+	// Compact survivors in copy order. The sizeOf callback reads the scratch
+	// liveSize map; Compact uses it within the call only.
+	if h.retry == nil {
+		_, err = h.disk.Compact(p, live, func(oid objstore.OID) int { return liveSize[oid] })
+	} else {
+		//lint:allow hotalloc closure built only when fault-injection retry is installed
+		err = h.retry("compact", func() error {
+			_, err := h.disk.Compact(p, live, func(oid objstore.OID) int { return liveSize[oid] })
+			return err
+		})
+	}
+	if err != nil {
 		return CollectionResult{}, err
 	}
 
@@ -480,29 +543,43 @@ func (h *Heap) Collect(p storage.PartitionID) (CollectionResult, error) {
 	// referencing object must be rewritten; with logical OIDs (the
 	// default), only the resident object table changes, at no I/O cost.
 	if h.physicalFixups {
-		fixups := make(map[objstore.OID]struct{})
+		clear(sc.fixups)
+		fixups := sc.fixups
 		for _, srcs := range h.remset[p] {
 			for src := range srcs {
 				fixups[src] = struct{}{}
 			}
 		}
-		fixupList := make([]objstore.OID, 0, len(fixups))
+		fixupList := sc.fixupList[:0]
 		for src := range fixups {
 			fixupList = append(fixupList, src)
 		}
-		sort.Slice(fixupList, func(i, j int) bool { return fixupList[i] < fixupList[j] })
+		sc.fixupList = fixupList
+		slices.Sort(fixupList)
 		for _, src := range fixupList {
-			if err := h.withRetry("fixup", func() error { return h.disk.Touch(src, true) }); err != nil {
+			if h.retry == nil {
+				err = h.disk.Touch(src, true)
+			} else {
+				//lint:allow hotalloc closure built only when fault-injection retry is installed
+				err = h.retry("fixup", func() error { return h.disk.Touch(src, true) })
+			}
+			if err != nil {
 				return CollectionResult{}, err
 			}
 		}
 	}
 
 	// Write back what the collector dirtied.
-	if err := h.withRetry("flush", func() error {
-		_, err := h.disk.FlushGCDirty()
-		return err
-	}); err != nil {
+	if h.retry == nil {
+		_, err = h.disk.FlushGCDirty()
+	} else {
+		//lint:allow hotalloc closure built only when fault-injection retry is installed
+		err = h.retry("flush", func() error {
+			_, err := h.disk.FlushGCDirty()
+			return err
+		})
+	}
+	if err != nil {
 		return CollectionResult{}, err
 	}
 

@@ -11,7 +11,7 @@ package objstore
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // OID identifies an object for its entire lifetime. OIDs are never reused.
@@ -94,6 +94,11 @@ type Store struct {
 	nextOID OID
 
 	totalBytes int // sum of sizes of all objects present in the table
+
+	// iterScratch is ForEach's reusable sorted-OID buffer. ForEach does not
+	// hand it to the callback, so the only constraint is that callbacks must
+	// not call ForEach recursively.
+	iterScratch []OID
 }
 
 // NewStore returns an empty object store.
@@ -125,10 +130,12 @@ func (s *Store) Create(class Class, size, nslots int) (*Object, error) {
 	if nslots < 0 {
 		return nil, fmt.Errorf("objstore: negative slot count %d", nslots)
 	}
+	//lint:allow hotalloc the allocation is the object being created; it lives in the table
 	o := &Object{
 		OID:   s.nextOID,
 		Class: class,
 		Size:  size,
+		//lint:allow hotalloc slot array lives as long as the object
 		Slots: make([]OID, nslots),
 	}
 	s.nextOID++
@@ -151,6 +158,7 @@ func (s *Store) CreateWithOID(oid OID, class Class, size, nslots int) (*Object, 
 	if size < 0 || nslots < 0 {
 		return nil, fmt.Errorf("objstore: invalid size %d or slot count %d", size, nslots)
 	}
+	//lint:allow hotalloc the allocation is the object being created; it lives in the table
 	o := &Object{OID: oid, Class: class, Size: size, Slots: make([]OID, nslots)}
 	s.objects[oid] = o
 	s.totalBytes += size
@@ -220,24 +228,30 @@ func (s *Store) IsRoot(oid OID) bool {
 	return ok
 }
 
+// NumRoots returns the size of the persistent root set without building the
+// sorted slice Roots returns — the form statistics paths should use.
+func (s *Store) NumRoots() int { return len(s.roots) }
+
 // Roots returns the persistent root set in ascending OID order.
 func (s *Store) Roots() []OID {
 	out := make([]OID, 0, len(s.roots))
 	for oid := range s.roots {
 		out = append(out, oid)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
 // ForEach calls fn for every object in the table in ascending OID order.
 // The order is deterministic so that simulation replay is reproducible.
+// The callback must not call ForEach (the sorted index is shared scratch).
 func (s *Store) ForEach(fn func(*Object)) {
-	oids := make([]OID, 0, len(s.objects))
+	oids := s.iterScratch[:0]
 	for oid := range s.objects {
 		oids = append(oids, oid)
 	}
-	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	s.iterScratch = oids
+	slices.Sort(oids)
 	for _, oid := range oids {
 		fn(s.objects[oid])
 	}
@@ -247,20 +261,22 @@ func (s *Store) ForEach(fn func(*Object)) {
 // by breadth-first traversal of pointer slots. It is O(objects) and intended
 // for validation, statistics, and tests — not for the simulation fast path.
 func (s *Store) Reachable() map[OID]struct{} {
+	//lint:allow hotalloc the reachable set is the product, returned to the caller
 	seen := make(map[OID]struct{}, len(s.objects))
-	var queue []OID
-	// Seed from the sorted root list so the traversal order — and therefore
-	// any caller that iterates the queue's side effects — is deterministic.
-	for _, oid := range s.Roots() {
-		if _, ok := seen[oid]; !ok {
-			seen[oid] = struct{}{}
-			queue = append(queue, oid)
-		}
+	// Seed from the roots in sorted order so the traversal order — and
+	// therefore any caller that iterates the queue's side effects — is
+	// deterministic. The queue is sized for the whole table up front.
+	//lint:allow hotalloc validation-path whole-table scan; the queue is sized once per call
+	queue := make([]OID, 0, len(s.objects))
+	for oid := range s.roots {
+		queue = append(queue, oid)
 	}
-	for len(queue) > 0 {
-		oid := queue[0]
-		queue = queue[1:]
-		o := s.objects[oid]
+	slices.Sort(queue)
+	for _, oid := range queue {
+		seen[oid] = struct{}{}
+	}
+	for head := 0; head < len(queue); head++ {
+		o := s.objects[queue[head]]
 		if o == nil {
 			continue
 		}

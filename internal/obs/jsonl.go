@@ -2,12 +2,12 @@ package obs
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"math"
-	"strings"
 )
 
 // Float is a float64 whose JSON encoding is total: NaN encodes as null and
@@ -240,12 +240,16 @@ func NewReader(r io.Reader) *Reader {
 func (r *Reader) Read() (*Envelope, error) {
 	for r.sc.Scan() {
 		r.line++
-		text := strings.TrimSpace(r.sc.Text())
-		if text == "" {
+		// Scanner.Bytes aliases the scan buffer — no per-line copy; Unmarshal
+		// copies what the envelope keeps.
+		line := bytes.TrimSpace(r.sc.Bytes())
+		if len(line) == 0 {
 			continue
 		}
+		//lint:allow hotalloc the envelope is the product: the caller retains it
 		var env Envelope
-		if err := json.Unmarshal([]byte(text), &env); err != nil {
+		//lint:allow hotbox json.Unmarshal takes its target as any
+		if err := json.Unmarshal(line, &env); err != nil {
 			return nil, fmt.Errorf("obs: line %d: %w", r.line, err)
 		}
 		return &env, nil

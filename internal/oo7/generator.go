@@ -3,7 +3,7 @@ package oo7
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"odbgc/internal/objstore"
 	"odbgc/internal/trace"
@@ -55,6 +55,12 @@ type Generator struct {
 	// progress returns the error; the trace generated so far must be
 	// discarded.
 	err error
+
+	// deadScratch is scopeDead's reusable dead-OID buffer; victimScratch is
+	// deleteHalf's reusable victim list. They are distinct because deleteHalf
+	// emits overwrites (which run scopeDead) while its victim list is live.
+	deadScratch   []objstore.OID
+	victimScratch []objstore.OID
 }
 
 type moduleState struct {
@@ -126,8 +132,12 @@ func (g *Generator) obj(oid objstore.OID) *objstore.Object {
 		return o
 	}
 	g.setErr(fmt.Errorf("oo7: no object %v in generator mirror", oid))
-	return &objstore.Object{}
+	return &emptyObject
 }
+
+// emptyObject is the shared harmless stand-in obj returns after recording a
+// missing-object error; callers only read it.
+var emptyObject objstore.Object
 
 // slot returns slot i of oid's mirror object, recording an error and
 // returning NilOID when the object or slot is missing. Traversal loops stop
@@ -277,16 +287,18 @@ func (g *Generator) scopeDead(c *compositeState) []trace.DeadObject {
 			stack = append(stack, t)
 		}
 	}
-	var deadOIDs []objstore.OID
+	deadOIDs := g.deadScratch[:0]
 	for oid := range c.scope {
 		if _, ok := visited[oid]; !ok {
 			deadOIDs = append(deadOIDs, oid)
 		}
 	}
+	g.deadScratch = deadOIDs
 	if len(deadOIDs) == 0 {
 		return nil
 	}
-	sort.Slice(deadOIDs, func(i, j int) bool { return deadOIDs[i] < deadOIDs[j] })
+	slices.Sort(deadOIDs)
+	//lint:allow hotalloc the dead list is retained by the emitted trace event
 	dead := make([]trace.DeadObject, len(deadOIDs))
 	for i, oid := range deadOIDs {
 		dead[i] = trace.DeadObject{OID: oid, Size: g.obj(oid).Size}
@@ -314,6 +326,7 @@ func (g *Generator) GenDB() error {
 }
 
 func (g *Generator) genModule() *moduleState {
+	//lint:allow hotalloc module state is retained for the life of the generated database
 	mod := &moduleState{refs: make(map[*compositeState][]slotRef)}
 	mod.oid = g.create(objstore.ClassModule, g.p.ModuleBytes, 2)
 	g.addRoot(mod.oid)
@@ -325,6 +338,7 @@ func (g *Generator) genModule() *moduleState {
 	// composite is born garbage), the rest are uniform random.
 	nBase := g.p.NumBaseAssemblies()
 	slots := nBase * g.p.NumCompPerAssm // >= NumCompPerModule, per Params.Validate
+	//lint:allow hotalloc one assignment table per module; modules are few
 	assign := make([]int, slots)
 	for i := range assign {
 		if i < g.p.NumCompPerModule {
@@ -335,6 +349,7 @@ func (g *Generator) genModule() *moduleState {
 	}
 	g.rng.Shuffle(len(assign), func(i, j int) { assign[i], assign[j] = assign[j], assign[i] })
 
+	//lint:allow hotalloc retained for the life of the generated database
 	mod.composites = make([]*compositeState, g.p.NumCompPerModule)
 
 	// Build the assembly tree top-down, breadth-first. Complex assemblies
@@ -344,7 +359,8 @@ func (g *Generator) genModule() *moduleState {
 	frontier := []objstore.OID{root}
 	nextSlot := 0
 	for level := 2; level <= g.p.NumAssmLevels; level++ {
-		var next []objstore.OID
+		//lint:allow hotalloc one exactly-sized frontier per assembly level; levels are few
+		next := make([]objstore.OID, 0, len(frontier)*g.p.NumAssmPerAssm)
 		for _, parent := range frontier {
 			for k := 0; k < g.p.NumAssmPerAssm; k++ {
 				child := g.create(objstore.ClassAssembly, g.p.AssemblyBytes, g.assemblySlots(level))
@@ -408,8 +424,11 @@ func (g *Generator) genManual(module objstore.OID) {
 // genComposite builds one composite part top-down, immediately wired into
 // base assembly slot k. All internal wiring is initializing stores.
 func (g *Generator) genComposite(base objstore.OID, k int) *compositeState {
+	//lint:allow hotalloc composite state is retained for the life of the generated database
 	c := &compositeState{
+		//lint:allow hotalloc retained with the composite state
 		parts: make([]objstore.OID, g.p.NumAtomicPerComp),
+		//lint:allow hotalloc retained with the composite state
 		scope: make(map[objstore.OID]struct{}),
 	}
 	c.oid = g.create(objstore.ClassCompositePart, g.p.CompositeBytes, 1+g.p.NumAtomicPerComp)

@@ -61,7 +61,7 @@ func (g *Generator) reorg(label string, clustered bool) error {
 	// batch, then interleave reinsertions round-robin so consecutive
 	// allocations belong to different composites and a composite's
 	// replacement parts scatter over partitions.
-	var all []*compositeState
+	all := make([]*compositeState, 0, len(g.modules)*g.p.NumCompPerModule)
 	for _, mod := range g.modules {
 		all = append(all, mod.composites...)
 	}
@@ -111,7 +111,8 @@ func (g *Generator) deleteHalf(c *compositeState) deletion {
 		})
 	}
 
-	var current []int
+	//lint:allow hotalloc sized exactly per delete pass, bounded by parts-per-composite
+	current := make([]int, 0, len(c.parts))
 	for i, p := range c.parts {
 		if !p.IsNil() {
 			current = append(current, i)
@@ -124,11 +125,12 @@ func (g *Generator) deleteHalf(c *compositeState) deletion {
 	g.rng.Shuffle(len(current), func(i, j int) { current[i], current[j] = current[j], current[i] })
 	victims := current[:k]
 	victimSet := make(map[objstore.OID]struct{}, k)
-	victimOIDs := make([]objstore.OID, 0, k)
+	victimOIDs := g.victimScratch[:0]
 	for _, idx := range victims {
 		victimSet[c.parts[idx]] = struct{}{}
 		victimOIDs = append(victimOIDs, c.parts[idx])
 	}
+	g.victimScratch = victimOIDs
 
 	// Deletion order matters: all stores into a victim must happen while it
 	// is still reachable (the application's delete traversal holds it),

@@ -29,7 +29,9 @@ func (s BreakerState) String() string {
 	case BreakerOpen:
 		return "open"
 	}
-	return fmt.Sprintf("state(%d)", int(s))
+	// Static fallback: String sits on the per-request stats path, and the
+	// numeric formatting would be its only allocation.
+	return "state(invalid)"
 }
 
 // BreakerConfig parameterizes the estimator circuit breaker.

@@ -306,11 +306,12 @@ func (e *Engine) Requests() uint64 { return e.requests }
 // engine goroutine, so the reads need no locks.
 func (e *Engine) stats() *Stats {
 	disk := e.heap.Disk().Stats()
+	//lint:allow hotalloc the snapshot escapes to the requester by design
 	st := &Stats{
 		Objects:        e.heap.Store().Len(),
 		DBBytes:        e.heap.DatabaseBytes(),
 		Partitions:     e.heap.NumPartitions(),
-		Roots:          len(e.heap.Store().Roots()),
+		Roots:          e.heap.Store().NumRoots(),
 		OverwriteClock: e.heap.OverwriteClock(),
 		Collections:    e.heap.Collections(),
 		ReclaimedBytes: e.heap.TotalCollectedBytes(),

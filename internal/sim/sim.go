@@ -211,6 +211,11 @@ type Simulator struct {
 	// the run (short runs get shorter preambles).
 	garbBuckets []metrics.Mean
 	res         *Result
+
+	// deadScratch carries each overwrite event's dead OIDs to
+	// RecordOracleDead, which copies them into its ledger — reusing it keeps
+	// the per-event path allocation-free.
+	deadScratch []objstore.OID
 }
 
 // New constructs a simulator.
@@ -419,10 +424,11 @@ func (s *Simulator) apply(e *trace.Event, idx int) error {
 			return err
 		}
 		if len(e.Dead) > 0 {
-			dead := make([]objstore.OID, len(e.Dead))
-			for i, d := range e.Dead {
-				dead[i] = d.OID
+			dead := s.deadScratch[:0]
+			for _, d := range e.Dead {
+				dead = append(dead, d.OID)
 			}
+			s.deadScratch = dead
 			return s.heap.RecordOracleDead(dead)
 		}
 		return nil
@@ -435,6 +441,7 @@ func (s *Simulator) apply(e *trace.Event, idx int) error {
 			Collections: len(s.res.Collections),
 			Overwrites:  s.heap.OverwriteClock(),
 		})
+		//lint:allow hotalloc one accumulator per phase, retained in the result
 		s.phaseAcc = &PhaseSummary{Label: e.Label}
 		s.phaseGarb = metrics.Mean{}
 		s.phaseIOBase = s.disk.Stats()

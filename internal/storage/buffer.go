@@ -71,8 +71,14 @@ func (b *BufferPool) Pin(pg PageID, dirty, fresh bool) PinResult {
 		}
 		b.lru.Remove(victim)
 		delete(b.frames, vf.page)
+		// Recycle the evicted frame: once the pool is full, Pin allocates
+		// nothing.
+		vf.page, vf.dirty = pg, dirty
+		b.frames[pg] = b.lru.PushFront(vf)
+		return res
 	}
-	b.frames[pg] = b.lru.PushFront(&frame{page: pg, dirty: dirty})
+	//lint:allow hotalloc one frame per pool slot while the pool fills; evictions recycle frames
+	b.frames[pg] = b.lru.PushFront(&frame{page: pg, dirty: dirty}) //lint:allow hotbox one frame per pool slot while the pool fills
 	return res
 }
 

@@ -14,7 +14,7 @@ package storage
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"odbgc/internal/objstore"
 )
@@ -149,6 +149,10 @@ type Manager struct {
 	// fault, when non-nil, may inject an error at the entry of each physical
 	// operation (chaos testing; see package fault).
 	fault FaultInjector
+
+	// flushScratch is FlushGCDirty's reusable page list; valid only within
+	// one call.
+	flushScratch []PageID
 }
 
 // NewManager returns a Manager with no partitions allocated yet.
@@ -243,16 +247,24 @@ func (m *Manager) PlacementOf(oid objstore.OID) (Placement, bool) {
 // ObjectsIn returns the OIDs placed in a partition, in ascending order for
 // deterministic iteration.
 func (m *Manager) ObjectsIn(id PartitionID) []objstore.OID {
+	//lint:allow hotalloc snapshot API: callers keep the returned slice; the collector uses AppendObjectsIn
+	return m.AppendObjectsIn(nil, id)
+}
+
+// AppendObjectsIn appends the partition's OIDs to dst in ascending order and
+// returns the extended slice — the allocation-free form of ObjectsIn for
+// callers that reuse a scratch buffer.
+func (m *Manager) AppendObjectsIn(dst []objstore.OID, id PartitionID) []objstore.OID {
 	if int(id) < 0 || int(id) >= len(m.parts) {
-		return nil
+		return dst
 	}
 	p := m.parts[id]
-	out := make([]objstore.OID, 0, len(p.objects))
+	start := len(dst)
 	for oid := range p.objects {
-		out = append(out, oid)
+		dst = append(dst, oid)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	slices.Sort(dst[start:])
+	return dst
 }
 
 // charge records one read or write against the current I/O class.
@@ -295,8 +307,10 @@ func (m *Manager) pin(pg PageID, dirty, fresh bool) {
 
 // newPartition appends an empty partition.
 func (m *Manager) newPartition() *partition {
+	//lint:allow hotalloc the partition is the product, retained by the manager for the database's life
 	p := &partition{
-		id:      PartitionID(len(m.parts)),
+		id: PartitionID(len(m.parts)),
+		//lint:allow hotalloc retained with the partition
 		objects: make(map[objstore.OID]struct{}),
 	}
 	m.parts = append(m.parts, p)
@@ -466,8 +480,9 @@ func (m *Manager) Compact(id PartitionID, live []objstore.OID, sizeOf func(objst
 	// every offset and therefore always fits.
 	order := live
 	if layoutEnd(order, sizeOf, m.cfg.PageSize) > m.cfg.PartitionBytes() {
+		//lint:allow hotalloc rare fallback: only a nearly full partition overflows copy order
 		order = append([]objstore.OID(nil), live...)
-		sort.Slice(order, func(i, j int) bool { return oldOffset[order[i]] < oldOffset[order[j]] })
+		slices.SortFunc(order, func(a, b objstore.OID) int { return oldOffset[a] - oldOffset[b] })
 	}
 	p.cursor = 0
 	p.used = 0
@@ -525,15 +540,16 @@ func (m *Manager) FlushGCDirty() (int, error) {
 	if err := m.beforeOp(true); err != nil {
 		return 0, fmt.Errorf("storage: flush collector pages: %w", err)
 	}
-	pages := make([]PageID, 0, len(m.gcDirty))
+	pages := m.flushScratch[:0]
 	for pg := range m.gcDirty {
 		pages = append(pages, pg)
 	}
-	sort.Slice(pages, func(i, j int) bool {
-		if pages[i].Part != pages[j].Part {
-			return pages[i].Part < pages[j].Part
+	m.flushScratch = pages
+	slices.SortFunc(pages, func(a, b PageID) int {
+		if a.Part != b.Part {
+			return int(a.Part) - int(b.Part)
 		}
-		return pages[i].Index < pages[j].Index
+		return a.Index - b.Index
 	})
 	n := 0
 	prev := m.SetIOClass(IOGC)

@@ -155,6 +155,15 @@ type Reader struct {
 	br   *bufio.Reader
 	done bool
 
+	// deadArena hands out Event.Dead backing storage in chunks, so decoding
+	// a trace performs one allocation per ~4096 dead-list entries instead of
+	// one per overwrite event. Handed-out slices are never reused — events
+	// own them for good — the arena only batches the allocations.
+	deadArena []DeadObject
+	// labelBuf is the scratch buffer phase labels are read into before the
+	// (unavoidable) string conversion.
+	labelBuf []byte
+
 	// Lenient, when set before reading, makes truncation non-fatal: a stream
 	// that ends without its trailer (cleanly between events or mid-event)
 	// yields the events read so far and then io.EOF instead of ErrTruncated.
@@ -188,6 +197,25 @@ func NewReader(r io.Reader) (*Reader, error) {
 func (r *Reader) uvarint() (uint64, error) {
 	return binary.ReadUvarint(r.br)
 }
+
+// allocDead carves an n-entry slice out of the dead arena, starting a new
+// chunk when the current one is exhausted.
+func (r *Reader) allocDead(n int) []DeadObject {
+	if cap(r.deadArena)-len(r.deadArena) < n {
+		size := deadArenaChunk
+		if n > size {
+			size = n
+		}
+		//lint:allow hotalloc arena chunk: one allocation amortizes thousands of dead-list entries
+		r.deadArena = make([]DeadObject, 0, size)
+	}
+	out := r.deadArena[len(r.deadArena) : len(r.deadArena)+n]
+	r.deadArena = r.deadArena[:len(r.deadArena)+n]
+	return out
+}
+
+// deadArenaChunk is the arena granularity: 4096 entries ≈ 64 KiB.
+const deadArenaChunk = 4096
 
 // Read returns the next event, or io.EOF after the trailer.
 func (r *Reader) Read() (Event, error) {
@@ -243,7 +271,7 @@ func (r *Reader) Read() (Event, error) {
 			if n > 1<<24 {
 				return e, fmt.Errorf("trace: implausible dead-list length %d", n)
 			}
-			e.Dead = make([]DeadObject, n)
+			e.Dead = r.allocDead(int(n))
 			for i := range e.Dead {
 				e.Dead[i].OID = objstore.OID(rd())
 				e.Dead[i].Size = int(rd())
@@ -255,8 +283,13 @@ func (r *Reader) Read() (Event, error) {
 			if n > 1<<16 {
 				return e, fmt.Errorf("trace: implausible phase label length %d", n)
 			}
-			buf := make([]byte, n)
+			if cap(r.labelBuf) < int(n) {
+				//lint:allow hotalloc label scratch grows to the longest label once
+				r.labelBuf = make([]byte, n)
+			}
+			buf := r.labelBuf[:n]
 			_, err = io.ReadFull(r.br, buf)
+			//lint:allow hotalloc phase labels are rare (one per phase) and must be immutable strings
 			e.Label = string(buf)
 		}
 	case KindRoot:
@@ -406,8 +439,11 @@ func WriteJSON(w io.Writer, t *Trace) error {
 func ReadJSON(r io.Reader) (*Trace, error) {
 	dec := json.NewDecoder(bufio.NewReader(r))
 	t := &Trace{}
+	// One decode target reused across the stream; Decode only sets fields
+	// present in the line, so it is cleared each iteration.
+	var je jsonEvent
 	for i := 0; ; i++ {
-		var je jsonEvent
+		je = jsonEvent{}
 		if err := dec.Decode(&je); errors.Is(err, io.EOF) {
 			return t, nil
 		} else if err != nil {
