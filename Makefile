@@ -52,16 +52,16 @@ fuzz:
 
 # Benchmark sweep. One iteration per benchmark keeps the sweep quick; the
 # parsed JSON baseline (ns/op, allocs/op per benchmark) lands in
-# BENCH_PR7.json for mechanical diffing across PRs.
+# BENCH_PR8.json for mechanical diffing across PRs.
 bench:
-	$(GO) test -bench=. -benchmem -benchtime 1x . | $(GO) run ./cmd/benchjson -o BENCH_PR7.json
+	$(GO) test -bench=. -benchmem -benchtime 1x . | $(GO) run ./cmd/benchjson -o BENCH_PR8.json
 
 # Per-benchmark deltas against the previous committed baseline — the
 # one-command perf claim for PR bodies. The threshold is 50% because the
 # committed baselines run at -benchtime 1x, where ns/op carries real
 # noise; allocs/op is exact at any iteration count.
 bench-diff:
-	$(GO) run ./cmd/benchjson -diff BENCH_PR5.json BENCH_PR7.json -threshold 50
+	$(GO) run ./cmd/benchjson -diff BENCH_PR7.json BENCH_PR8.json -threshold 50
 
 # Full paper regeneration: every table and figure, 10 seeded runs per data
 # point, CSV series under results/.

@@ -16,12 +16,17 @@ import (
 	"context"
 	"math"
 	"testing"
+	"time"
 
 	"odbgc/internal/core"
 	"odbgc/internal/experiments"
 	"odbgc/internal/gc"
 	"odbgc/internal/metrics"
+	"odbgc/internal/objstore"
+	"odbgc/internal/obs"
+	"odbgc/internal/obs/span"
 	"odbgc/internal/oo7"
+	"odbgc/internal/server"
 	"odbgc/internal/sim"
 	"odbgc/internal/storage"
 	"odbgc/internal/trace"
@@ -345,6 +350,67 @@ func BenchmarkTraceCodec(b *testing.B) {
 		if _, err := trace.ReadAll(bytes.NewReader(w.Bytes())); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkServerThroughput measures end-to-end request latency through the
+// live serving stack — TCP framing, admission, engine service, response
+// write — with the span flight recorder enabled, so bench-diff catches any
+// tracing cost creeping into the hot path.
+func BenchmarkServerThroughput(b *testing.B) {
+	mgr, err := storage.NewManager(storage.Config{PageSize: 1024, PagesPerPartition: 4, BufferPages: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	heap := gc.NewHeap(objstore.NewStore(), mgr)
+	pol, err := core.NewFixedRate(200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	live := obs.NewLive()
+	m := server.NewMetrics(live.Registry())
+	rec := span.NewRecorder(span.Config{})
+	eng, err := server.NewEngine(heap, server.EngineConfig{
+		Policy: pol, Selection: gc.UpdatedPointer{}, QueueDepth: 128,
+		Metrics: m, Recorder: rec,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Addr: "127.0.0.1:0"}, eng, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr, err := srv.Listen()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	drain := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		_ = srv.Serve(ctx, drain)
+		close(finished)
+	}()
+	cli, err := server.Dial(addr, 5*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := cli.Do(ctx, server.Request{Op: server.OpPing})
+		if err != nil || resp.Status != server.StatusOK {
+			b.Fatalf("ping %d: status %q, err %v", i, resp.Status, err)
+		}
+	}
+	b.StopTimer()
+	_ = cli.Close()
+	close(drain)
+	select {
+	case <-finished:
+	case <-time.After(5 * time.Second):
+		b.Fatal("server did not drain")
 	}
 }
 

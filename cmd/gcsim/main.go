@@ -32,6 +32,7 @@ import (
 	"odbgc/internal/gc"
 	"odbgc/internal/metrics"
 	"odbgc/internal/obs"
+	"odbgc/internal/obs/span"
 	"odbgc/internal/oo7"
 	"odbgc/internal/sim"
 	"odbgc/internal/simerr"
@@ -101,6 +102,7 @@ func runWithShutdown(sd *obs.Shutdown, args []string, stdout, stderr io.Writer) 
 		runLimit  = fs.Duration("run-timeout", 0, "abort the run after this much wall-clock time, classified as a timeout (0 = no deadline)")
 		resumeCkp = fs.String("resume", "", "resume a run from a checkpoint file written by -checkpoint")
 		eventsOut = fs.String("events", "", "write a structured JSONL event log to this path (see cmd/obsdump)")
+		spansOut  = fs.String("spans", "", "write GC collection spans (same schema as the live server's flight recorder) to this path as JSONL")
 		manifest  = fs.String("manifest", "", "write a run provenance manifest (config, seeds, trace identity, artifact digests) to this path")
 		httpAddr  = fs.String("http", "", `serve /metrics, /healthz, /statusz and /debug/pprof on this address (e.g. ":8080") while running`)
 		serveFor  = fs.Duration("serve-after", 0, "with -http, keep serving this long after the run completes")
@@ -122,8 +124,8 @@ func runWithShutdown(sd *obs.Shutdown, args []string, stdout, stderr io.Writer) 
 		if faultsOn || *ckptPath != "" || *resumeCkp != "" || *stopAfter != 0 {
 			return fmt.Errorf("-compare does not support fault injection or checkpointing; run policies one at a time")
 		}
-		if *eventsOut != "" || *manifest != "" || *httpAddr != "" {
-			return fmt.Errorf("-compare does not support -events, -manifest or -http; run policies one at a time")
+		if *eventsOut != "" || *spansOut != "" || *manifest != "" || *httpAddr != "" {
+			return fmt.Errorf("-compare does not support -events, -spans, -manifest or -http; run policies one at a time")
 		}
 		return runCompare(stdout, fs, *compare, *selection, *preamble, *conn, *seed, *fixups)
 	}
@@ -201,6 +203,13 @@ func runWithShutdown(sd *obs.Shutdown, args []string, stdout, stderr io.Writer) 
 		}()
 	}
 	cfg.Observer = obs.NewMulti(observers...)
+	var spanRec *span.Recorder
+	if *spansOut != "" {
+		// Generous capacity: a simulation run should dump every collection
+		// span, not just a retained tail.
+		spanRec = span.NewRecorder(span.Config{Capacity: 8192})
+		cfg.Spans = spanRec
+	}
 
 	var s *sim.Simulator
 	skip := 0
@@ -379,6 +388,20 @@ func runWithShutdown(sd *obs.Shutdown, args []string, stdout, stderr io.Writer) 
 	if err := closeEvents(); err != nil {
 		return err
 	}
+	if spanRec != nil {
+		f, err := os.Create(*spansOut)
+		if err != nil {
+			return err
+		}
+		nsp, err := spanRec.Dump(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing span log %s: %w", *spansOut, err)
+		}
+		fmt.Fprintf(stdout, "spans:             %s (%d collection spans)\n", *spansOut, nsp)
+	}
 	if *manifest != "" {
 		if traceID != nil && traceID.Events == 0 {
 			traceID.Events = res.Events
@@ -396,6 +419,11 @@ func runWithShutdown(sd *obs.Shutdown, args []string, stdout, stderr io.Writer) 
 		}
 		if *eventsOut != "" {
 			if err := m.AddArtifact(*eventsOut); err != nil {
+				return err
+			}
+		}
+		if *spansOut != "" {
+			if err := m.AddArtifact(*spansOut); err != nil {
 				return err
 			}
 		}

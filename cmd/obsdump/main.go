@@ -9,6 +9,8 @@
 //	obsdump -check run.jsonl          # validate schema + sequence, print nothing
 //	obsdump -type collection run.jsonl
 //	obsdump -n 20 run.jsonl
+//	obsdump -spans traces.jsonl       # flight-recorder spans: lines + stage table
+//	obsdump -spans -check traces.jsonl
 package main
 
 import (
@@ -47,6 +49,7 @@ func runWithShutdown(sd *obs.Shutdown, args []string, stdout, stderr io.Writer) 
 		stats    = fs.Bool("stats", false, "print per-type event counts and the run summary instead of every event")
 		typeFlag = fs.String("type", "", "print only events of this type (see -check for the list)")
 		limit    = fs.Int("n", 0, "print only the first N matching events (0 = all)")
+		spans    = fs.Bool("spans", false, "the input is span JSONL from the flight recorder (gcsim -spans, odbgcd -traces, /debug/traces)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,6 +59,12 @@ func runWithShutdown(sd *obs.Shutdown, args []string, stdout, stderr io.Writer) 
 	}
 	if *limit < 0 {
 		return fmt.Errorf("-n must be >= 0 (got %d)", *limit)
+	}
+	if *spans {
+		if *stats || *typeFlag != "" {
+			return fmt.Errorf("-spans supports -check and -n only (span dumps always end with the stage table)")
+		}
+		return runSpans(sd, fs.Arg(0), *check, *limit, stdout)
 	}
 	if *typeFlag != "" {
 		known := false

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"odbgc/internal/obs/span"
+)
+
+// writeSpanLog dumps a small flight recorder — two requests (one ok, one
+// shed), a GC pause attributed to the ok request — to a temp file.
+func writeSpanLog(t *testing.T) string {
+	t.Helper()
+	rec := span.NewRecorder(span.Config{Capacity: 16})
+	okID := span.RequestID(1, 1)
+	sp := rec.Start(span.KindRequest, "set", okID, 0, 100)
+	sp.Session, sp.Seq = 1, 1
+	sp.SetStage(span.StageDecode, 2)
+	sp.SetStage(span.StageQueue, 10)
+	sp.SetStage(span.StageService, 30)
+	sp.SetStage(span.StageWrite, 3)
+	g := rec.Start(span.KindGC, "collect", span.GCID(1), okID, 120)
+	g.Partition, g.ReclaimedBytes, g.ReclaimedObjects = 3, 4096, 17
+	g.SetStage(span.StageService, 9)
+	rec.PinID(okID)
+	rec.Finish(g, 129, span.OutcomeOK)
+	rec.Finish(sp, 150, span.OutcomeOK)
+	shed := rec.Start(span.KindRequest, "ping", span.RequestID(2, 1), 0, 200)
+	shed.Session, shed.Seq = 2, 1
+	shed.SetStage(span.StageQueue, 60)
+	rec.Finish(shed, 265, span.OutcomeShed)
+
+	path := filepath.Join(t.TempDir(), "traces.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Dump(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestObsdumpSpansRender(t *testing.T) {
+	path := writeSpanLog(t)
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-spans", path}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"request 0000000000100001",
+		"queue=10 service=30",
+		"shed",
+		"pinned",
+		"gc      8000000000000001 pause=9",
+		"reclaimed=4096B (17 objs)",
+		"during=0000000000100001",
+		"per-stage latency over 2 request spans",
+		"critical path (dominant stage per request): queue=1 service=1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestObsdumpSpansCheck(t *testing.T) {
+	path := writeSpanLog(t)
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-spans", "-check", path}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "ok: 3 spans (2 requests, 1 gc, 0 dangling parents)") {
+		t.Errorf("unexpected -check verdict: %s", stdout.String())
+	}
+
+	// Corrupt span: end before start must fail the check.
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	line := `{"v":1,"seq":0,"type":"span","span":{"id":1048577,"kind":"request","outcome":"ok","start":50,"end":10}}` + "\n"
+	if err := os.WriteFile(bad, []byte(line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spans", "-check", bad}, &stdout, &stderr); err == nil {
+		t.Error("-check accepted a span with end before start")
+	}
+
+	// -spans composes with -check/-n only.
+	if err := run([]string{"-spans", "-stats", path}, &stdout, &stderr); err == nil {
+		t.Error("-spans -stats not rejected")
+	}
+}

@@ -24,12 +24,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"time"
 
 	"odbgc/internal/core"
 	"odbgc/internal/gc"
 	"odbgc/internal/objstore"
 	"odbgc/internal/obs"
+	"odbgc/internal/obs/span"
 	"odbgc/internal/server"
 	"odbgc/internal/storage"
 )
@@ -58,6 +60,7 @@ func runWithShutdown(sd *obs.Shutdown, args []string, stdout, stderr io.Writer) 
 		policy    = fs.String("policy", "saga", "rate policy: saio, saga, pi, coupled, fixed, never")
 		frac      = fs.Float64("frac", 0.10, "requested fraction for saio (I/O share) or saga/pi (garbage share)")
 		interval  = fs.Int("interval", 200, "fixed policy: pointer overwrites per collection")
+		initialIv = fs.Uint64("initial-interval", 0, "adaptive policies: overwrites before the bootstrap collection (0 = policy default)")
 		estimator = fs.String("estimator", "fgs-hb", "garbage estimator: cgs-cb, fgs-hb, fgs-window, fgs-pp (oracle unavailable: live serving has none)")
 		history   = fs.Float64("history", 0.8, "estimator history factor (or window length for fgs-window)")
 		fallback  = fs.String("fallback-estimator", "cgs-cb", "estimator the circuit breaker degrades to on repeated bad signals")
@@ -80,6 +83,9 @@ func runWithShutdown(sd *obs.Shutdown, args []string, stdout, stderr io.Writer) 
 
 		eventsOut = fs.String("events", "", "write a structured JSONL event log to this path (see cmd/obsdump)")
 		manifest  = fs.String("manifest", "", "write a run provenance manifest to this path on drain")
+
+		tracesOut = fs.String("traces", "", "dump the span flight recorder to this path on drain (and to PATH.spike on shed-rate spikes)")
+		traceBuf  = fs.Int("trace-buffer", 512, "flight recorder capacity in spans per ring; 0 disables tracing entirely")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,7 +100,7 @@ func runWithShutdown(sd *obs.Shutdown, args []string, stdout, stderr io.Writer) 
 		return fmt.Errorf("the oracle estimator needs trace annotations; a live server has none (use cgs-cb or fgs-hb)")
 	}
 
-	pol, breaker, err := buildPolicy(*policy, *frac, *interval, *estimator, *fallback, *history,
+	pol, breaker, err := buildPolicy(*policy, *frac, *interval, *initialIv, *estimator, *fallback, *history,
 		server.BreakerConfig{TripAfter: *tripAfter, Cooldown: *cooldown, HalfOpenProbes: *probes})
 	if err != nil {
 		return err
@@ -134,8 +140,33 @@ func runWithShutdown(sd *obs.Shutdown, args []string, stdout, stderr io.Writer) 
 		return nil
 	}
 	defer func() { _ = closeEvents() }()
+	// The flight recorder retains the tail worth keeping (shed, errored,
+	// expired, slowest spans, GC pauses); -trace-buffer 0 hands the serving
+	// stack a nil recorder, whose fast path is free.
+	var rec *span.Recorder
+	if *traceBuf > 0 {
+		var spikeMu sync.Mutex
+		rec = span.NewRecorder(span.Config{
+			Capacity: *traceBuf,
+			OnSpike: func(shed, window int) {
+				fmt.Fprintf(stderr, "odbgcd: shed-rate spike: %d of last %d requests shed\n", shed, window)
+				if *tracesOut == "" {
+					return
+				}
+				spikeMu.Lock()
+				defer spikeMu.Unlock()
+				if err := dumpTraces(rec, *tracesOut+".spike"); err != nil {
+					fmt.Fprintf(stderr, "odbgcd: spike trace dump: %v\n", err)
+				}
+			},
+		})
+	}
 	if *httpAddr != "" {
-		bound, stopServe, err := obs.ListenAndServe(*httpAddr, live)
+		var routes []obs.Route
+		if rec != nil {
+			routes = append(routes, obs.Route{Pattern: "/debug/traces", Handler: rec})
+		}
+		bound, stopServe, err := obs.ListenAndServe(*httpAddr, live, routes...)
 		if err != nil {
 			return fmt.Errorf("starting metrics server: %w", err)
 		}
@@ -161,6 +192,7 @@ func runWithShutdown(sd *obs.Shutdown, args []string, stdout, stderr io.Writer) 
 		Breaker:      breaker,
 		Metrics:      m,
 		Observer:     obs.NewMulti(observers...),
+		Recorder:     rec,
 	})
 	if err != nil {
 		return err
@@ -195,6 +227,14 @@ func runWithShutdown(sd *obs.Shutdown, args []string, stdout, stderr io.Writer) 
 	if err := closeEvents(); err != nil {
 		return err
 	}
+	if *tracesOut != "" && rec != nil {
+		if err := dumpTraces(rec, *tracesOut); err != nil {
+			return fmt.Errorf("writing trace dump %s: %w", *tracesOut, err)
+		}
+		rst := rec.Stats()
+		fmt.Fprintf(stdout, "traces:   %s (%d finished, %d retained, %d shed, %d gc spans)\n",
+			*tracesOut, rst.Finished, rst.Retained, rst.Shed, rst.GCSpans)
+	}
 	if *manifest != "" {
 		man := &obs.Manifest{
 			Tool:      "odbgcd",
@@ -205,6 +245,11 @@ func runWithShutdown(sd *obs.Shutdown, args []string, stdout, stderr io.Writer) 
 		}
 		if *eventsOut != "" {
 			if err := man.AddArtifact(*eventsOut); err != nil {
+				return err
+			}
+		}
+		if *tracesOut != "" && rec != nil {
+			if err := man.AddArtifact(*tracesOut); err != nil {
 				return err
 			}
 		}
@@ -233,7 +278,7 @@ func runWithShutdown(sd *obs.Shutdown, args []string, stdout, stderr io.Writer) 
 // policies get their estimator wrapped in the circuit breaker (primary =
 // the requested estimator, fallback = the coarse one), and the breaker is
 // returned so the engine can export its state.
-func buildPolicy(name string, frac float64, interval int, primary, fallback string, history float64, bcfg server.BreakerConfig) (core.RatePolicy, *server.Breaker, error) {
+func buildPolicy(name string, frac float64, interval int, initialIv uint64, primary, fallback string, history float64, bcfg server.BreakerConfig) (core.RatePolicy, *server.Breaker, error) {
 	newEst := func() (core.Estimator, *server.Breaker, error) {
 		p, err := core.NewEstimator(primary, history)
 		if err != nil {
@@ -251,28 +296,28 @@ func buildPolicy(name string, frac float64, interval int, primary, fallback stri
 	}
 	switch name {
 	case "saio":
-		pol, err := core.NewSAIO(core.SAIOConfig{Frac: frac})
+		pol, err := core.NewSAIO(core.SAIOConfig{Frac: frac, InitialInterval: initialIv})
 		return pol, nil, err
 	case "saga":
 		est, b, err := newEst()
 		if err != nil {
 			return nil, nil, err
 		}
-		pol, err := core.NewSAGA(core.SAGAConfig{Frac: frac}, est)
+		pol, err := core.NewSAGA(core.SAGAConfig{Frac: frac, InitialInterval: initialIv}, est)
 		return pol, b, err
 	case "pi":
 		est, b, err := newEst()
 		if err != nil {
 			return nil, nil, err
 		}
-		pol, err := core.NewPIController(core.PIConfig{Frac: frac}, est)
+		pol, err := core.NewPIController(core.PIConfig{Frac: frac, InitialInterval: initialIv}, est)
 		return pol, b, err
 	case "coupled":
 		est, b, err := newEst()
 		if err != nil {
 			return nil, nil, err
 		}
-		pol, err := core.NewCoupled(core.CoupledConfig{IOFrac: frac, GarbFrac: frac}, est)
+		pol, err := core.NewCoupled(core.CoupledConfig{IOFrac: frac, GarbFrac: frac, InitialInterval: initialIv}, est)
 		return pol, b, err
 	case "fixed":
 		pol, err := core.NewFixedRate(interval)
@@ -282,6 +327,19 @@ func buildPolicy(name string, frac float64, interval int, primary, fallback stri
 	default:
 		return nil, nil, fmt.Errorf("unknown policy %q (have saio, saga, pi, coupled, fixed, never)", name)
 	}
+}
+
+// dumpTraces writes the recorder's current snapshot as span JSONL to path.
+func dumpTraces(rec *span.Recorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := rec.Dump(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // flagKVs snapshots every flag's effective value for the provenance manifest.

@@ -156,7 +156,7 @@ func TestDaemonServesAndDrains(t *testing.T) {
 
 func TestBuildPolicyWiresBreaker(t *testing.T) {
 	bcfg := server.BreakerConfig{TripAfter: 2, Cooldown: 2, HalfOpenProbes: 1}
-	pol, b, err := buildPolicy("saga", 0.1, 0, "fgs-hb", "cgs-cb", 0.8, bcfg)
+	pol, b, err := buildPolicy("saga", 0.1, 0, 0, "fgs-hb", "cgs-cb", 0.8, bcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,10 +170,10 @@ func TestBuildPolicyWiresBreaker(t *testing.T) {
 		t.Fatalf("breaker name %q does not show primary->fallback", b.Name())
 	}
 	// Policies without estimators get no breaker.
-	if _, b, err := buildPolicy("saio", 0.1, 0, "fgs-hb", "cgs-cb", 0.8, bcfg); err != nil || b != nil {
+	if _, b, err := buildPolicy("saio", 0.1, 0, 0, "fgs-hb", "cgs-cb", 0.8, bcfg); err != nil || b != nil {
 		t.Fatalf("saio: breaker %v, err %v; want none", b, err)
 	}
-	if _, b, err := buildPolicy("fixed", 0, 100, "fgs-hb", "cgs-cb", 0.8, bcfg); err != nil || b != nil {
+	if _, b, err := buildPolicy("fixed", 0, 100, 0, "fgs-hb", "cgs-cb", 0.8, bcfg); err != nil || b != nil {
 		t.Fatalf("fixed: breaker %v, err %v; want none", b, err)
 	}
 }

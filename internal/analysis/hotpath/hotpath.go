@@ -36,10 +36,11 @@ import (
 // pseudo-paths both resolve). Names are plain function or method names
 // within that package.
 var roots = map[string][]string{
-	"internal/sim":    {"Run", "RunContext", "RunStream", "RunStreamContext", "Step"},
-	"internal/trace":  {"Read", "Write", "ReadAll", "ReadAllLenient", "WriteAll"},
-	"internal/oo7":    {"FullTrace", "GenDB"},
-	"internal/server": {"Run", "process", "apply"},
+	"internal/sim":      {"Run", "RunContext", "RunStream", "RunStreamContext", "Step"},
+	"internal/trace":    {"Read", "Write", "ReadAll", "ReadAllLenient", "WriteAll"},
+	"internal/oo7":      {"FullTrace", "GenDB"},
+	"internal/server":   {"Run", "process", "apply"},
+	"internal/obs/span": {"Start", "Finish", "PinID"},
 }
 
 // loopPkgs lists the packages whose unbounded `for {` loops seed the region

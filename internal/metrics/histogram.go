@@ -31,18 +31,31 @@ func NewHistogram(min, max float64, n int) (*Histogram, error) {
 // Add records one sample.
 func (h *Histogram) Add(v float64) {
 	h.all.Add(v)
-	switch {
-	case v < h.min:
+	switch i := h.Index(v); {
+	case i < 0:
 		h.under++
-	case v >= h.max:
+	case i >= len(h.buckets):
 		h.over++
 	default:
-		i := int((v - h.min) / (h.max - h.min) * float64(len(h.buckets)))
-		if i >= len(h.buckets) { // guard float roundoff at the upper edge
-			i = len(h.buckets) - 1
-		}
 		h.buckets[i]++
 	}
+}
+
+// Index returns the bucket a sample routes to: -1 for underflow, Buckets()
+// for overflow, otherwise the in-range bucket index — the same routing Add
+// uses, exposed so callers can attach per-bucket annotations (exemplars).
+func (h *Histogram) Index(v float64) int {
+	switch {
+	case v < h.min:
+		return -1
+	case v >= h.max:
+		return len(h.buckets)
+	}
+	i := int((v - h.min) / (h.max - h.min) * float64(len(h.buckets)))
+	if i >= len(h.buckets) { // guard float roundoff at the upper edge
+		i = len(h.buckets) - 1
+	}
+	return i
 }
 
 // N returns the total number of samples.

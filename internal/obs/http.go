@@ -17,8 +17,9 @@ import (
 //	/debug/pprof/*  the standard Go profiling endpoints
 //
 // The handler is safe to serve while the simulation runs; Live does the
-// locking.
-func Handler(live *Live) http.Handler {
+// locking. Extra routes (e.g. a flight recorder's /debug/traces) mount on
+// the same mux.
+func Handler(live *Live, extra ...Route) http.Handler {
 	//lint:allow detrand the status endpoint reports real elapsed wall time to operators; it never feeds simulation state
 	started := time.Now()
 	mux := http.NewServeMux()
@@ -53,7 +54,18 @@ func Handler(live *Live) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, rt := range extra {
+		mux.Handle(rt.Pattern, rt.Handler)
+	}
 	return mux
+}
+
+// Route is one extra endpoint mounted on the observability mux by Handler
+// and ListenAndServe, so subsystems (like the span flight recorder) can
+// expose themselves without obs importing them.
+type Route struct {
+	Pattern string
+	Handler http.Handler
 }
 
 // ListenAndServe binds addr (port 0 picks an ephemeral port), serves
@@ -61,12 +73,12 @@ func Handler(live *Live) http.Handler {
 // stop function. It returns once the listener is accepting, so callers can
 // scrape immediately; errors after startup are discarded — the endpoint is
 // best-effort diagnostics, never load-bearing for the simulation.
-func ListenAndServe(addr string, live *Live) (bound string, stop func(), err error) {
+func ListenAndServe(addr string, live *Live, extra ...Route) (bound string, stop func(), err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: Handler(live)}
+	srv := &http.Server{Handler: Handler(live, extra...)}
 	done := make(chan struct{})
 	go func() {
 		_ = srv.Serve(ln)

@@ -24,16 +24,28 @@ type Registry struct {
 	counts map[string]float64
 	gauges map[string]float64
 	hists  map[string]*metrics.Histogram
+	// exemplars holds, per histogram, the most recent (span ID, value) seen
+	// in each bucket index; the inner maps are preallocated at registration
+	// so ObserveExemplar never allocates on the hot path.
+	exemplars map[string]map[int]exemplar
+}
+
+// exemplar ties a histogram bucket to the span that last landed in it,
+// stored raw (formatting happens only at exposition time).
+type exemplar struct {
+	id uint64
+	v  float64
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		kinds:  make(map[string]string),
-		help:   make(map[string]string),
-		counts: make(map[string]float64),
-		gauges: make(map[string]float64),
-		hists:  make(map[string]*metrics.Histogram),
+		kinds:     make(map[string]string),
+		help:      make(map[string]string),
+		counts:    make(map[string]float64),
+		gauges:    make(map[string]float64),
+		hists:     make(map[string]*metrics.Histogram),
+		exemplars: make(map[string]map[int]exemplar),
 	}
 }
 
@@ -102,6 +114,7 @@ func (r *Registry) RegisterHistogram(name, help string, min, max float64, n int)
 			return err
 		}
 		r.hists[name] = h
+		r.exemplars[name] = make(map[int]exemplar, n+2)
 	}
 	return nil
 }
@@ -141,6 +154,25 @@ func (r *Registry) Observe(name string, v float64) {
 	r.mu.Lock()
 	if h := r.hists[name]; h != nil {
 		h.Add(v)
+	}
+	r.mu.Unlock()
+}
+
+// ObserveExemplar records a sample into a registered histogram and, when
+// id is nonzero, remembers it as the bucket's exemplar — the span ID
+// rendered next to that bucket in WriteText, so an operator can jump from a
+// latency bucket to the exact trace that landed there. Allocation-free:
+// the inner map is preallocated and bounded by the bucket count.
+func (r *Registry) ObserveExemplar(name string, v float64, id uint64) {
+	if math.IsNaN(v) {
+		return
+	}
+	r.mu.Lock()
+	if h := r.hists[name]; h != nil {
+		h.Add(v)
+		if id != 0 {
+			r.exemplars[name][h.Index(v)] = exemplar{id: id, v: v}
+		}
 	}
 	r.mu.Unlock()
 }
@@ -188,7 +220,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 		case "gauge":
 			_, err = fmt.Fprintf(w, "%s %s\n", name, fmtValue(r.gauges[name]))
 		case "histogram":
-			err = writeHistogram(w, name, r.hists[name])
+			err = writeHistogram(w, name, r.hists[name], r.exemplars[name])
 		}
 		if err != nil {
 			return err
@@ -199,18 +231,31 @@ func (r *Registry) WriteText(w io.Writer) error {
 
 // writeHistogram renders one histogram as cumulative le-labelled buckets
 // plus _sum and _count, mapping the underflow bucket into the first bound
-// and the overflow bucket into +Inf, per the Prometheus data model.
-func writeHistogram(w io.Writer, name string, h *metrics.Histogram) error {
+// and the overflow bucket into +Inf, per the Prometheus data model. Buckets
+// with a recorded exemplar get an OpenMetrics-style exemplar suffix
+// (`# {span_id="…"} value`) naming the last span that landed there; the
+// underflow exemplar rides on the first bucket, the overflow one on +Inf.
+func writeHistogram(w io.Writer, name string, h *metrics.Histogram, exs map[int]exemplar) error {
+	suffix := func(i int) string {
+		ex, ok := exs[i]
+		if !ok && i == 0 {
+			ex, ok = exs[-1]
+		}
+		if !ok {
+			return ""
+		}
+		return fmt.Sprintf(" # {span_id=\"%016x\"} %s", ex.id, fmtValue(ex.v))
+	}
 	under, _ := h.Outliers()
 	cum := under
 	for i := 0; i < h.Buckets(); i++ {
 		c, _, hi := h.Bucket(i)
 		cum += c
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmtValue(hi), cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d%s\n", name, fmtValue(hi), cum, suffix(i)); err != nil {
 			return err
 		}
 	}
-	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.N()); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d%s\n", name, h.N(), suffix(h.Buckets())); err != nil {
 		return err
 	}
 	sum := 0.0

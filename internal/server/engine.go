@@ -11,6 +11,7 @@ import (
 	"odbgc/internal/gc"
 	"odbgc/internal/objstore"
 	"odbgc/internal/obs"
+	"odbgc/internal/obs/span"
 	"odbgc/internal/simerr"
 )
 
@@ -38,6 +39,10 @@ type EngineConfig struct {
 	// Observer receives Decision/Collection events as the online GC runs
 	// (nil for none). Step carries the admitted-request count.
 	Observer obs.Observer
+	// Recorder is the span flight recorder (nil disables tracing; the nil
+	// fast path costs one pointer test per request). Collections that run
+	// while a request is in service emit GC child spans attributed to it.
+	Recorder *span.Recorder
 }
 
 func (c *EngineConfig) validate() error {
@@ -63,6 +68,12 @@ type call struct {
 	req      Request
 	deadline time.Time // zero means none
 	done     chan Response
+	// spanID is the submitting session's span ID (0 when tracing is off)
+	// and enq its enqueue tick. Only the ID crosses goroutines — the span
+	// itself stays owned by the session, so an abandoned waiter can finish
+	// and recycle it without racing the engine.
+	spanID uint64
+	enq    int64
 }
 
 // Engine owns the heap. Exactly one goroutine (Run) touches gc.Heap,
@@ -75,8 +86,13 @@ type Engine struct {
 	heap  *gc.Heap
 	queue chan *call
 
+	// epoch anchors the engine tick clock: Now() is nanoseconds since
+	// construction, the timestamp base for every span this engine touches.
+	epoch time.Time
+
 	draining atomic.Bool
 	requests uint64 // admitted requests processed (engine goroutine only)
+	gcSeq    uint64 // collection spans emitted (engine goroutine only)
 
 	// ewmaMs is the exponentially weighted mean service time in
 	// milliseconds, stored as float64 bits so Submit (session goroutines)
@@ -98,11 +114,21 @@ func NewEngine(heap *gc.Heap, cfg EngineConfig) (*Engine, error) {
 		cfg:   cfg,
 		heap:  heap,
 		queue: make(chan *call, cfg.QueueDepth),
+		epoch: time.Now(),
 	}, nil
 }
 
 // QueueDepth returns the admission bound.
 func (e *Engine) QueueDepth() int { return cap(e.queue) }
+
+// Now returns the engine tick: nanoseconds since the engine was built, on
+// the monotonic clock. Safe from any goroutine; every span timestamp in
+// this server shares this base.
+func (e *Engine) Now() int64 { return int64(time.Since(e.epoch)) }
+
+// Recorder returns the engine's span flight recorder (nil when tracing is
+// disabled).
+func (e *Engine) Recorder() *span.Recorder { return e.cfg.Recorder }
 
 // BeginDrain stops admission: every Submit from now on is answered
 // StatusClosed. Already-queued calls still execute.
@@ -131,12 +157,15 @@ func (e *Engine) retryAfterMs() int {
 //   - full queue: StatusShed immediately, with a retry-after hint;
 //   - ctx done while waiting: a classified error response (the admitted
 //     request may still execute; its response is dropped).
-func (e *Engine) Submit(ctx context.Context, req Request) Response {
+//
+// sp is the request's span (nil when tracing is off); Submit only copies
+// its ID into the call, so the span remains session-owned throughout.
+func (e *Engine) Submit(ctx context.Context, req Request, sp *span.Span) Response {
 	if e.draining.Load() {
 		return Response{ID: req.ID, Status: StatusClosed,
 			Error: simerr.SessionClosedf("server draining").Error()}
 	}
-	c := &call{req: req, done: make(chan Response, 1)}
+	c := &call{req: req, done: make(chan Response, 1), spanID: sp.SpanID(), enq: e.Now()}
 	if dl, ok := ctx.Deadline(); ok {
 		c.deadline = dl
 	}
@@ -181,13 +210,17 @@ func (e *Engine) Run(ctx context.Context) error {
 // equivalent of the simulator's per-event ShouldCollect probe.
 func (e *Engine) process(c *call) {
 	start := time.Now()
+	startTick := e.Now()
+	queueNs := startTick - c.enq
 	if !c.deadline.IsZero() && start.After(c.deadline) {
 		// The waiter's deadline passed while the call sat in queue; skip
 		// the work — under overload, executing dead requests only digs the
 		// hole deeper.
 		e.cfg.Metrics.Expired()
-		c.done <- Response{ID: c.req.ID, Status: StatusError,
-			Error: simerr.FromContext(context.DeadlineExceeded).Error()}
+		e.cfg.Metrics.Stage(MetricStageQueue, float64(queueNs)/1e6, c.spanID)
+		c.done <- Response{ID: c.req.ID, Status: StatusError, Expired: true,
+			QueueUs: queueNs / 1e3,
+			Error:   simerr.FromContext(context.DeadlineExceeded).Error()}
 		return
 	}
 	e.cfg.Metrics.RequestStart()
@@ -196,12 +229,18 @@ func (e *Engine) process(c *call) {
 	if e.cfg.ServiceDelay > 0 {
 		time.Sleep(e.cfg.ServiceDelay)
 	}
+	serviceNs := e.Now() - startTick
+	resp.QueueUs = queueNs / 1e3
+	resp.ServiceUs = serviceNs / 1e3
+	e.cfg.Metrics.Stage(MetricStageQueue, float64(queueNs)/1e6, c.spanID)
+	e.cfg.Metrics.Stage(MetricStageService, float64(serviceNs)/1e6, c.spanID)
 	c.done <- resp
 
 	// GC after responding: collection time is not billed to the request
-	// that happened to trigger it.
+	// that happened to trigger it — but the collection's span is parented
+	// to it, attributing the pause to the traffic that provoked it.
 	if e.cfg.Policy.ShouldCollect(e.clock()) {
-		e.collect()
+		e.collect(c.spanID)
 	}
 
 	ms := float64(time.Since(start)) / float64(time.Millisecond)
@@ -329,8 +368,11 @@ func (e *Engine) stats() *Stats {
 
 // collect runs one online collection: partition selection, the copy pass,
 // policy feedback, breaker bookkeeping, and observer events — the serving
-// twin of the simulator's collect step.
-func (e *Engine) collect() {
+// twin of the simulator's collect step. parent is the span ID of the
+// request whose processing triggered this collection (0 when tracing is
+// off); the collection's own span is emitted as its child and the parent
+// is pinned in the flight recorder so the attribution survives eviction.
+func (e *Engine) collect(parent uint64) {
 	now := e.clock()
 	part, ok := e.cfg.Selection.Select(e.heap)
 	if !ok {
@@ -339,6 +381,13 @@ func (e *Engine) collect() {
 		e.cfg.Policy.AfterCollection(now, e.heap, gc.CollectionResult{})
 		e.emitDecision(now, false)
 		return
+	}
+	var gsp *span.Span
+	if rec := e.cfg.Recorder; rec != nil {
+		e.gcSeq++
+		gsp = rec.Start(span.KindGC, "collect", span.GCID(e.gcSeq), parent, e.Now())
+		gsp.Seq = e.gcSeq
+		gsp.QueuedBehind = len(e.queue)
 	}
 	res, err := e.heap.Collect(part)
 	if err != nil {
@@ -352,6 +401,9 @@ func (e *Engine) collect() {
 			e.cfg.Breaker.RecordFailure()
 			e.cfg.Metrics.BreakerObserve(e.cfg.Breaker.State(), e.cfg.Breaker.Trips(), e.cfg.Breaker.Recoveries())
 		}
+		if gsp != nil {
+			e.finishGCSpan(gsp, parent, span.OutcomeError)
+		}
 		return
 	}
 	if yo, ok := e.cfg.Selection.(gc.YieldObserver); ok {
@@ -361,6 +413,26 @@ func (e *Engine) collect() {
 	e.cfg.Policy.AfterCollection(after, e.heap, res)
 	if e.cfg.Breaker != nil {
 		e.cfg.Metrics.BreakerObserve(e.cfg.Breaker.State(), e.cfg.Breaker.Trips(), e.cfg.Breaker.Recoveries())
+	}
+	if gsp != nil {
+		gsp.Partition = int(res.Partition)
+		gsp.ReclaimedBytes = res.ReclaimedBytes
+		gsp.ReclaimedObjects = res.ReclaimedObjects
+		gsp.TracedObjects = res.LiveObjects
+		if e.cfg.Breaker != nil {
+			gsp.Breaker = e.cfg.Breaker.State().String()
+		}
+		if d, ok := e.cfg.Policy.(interface {
+			LastEstimate() float64
+			LastTarget() float64
+			LastInterval() uint64
+		}); ok {
+			if db := e.heap.DatabaseBytes(); db > 0 {
+				gsp.EstimateFrac = obs.Float(d.LastEstimate() / float64(db))
+				gsp.TargetFrac = obs.Float(d.LastTarget() / float64(db))
+			}
+		}
+		e.finishGCSpan(gsp, parent, span.OutcomeOK)
 	}
 	e.emitDecision(after, true)
 	if e.cfg.Observer != nil {
@@ -390,6 +462,20 @@ func (e *Engine) collect() {
 		}
 		e.cfg.Observer.ObserveCollection(ev)
 	}
+}
+
+// finishGCSpan closes a collection span: the pause duration lands in the
+// service stage, the GC pause histogram gets the sample with the span as
+// exemplar, and the triggering request is pinned so the parent link in the
+// flight recorder stays resolvable.
+func (e *Engine) finishGCSpan(gsp *span.Span, parent uint64, outcome string) {
+	end := e.Now()
+	gsp.SetStage(span.StageService, end-gsp.Start)
+	e.cfg.Metrics.Stage(MetricGCPause, float64(end-gsp.Start)/1e6, gsp.ID)
+	if parent != 0 {
+		e.cfg.Recorder.PinID(parent)
+	}
+	e.cfg.Recorder.Finish(gsp, end, outcome)
 }
 
 // emitDecision reports one policy consultation to the observer.

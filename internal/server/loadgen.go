@@ -79,6 +79,17 @@ type LoadReport struct {
 	LatencyP90Ms float64 `json:"latency_p90_ms"`
 	LatencyP99Ms float64 `json:"latency_p99_ms"`
 	LatencyMaxMs float64 `json:"latency_max_ms"`
+
+	// Per-stage breakdown of successful requests, from the span-derived
+	// response metadata (queue_us/service_us): how much of the round trip
+	// was admission-queue wait versus engine service. The remainder is
+	// network plus client-side scheduling.
+	QueueWaitP50Ms float64 `json:"queue_wait_p50_ms"`
+	QueueWaitP90Ms float64 `json:"queue_wait_p90_ms"`
+	QueueWaitP99Ms float64 `json:"queue_wait_p99_ms"`
+	ServiceP50Ms   float64 `json:"service_p50_ms"`
+	ServiceP90Ms   float64 `json:"service_p90_ms"`
+	ServiceP99Ms   float64 `json:"service_p99_ms"`
 }
 
 // token is one scheduled arrival and its chaos verdict.
@@ -91,6 +102,8 @@ type loadState struct {
 	mu        sync.Mutex
 	rep       LoadReport
 	latencies []float64 // ms, successful round trips only
+	queueMs   []float64 // ms, queue-wait stage of successful requests
+	serviceMs []float64 // ms, service stage of successful requests
 }
 
 func (st *loadState) record(fn func(*LoadReport)) {
@@ -99,10 +112,12 @@ func (st *loadState) record(fn func(*LoadReport)) {
 	fn(&st.rep)
 }
 
-func (st *loadState) latency(ms float64) {
+func (st *loadState) latency(ms float64, queueUs, serviceUs int64) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.latencies = append(st.latencies, ms)
+	st.queueMs = append(st.queueMs, float64(queueUs)/1000)
+	st.serviceMs = append(st.serviceMs, float64(serviceUs)/1000)
 }
 
 // RunLoad drives the server at the configured arrival rate with the
@@ -181,6 +196,14 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	if n := len(st.latencies); n > 0 {
 		rep.LatencyMaxMs = st.latencies[n-1]
 	}
+	sort.Float64s(st.queueMs)
+	rep.QueueWaitP50Ms = percentile(st.queueMs, 0.50)
+	rep.QueueWaitP90Ms = percentile(st.queueMs, 0.90)
+	rep.QueueWaitP99Ms = percentile(st.queueMs, 0.99)
+	sort.Float64s(st.serviceMs)
+	rep.ServiceP50Ms = percentile(st.serviceMs, 0.50)
+	rep.ServiceP90Ms = percentile(st.serviceMs, 0.90)
+	rep.ServiceP99Ms = percentile(st.serviceMs, 0.99)
 	return &rep, nil
 }
 
@@ -323,7 +346,7 @@ func (w *loadWorker) one(ctx context.Context, d fault.NetDecision) {
 	ms := float64(time.Since(start)) / float64(time.Millisecond)
 	switch resp.Status {
 	case StatusOK:
-		w.st.latency(ms)
+		w.st.latency(ms, resp.QueueUs, resp.ServiceUs)
 		w.st.record(func(r *LoadReport) { r.OK++ })
 		if req.Op == OpCreate {
 			w.lastChild = resp.OID

@@ -22,6 +22,15 @@ const (
 	MetricBreakerTrips      = "odbgc_server_breaker_trips_total"
 	MetricBreakerRecoveries = "odbgc_server_breaker_recoveries_total"
 	MetricLatency           = "odbgc_server_request_latency_ms"
+
+	// Per-stage latency histograms (tracing layer); each bucket carries a
+	// span-ID exemplar so a scrape links straight into /debug/traces.
+	MetricStageAccept  = "odbgc_server_stage_accept_ms"
+	MetricStageDecode  = "odbgc_server_stage_decode_ms"
+	MetricStageQueue   = "odbgc_server_stage_queue_wait_ms"
+	MetricStageService = "odbgc_server_stage_service_ms"
+	MetricStageWrite   = "odbgc_server_stage_write_ms"
+	MetricGCPause      = "odbgc_server_gc_pause_ms"
 )
 
 // ErrorMetric is the per-class failed-request counter name for a simerr
@@ -65,6 +74,17 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		_ = reg.RegisterGauge(g.name, g.help)
 	}
 	_ = reg.RegisterHistogram(MetricLatency, "request latency from admission to response, milliseconds", 0, 1000, 20)
+	stages := []struct{ name, help string }{
+		{MetricStageAccept, "connection accept to first frame arrival, milliseconds"},
+		{MetricStageDecode, "frame arrival to decoded request, milliseconds"},
+		{MetricStageQueue, "admission-queue wait, milliseconds"},
+		{MetricStageService, "engine service time, milliseconds"},
+		{MetricStageWrite, "response frame write, milliseconds"},
+	}
+	for _, s := range stages {
+		_ = reg.RegisterHistogram(s.name, s.help, 0, 1000, 20)
+	}
+	_ = reg.RegisterHistogram(MetricGCPause, "online collection pause, milliseconds", 0, 100, 20)
 	for _, class := range simerr.FailureClasses() {
 		_ = reg.RegisterCounter(ErrorMetric(class),
 			fmt.Sprintf("requests that failed with class %s", class))
@@ -115,6 +135,15 @@ func (m *Metrics) RequestEnd(latencyMs float64) {
 	m.add(MetricInflight, -1)
 	if m != nil {
 		m.reg.Observe(MetricLatency, latencyMs)
+	}
+}
+
+// Stage records one stage-latency sample with a span-ID exemplar (0 when
+// tracing is off, which drops only the exemplar, never the sample). Called
+// from the engine loop: it must stay allocation-free.
+func (m *Metrics) Stage(name string, ms float64, spanID uint64) {
+	if m != nil {
+		m.reg.ObserveExemplar(name, ms, spanID)
 	}
 }
 

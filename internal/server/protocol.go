@@ -95,8 +95,17 @@ type Response struct {
 	// RetryAfterMs accompanies StatusShed: the server's estimate of when
 	// capacity will free up, derived from observed service times and the
 	// queue bound.
-	RetryAfterMs int    `json:"retry_after_ms,omitempty"`
-	Stats        *Stats `json:"stats,omitempty"`
+	RetryAfterMs int `json:"retry_after_ms,omitempty"`
+	// QueueUs and ServiceUs report where an admitted request's time went,
+	// in microseconds of engine clock: admission-queue wait and engine
+	// service. Present whether or not tracing is enabled, so load drivers
+	// can break latency down without a recorder.
+	QueueUs   int64 `json:"queue_us,omitempty"`
+	ServiceUs int64 `json:"service_us,omitempty"`
+	// Expired marks a request whose deadline passed while it sat in the
+	// admission queue; the op never executed.
+	Expired bool   `json:"expired,omitempty"`
+	Stats   *Stats `json:"stats,omitempty"`
 }
 
 // WriteFrame marshals v and writes it as one length-prefixed frame.
@@ -122,22 +131,38 @@ func WriteFrame(w io.Writer, v any) error {
 // wrapping errMalformed, which the session layer counts and treats as
 // fatal for the connection (the frame boundary is lost).
 func ReadFrame(r io.Reader, v any) error {
+	_, _, err := ReadFrameTimed(r, v, nil)
+	return err
+}
+
+// ReadFrameTimed is ReadFrame with stage timing for the tracing layer: when
+// now is non-nil, arrival is the tick at which the frame's length header
+// had fully arrived (the request observably exists) and decoded the tick
+// after JSON decoding — their difference is the span's decode stage. A nil
+// now skips the clock reads and returns zero ticks.
+func ReadFrameTimed(r io.Reader, v any, now func() int64) (arrival, decoded int64, err error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return err
+		return 0, 0, err
+	}
+	if now != nil {
+		arrival = now()
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n == 0 || n > MaxFrameBytes {
-		return fmt.Errorf("%w: declared length %d outside (0,%d]", errMalformed, n, MaxFrameBytes)
+		return arrival, arrival, fmt.Errorf("%w: declared length %d outside (0,%d]", errMalformed, n, MaxFrameBytes)
 	}
 	b := make([]byte, n)
 	if _, err := io.ReadFull(r, b); err != nil {
-		return err
+		return arrival, arrival, err
 	}
 	if err := json.Unmarshal(b, v); err != nil {
-		return fmt.Errorf("%w: %v", errMalformed, err)
+		return arrival, arrival, fmt.Errorf("%w: %v", errMalformed, err)
 	}
-	return nil
+	if now != nil {
+		decoded = now()
+	}
+	return arrival, decoded, nil
 }
 
 // errMalformed tags protocol violations (bad length prefix, non-JSON

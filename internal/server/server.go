@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"odbgc/internal/obs/span"
 	"odbgc/internal/simerr"
 )
 
@@ -60,6 +61,7 @@ type Server struct {
 	conns map[net.Conn]struct{}
 
 	sessions atomic.Int64 // active session count, for admission at accept
+	sessSeq  uint64       // accepted-session counter (accept goroutine only); seeds span IDs
 }
 
 // New builds a server over an engine. Metrics may be nil.
@@ -160,6 +162,8 @@ func (s *Server) Serve(ctx context.Context, drain <-chan struct{}) error {
 		}
 		s.track(conn)
 		s.sessions.Add(1)
+		s.sessSeq++
+		sess := s.sessSeq
 		s.m.SessionStart()
 		wg.Add(1)
 		go func() {
@@ -168,7 +172,7 @@ func (s *Server) Serve(ctx context.Context, drain <-chan struct{}) error {
 			defer s.sessions.Add(-1)
 			defer s.untrack(conn)
 			defer func() { _ = conn.Close() }()
-			s.session(ctx, conn)
+			s.session(ctx, conn, sess)
 		}()
 	}
 	close(acceptDone)
@@ -229,8 +233,13 @@ func (s *Server) closeAll() {
 
 // session serves one connection: read a frame, submit it, write the
 // response, repeat until the client goes away, the idle deadline fires,
-// the drain begins, or ctx ends.
-func (s *Server) session(ctx context.Context, conn net.Conn) {
+// the drain begins, or ctx ends. sess is the accept-order session number;
+// with tracing on, request seq of this session gets the deterministic span
+// ID RequestID(sess, seq) and per-stage timings on the engine tick clock.
+func (s *Server) session(ctx context.Context, conn net.Conn, sess uint64) {
+	rec := s.engine.cfg.Recorder
+	acceptTick := s.engine.Now()
+	var seq uint64
 	for ctx.Err() == nil {
 		if s.draining.Load() {
 			_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.DrainGrace))
@@ -246,12 +255,13 @@ func (s *Server) session(ctx context.Context, conn net.Conn) {
 			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.DrainGrace))
 		}
 		var req Request
-		if err := ReadFrame(conn, &req); err != nil {
+		arrival, decoded, err := ReadFrameTimed(conn, &req, s.engine.Now)
+		if err != nil {
 			switch {
 			case IsMalformed(err):
 				// Hostile or corrupt bytes: the frame boundary is gone, so
 				// the connection cannot be saved. Best-effort error frame,
-				// then close.
+				// then close. No span: the request never decoded.
 				s.m.Malformed()
 				_ = conn.SetWriteDeadline(time.Now().Add(time.Second))
 				_ = WriteFrame(conn, Response{Status: StatusError, Error: err.Error()})
@@ -262,13 +272,53 @@ func (s *Server) session(ctx context.Context, conn net.Conn) {
 			}
 			return
 		}
+		seq++
+		sp := rec.Start(span.KindRequest, req.Op, span.RequestID(sess, seq), 0, arrival)
+		if sp != nil {
+			sp.Session, sp.Seq = sess, seq
+		}
+		if seq == 1 {
+			// Accept-to-first-frame is charged once per session; it precedes
+			// the span's own window, so it lives outside the stage-sum check.
+			sp.SetStage(span.StageAccept, arrival-acceptTick)
+			s.m.Stage(MetricStageAccept, float64(arrival-acceptTick)/1e6, sp.SpanID())
+		}
+		sp.SetStage(span.StageDecode, decoded-arrival)
+		s.m.Stage(MetricStageDecode, float64(decoded-arrival)/1e6, sp.SpanID())
 		reqCtx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
-		resp := s.engine.Submit(reqCtx, req)
+		resp := s.engine.Submit(reqCtx, req, sp)
 		cancel()
+		// Queue and service stages come back as response metadata: the
+		// engine never touches the session's span, only its ID, so there is
+		// no write to race with an abandoned waiter's Finish.
+		sp.SetStage(span.StageQueue, resp.QueueUs*1000)
+		sp.SetStage(span.StageService, resp.ServiceUs*1000)
 		_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.RequestTimeout))
-		if err := WriteFrame(conn, resp); err != nil {
+		wStart := s.engine.Now()
+		werr := WriteFrame(conn, resp)
+		wEnd := s.engine.Now()
+		sp.SetStage(span.StageWrite, wEnd-wStart)
+		s.m.Stage(MetricStageWrite, float64(wEnd-wStart)/1e6, sp.SpanID())
+		rec.Finish(sp, wEnd, outcomeOf(resp))
+		if werr != nil {
 			return
 		}
+	}
+}
+
+// outcomeOf maps a response to its span outcome tag.
+func outcomeOf(resp Response) string {
+	switch {
+	case resp.Expired:
+		return span.OutcomeExpired
+	case resp.Status == StatusOK:
+		return span.OutcomeOK
+	case resp.Status == StatusShed:
+		return span.OutcomeShed
+	case resp.Status == StatusClosed:
+		return span.OutcomeClosed
+	default:
+		return span.OutcomeError
 	}
 }
 

@@ -472,7 +472,7 @@ func TestDrainAnswersClosed(t *testing.T) {
 	// After Serve returns, Submit still answers closed rather than
 	// panicking or blocking — sessions racing the shutdown get a sane
 	// response.
-	resp := ts.eng.Submit(context.Background(), Request{Op: OpPing})
+	resp := ts.eng.Submit(context.Background(), Request{Op: OpPing}, nil)
 	if resp.Status != StatusClosed {
 		t.Fatalf("post-drain submit answered %q, want closed", resp.Status)
 	}

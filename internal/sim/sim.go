@@ -22,6 +22,7 @@ import (
 	"odbgc/internal/metrics"
 	"odbgc/internal/objstore"
 	"odbgc/internal/obs"
+	"odbgc/internal/obs/span"
 	"odbgc/internal/simerr"
 	"odbgc/internal/storage"
 	"odbgc/internal/trace"
@@ -70,6 +71,12 @@ type Config struct {
 	// (only when Observer is set). Zero means the default of 1000; negative
 	// disables heartbeats.
 	ProgressEvery int
+	// Spans, when non-nil, receives one KindGC span per collection in the
+	// same schema the live server emits, timed on the simulated I/O clock.
+	// Like Observer, the simulator never reads recorder state: runs with
+	// and without a recorder are bit-identical, and the nil case costs one
+	// pointer test per collection.
+	Spans *span.Recorder
 }
 
 func (c *Config) applyDefaults() error {
@@ -544,6 +551,22 @@ func (s *Simulator) collect(idle bool) error {
 	if s.phaseAcc != nil {
 		s.phaseAcc.Collections++
 		s.phaseAcc.Reclaimed += res.ReclaimedBytes
+	}
+	if s.cfg.Spans != nil {
+		// Same span schema as the live server, on the simulated I/O clock:
+		// the collection starts where the pre-collection clock stood and
+		// ends after its own I/O. One trace format from gcsim to odbgcd.
+		g := s.cfg.Spans.Start(span.KindGC, "collect", span.GCID(uint64(rec.Index)), 0, int64(now.AppIO+now.GCIO))
+		g.Seq = uint64(rec.Index)
+		g.Partition = int(res.Partition)
+		g.ReclaimedBytes = res.ReclaimedBytes
+		g.ReclaimedObjects = res.ReclaimedObjects
+		g.TracedObjects = res.LiveObjects
+		g.EstimateFrac = obs.Float(rec.EstimatedGarbageFrac)
+		g.TargetFrac = obs.Float(rec.TargetGarbageFrac)
+		end := int64(after.AppIO + after.GCIO)
+		g.SetStage(span.StageService, end-g.Start)
+		s.cfg.Spans.Finish(g, end, span.OutcomeOK)
 	}
 	if s.obs != nil {
 		s.obs.ObserveDecision(s.decision(after, true, idle))

@@ -21,10 +21,11 @@ http=127.0.0.1:9472
 # A deliberately small server: queue of 4 with 5ms service time caps
 # admission near 200 req/s, so an 800 req/s burst is ~4x capacity.
 "$work/odbgcd" -addr "$addr" -http "$http" \
-  -policy saga -frac 0.10 -estimator fgs-hb -fallback-estimator cgs-cb \
+  -policy saga -frac 0.10 -initial-interval 20 -estimator fgs-hb -fallback-estimator cgs-cb \
   -queue-depth 4 -service-delay 5ms -max-sessions 32 \
   -page-size 1024 -pages-per-partition 4 -buffer-pages 8 \
   -manifest "$work/run.manifest.json" -events "$work/events.jsonl" \
+  -traces "$work/traces.jsonl" -trace-buffer 512 \
   >"$work/daemon.out" 2>&1 &
 daemon=$!
 
@@ -53,6 +54,22 @@ grep -q '^odbgc_server_sessions_active ' "$work/metrics.txt"
 grep -Eq '^odbgc_server_requests_total [1-9]' "$work/metrics.txt"
 echo "server-smoke: shedding confirmed under 4x overload"
 
+# The per-stage latency histograms are exposed, with span-ID exemplars.
+grep -q '^odbgc_server_stage_queue_wait_ms_bucket' "$work/metrics.txt"
+grep -q '^odbgc_server_stage_service_ms_bucket' "$work/metrics.txt"
+grep -q 'span_id="' "$work/metrics.txt"
+echo "server-smoke: per-stage histograms and exemplars on /metrics"
+
+# Scrape the flight recorder live, mid-overload: retained spans must
+# include shed requests with stage timings, and the dump must hold up
+# under the span checker (dangling parents are expected mid-load).
+curl -fsS "http://$http/debug/traces" -o "$work/traces_live.jsonl"
+test -s "$work/traces_live.jsonl"
+grep -q '"outcome":"shed"' "$work/traces_live.jsonl"
+grep -q '"stages"' "$work/traces_live.jsonl"
+go run ./cmd/obsdump -spans -check "$work/traces_live.jsonl"
+echo "server-smoke: live /debug/traces scrape holds shed spans"
+
 # SIGINT mid-load: stage-1 drain. The daemon must exit 0 on its own (a
 # data race would fail the -race build with a nonzero exit).
 kill -INT "$daemon"
@@ -70,10 +87,27 @@ wait "$load" || {
   exit 1
 }
 
-# The manifest and event log were flushed on the drain path.
+# The manifest, event log, and trace dump were flushed on the drain path.
 test -s "$work/run.manifest.json"
 test -s "$work/events.jsonl"
 grep -q '"summary_sha256"' "$work/run.manifest.json" || grep -q '"sha256"' "$work/run.manifest.json"
+test -s "$work/traces.jsonl"
+grep -q '"outcome":"shed"' "$work/traces.jsonl"
+go run ./cmd/obsdump -spans -check "$work/traces.jsonl"
+if ! go run ./cmd/obsdump -spans -check "$work/traces.jsonl" | grep -q ' 0 dangling parents'; then
+  echo "server-smoke: post-drain trace dump has dangling GC parents" >&2
+  exit 1
+fi
+grep -q '"kind":"gc"' "$work/traces.jsonl" || {
+  echo "server-smoke: no GC pause spans in the trace dump" >&2
+  exit 1
+}
+grep -Eq '"parent":[1-9][0-9]*,"kind":"gc"' "$work/traces.jsonl" || {
+  echo "server-smoke: GC spans present but none attributed to a request" >&2
+  exit 1
+}
+echo "server-smoke: GC pause spans attributed to overlapping requests"
+echo "server-smoke: drain-path trace dump validates (obsdump -spans -check)"
 
 echo "server-smoke: load report:"
 cat "$work/load.json"
