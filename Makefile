@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race race vet lint lint-fix-report lint-allocbudget fuzz bench bench-diff experiments examples soak server-smoke clean
+.PHONY: all build test test-short test-race race vet lint lint-fix-report lint-allocbudget fuzz bench bench-diff experiments examples soak server-smoke crash-drill clean
 
 all: build vet lint test
 
@@ -44,24 +44,25 @@ test-race:
 race:
 	$(GO) test -race ./internal/sim/ ./internal/metrics/
 
-# Short fuzz passes over the trace decoders.
+# Short fuzz passes over the trace decoders and the WAL scanner.
 fuzz:
 	$(GO) test -fuzz FuzzReader -fuzztime 15s ./internal/trace/
 	$(GO) test -fuzz FuzzJSONReader -fuzztime 15s ./internal/trace/
 	$(GO) test -fuzz FuzzRoundTrip -fuzztime 15s ./internal/trace/
+	$(GO) test -fuzz FuzzScanWAL -fuzztime 15s ./internal/storage/disk/
 
 # Benchmark sweep. One iteration per benchmark keeps the sweep quick; the
 # parsed JSON baseline (ns/op, allocs/op per benchmark) lands in
-# BENCH_PR8.json for mechanical diffing across PRs.
+# BENCH_PR9.json for mechanical diffing across PRs.
 bench:
-	$(GO) test -bench=. -benchmem -benchtime 1x . | $(GO) run ./cmd/benchjson -o BENCH_PR8.json
+	$(GO) test -bench=. -benchmem -benchtime 1x . | $(GO) run ./cmd/benchjson -o BENCH_PR9.json
 
 # Per-benchmark deltas against the previous committed baseline — the
 # one-command perf claim for PR bodies. The threshold is 50% because the
 # committed baselines run at -benchtime 1x, where ns/op carries real
 # noise; allocs/op is exact at any iteration count.
 bench-diff:
-	$(GO) run ./cmd/benchjson -diff BENCH_PR7.json BENCH_PR8.json -threshold 50
+	$(GO) run ./cmd/benchjson -diff BENCH_PR8.json BENCH_PR9.json -threshold 50
 
 # Full paper regeneration: every table and figure, 10 seeded runs per data
 # point, CSV series under results/.
@@ -79,6 +80,13 @@ soak:
 # (see README "Serving mode").
 server-smoke:
 	./scripts/server_smoke.sh
+
+# Durability drill: the deterministic crash-point sweep under -race, then a
+# live SIGKILL of odbgcd mid-overload with offline recovery verification,
+# restart on the same data dir, /metrics recovery counters, and a clean
+# drain (see README "Durability & crash recovery").
+crash-drill:
+	./scripts/crash_drill.sh
 
 examples:
 	$(GO) run ./examples/quickstart

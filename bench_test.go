@@ -29,6 +29,7 @@ import (
 	"odbgc/internal/server"
 	"odbgc/internal/sim"
 	"odbgc/internal/storage"
+	"odbgc/internal/storage/disk"
 	"odbgc/internal/trace"
 )
 
@@ -451,6 +452,38 @@ func BenchmarkSimulateSAGA(b *testing.B) {
 			b.Fatal(err)
 		}
 		if _, err := s.Run(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWALAppend measures the durable store's per-mutation hot path:
+// staging one pointer-update record and group-committing it. Fsync is
+// deferred to checkpoints so the number tracks the encode-and-write cost
+// the engine pays per acknowledged request, not the device sync latency.
+func BenchmarkWALAppend(b *testing.B) {
+	dir := b.TempDir()
+	st, _, err := disk.Open(disk.Options{FS: disk.OSFS{Dir: dir}, Fsync: disk.FsyncNever})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.LogAlloc(1, objstore.ClassAtomicPart, 128, 2); err != nil {
+		b.Fatal(err)
+	}
+	if err := st.LogAlloc(2, objstore.ClassAtomicPart, 128, 2); err != nil {
+		b.Fatal(err)
+	}
+	if err := st.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.LogSet(1, i%2, 2); err != nil {
+			b.Fatal(err)
+		}
+		if err := st.Commit(); err != nil {
 			b.Fatal(err)
 		}
 	}

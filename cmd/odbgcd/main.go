@@ -34,6 +34,7 @@ import (
 	"odbgc/internal/obs/span"
 	"odbgc/internal/server"
 	"odbgc/internal/storage"
+	"odbgc/internal/storage/disk"
 )
 
 func main() {
@@ -86,6 +87,11 @@ func runWithShutdown(sd *obs.Shutdown, args []string, stdout, stderr io.Writer) 
 
 		tracesOut = fs.String("traces", "", "dump the span flight recorder to this path on drain (and to PATH.spike on shed-rate spikes)")
 		traceBuf  = fs.Int("trace-buffer", 512, "flight recorder capacity in spans per ring; 0 disables tracing entirely")
+
+		dataDir     = fs.String("data-dir", "", "persist the heap to a crash-safe disk store in this directory (WAL + checksummed pages); restart recovers every acknowledged write")
+		fsyncMode   = fs.String("fsync", "group", "with -data-dir, WAL fsync policy: always (fsync per commit), group (fsync every few commits), never (durability only at checkpoints)")
+		ckptEvery   = fs.Int("checkpoint-every", 1024, "with -data-dir, checkpoint the durable store every N commits (bounds WAL replay after a crash)")
+		recoverOnly = fs.Bool("recover", false, "with -data-dir, run crash recovery, print what it rebuilt, and exit without serving")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -114,6 +120,47 @@ func runWithShutdown(sd *obs.Shutdown, args []string, stdout, stderr io.Writer) 
 		return err
 	}
 	heap := gc.NewHeap(objstore.NewStore(), mgr)
+
+	// Durability: open (running crash recovery), rebuild the live heap from
+	// the committed state, and only then attach the WAL so new mutations
+	// are logged. The recovery wall time and replay counts surface on
+	// /metrics below and in the boot banner here.
+	var durable *disk.Store
+	var recInfo *disk.RecoveryInfo
+	var recoveryMs float64
+	if *recoverOnly && *dataDir == "" {
+		return fmt.Errorf("-recover requires -data-dir")
+	}
+	if *dataDir != "" {
+		fpol, err := disk.ParseFsyncPolicy(*fsyncMode)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		st, info, err := disk.Open(disk.Options{FS: disk.OSFS{Dir: *dataDir}, Fsync: fpol})
+		if err != nil {
+			return fmt.Errorf("opening durable store in %s: %w", *dataDir, err)
+		}
+		if err := server.RebuildHeap(heap, st); err != nil {
+			_ = st.Close()
+			return err
+		}
+		recoveryMs = float64(time.Since(start)) / float64(time.Millisecond)
+		recInfo = info
+		durable = st
+		fmt.Fprintf(stdout, "recovered %d objects from %s in %.1fms (checkpoint seq %d, %d batches / %d records replayed, torn tail: %v)\n",
+			info.Objects, *dataDir, recoveryMs, info.CheckpointSeq, info.BatchesReplayed, info.RecordsReplayed, info.TornTail)
+		if *recoverOnly {
+			fmt.Fprintf(stdout, "state digest: %x\n", info.Digest)
+			return st.Close()
+		}
+		defer func() {
+			if durable != nil {
+				_ = durable.Close()
+			}
+		}()
+		heap.SetDurable(st)
+	}
 
 	// Observability: the live registry always exists (the serving metrics
 	// need it); HTTP and the event log are opt-in.
@@ -184,16 +231,22 @@ func runWithShutdown(sd *obs.Shutdown, args []string, stdout, stderr io.Writer) 
 	}()
 
 	m := server.NewMetrics(live.Registry())
-	eng, err := server.NewEngine(heap, server.EngineConfig{
-		Policy:       pol,
-		Selection:    sel,
-		QueueDepth:   *queueDepth,
-		ServiceDelay: *serviceDlay,
-		Breaker:      breaker,
-		Metrics:      m,
-		Observer:     obs.NewMulti(observers...),
-		Recorder:     rec,
-	})
+	engCfg := server.EngineConfig{
+		Policy:          pol,
+		Selection:       sel,
+		QueueDepth:      *queueDepth,
+		ServiceDelay:    *serviceDlay,
+		Breaker:         breaker,
+		Metrics:         m,
+		Observer:        obs.NewMulti(observers...),
+		Recorder:        rec,
+		CheckpointEvery: *ckptEvery,
+	}
+	if durable != nil {
+		engCfg.Durable = durable
+		m.RecoveryObserve(recInfo.RecordsReplayed, recInfo.BatchesReplayed, recInfo.Objects, recoveryMs, recInfo.TornTail)
+	}
+	eng, err := server.NewEngine(heap, engCfg)
 	if err != nil {
 		return err
 	}
@@ -220,6 +273,25 @@ func runWithShutdown(sd *obs.Shutdown, args []string, stdout, stderr io.Writer) 
 	st := eng.Snapshot()
 	fmt.Fprintf(stdout, "drained: %d requests, %d collections, %d bytes reclaimed, %d objects live\n",
 		eng.Requests(), st.Collections, st.ReclaimedBytes, st.Objects)
+	if durable != nil {
+		// Seal the store: any batch still staged (a request whose commit
+		// failed transiently) goes out, then a final checkpoint makes the
+		// next boot replay-free, then the handles close.
+		if err := durable.Commit(); err != nil {
+			return fmt.Errorf("final durable commit: %w", err)
+		}
+		if err := durable.Checkpoint(); err != nil {
+			return fmt.Errorf("final durable checkpoint: %w", err)
+		}
+		dst := durable.Stats()
+		fmt.Fprintf(stdout, "durable:  %d commits, %d checkpoints, %d objects in %d pages (seq %d)\n",
+			dst.Commits, dst.Checkpoints, dst.Objects, dst.PageCount, dst.Seq)
+		err := durable.Close()
+		durable = nil
+		if err != nil {
+			return fmt.Errorf("closing durable store: %w", err)
+		}
+	}
 	if breaker != nil {
 		fmt.Fprintf(stdout, "breaker:  %s (%d trips, %d recoveries, %d bad signals)\n",
 			breaker.State(), breaker.Trips(), breaker.Recoveries(), breaker.BadSignals())

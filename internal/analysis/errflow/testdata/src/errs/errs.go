@@ -93,3 +93,36 @@ func Allowed() {
 	//lint:allow errflow best-effort cache warm; a miss only costs time
 	step()
 }
+
+// Durability discipline: on a write path, Sync is the durability point and
+// Close is the last chance to hear about a failed writeback — dropping
+// either error silently turns "committed" into "maybe".
+
+func SyncDiscard(f *os.File) {
+	f.Sync() // want "silently discarded"
+}
+
+func CloseSwallowed(f *os.File) error {
+	if _, err := f.Write([]byte("x")); err != nil {
+		return err
+	}
+	f.Close() // want "silently discarded"
+	return nil
+}
+
+func SyncThenCloseProper(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("sync: %w", err)
+	}
+	return f.Close()
+}
+
+// On an error path a best-effort close is legal, acknowledged with _;
+// the success path still propagates Close.
+func CloseBestEffortOnError(f *os.File, err error) error {
+	if err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -41,6 +41,13 @@ var roots = map[string][]string{
 	"internal/oo7":      {"FullTrace", "GenDB"},
 	"internal/server":   {"Run", "process", "apply"},
 	"internal/obs/span": {"Start", "Finish", "PinID"},
+	// The durable write path runs once per logical mutation (WAL record
+	// staging and group commit) or once per flushed page (checksum seal
+	// and verify); both are billed to requests, so both must stay lean.
+	"internal/storage/disk": {
+		"LogAlloc", "LogSet", "LogRoot", "LogReclaim", "Commit",
+		"sealPage", "openPage",
+	},
 }
 
 // loopPkgs lists the packages whose unbounded `for {` loops seed the region

@@ -71,6 +71,12 @@ type Heap struct {
 	// (see package fault); the heap itself stays ignorant of fault policy.
 	retry func(op string, fn func() error) error
 
+	// durable, when non-nil, receives a WAL record for every logical
+	// mutation (alloc, pointer store, root change, reclaim). The heap never
+	// calls Commit — the owner (server engine, simulator) decides batch
+	// boundaries, so a crash can only lose whole uncommitted batches.
+	durable storage.Backend
+
 	// scratch holds Collect's per-collection working sets, reused across
 	// collections so steady-state collection stops allocating. Valid only
 	// within one Collect call.
@@ -113,6 +119,15 @@ func NewHeap(store *objstore.Store, disk *storage.Manager) *Heap {
 // Store returns the logical object store.
 func (h *Heap) Store() *objstore.Store { return h.store }
 
+// SetDurable attaches a write-ahead-logging backend: from now on every
+// logical mutation is logged before the heap reports it done. Attach before
+// the first mutation (or right after rebuilding the heap from the backend's
+// recovered state) — records are not emitted retroactively.
+func (h *Heap) SetDurable(b storage.Backend) { h.durable = b }
+
+// Durable returns the attached durability backend, or nil.
+func (h *Heap) Durable() storage.Backend { return h.durable }
+
 // SetPhysicalFixups switches pointer-fixup I/O charging on or off (see the
 // physicalFixups field). Used by the fixup-cost ablation benchmark.
 func (h *Heap) SetPhysicalFixups(on bool) { h.physicalFixups = on }
@@ -145,6 +160,11 @@ func (h *Heap) Create(oid objstore.OID, class objstore.Class, size, nslots int) 
 	if _, err := h.store.CreateWithOID(oid, class, size, nslots); err != nil {
 		return err
 	}
+	if h.durable != nil {
+		if err := h.durable.LogAlloc(oid, class, size, nslots); err != nil {
+			return fmt.Errorf("gc: log alloc %v: %w", oid, err)
+		}
+	}
 	if h.retry == nil {
 		_, err := h.disk.Allocate(oid, size)
 		return err
@@ -154,6 +174,33 @@ func (h *Heap) Create(oid objstore.OID, class objstore.Class, size, nslots int) 
 		_, err := h.disk.Allocate(oid, size)
 		return err
 	})
+}
+
+// AddRoot registers oid as a persistent root, logging the change when a
+// durability backend is attached. Callers that care about crash safety must
+// use this rather than Store().AddRoot.
+func (h *Heap) AddRoot(oid objstore.OID) error {
+	if err := h.store.AddRoot(oid); err != nil {
+		return err
+	}
+	if h.durable != nil {
+		if err := h.durable.LogRoot(oid, true); err != nil {
+			return fmt.Errorf("gc: log root %v: %w", oid, err)
+		}
+	}
+	return nil
+}
+
+// RemoveRoot unregisters a persistent root, logging the change when a
+// durability backend is attached.
+func (h *Heap) RemoveRoot(oid objstore.OID) error {
+	h.store.RemoveRoot(oid)
+	if h.durable != nil {
+		if err := h.durable.LogRoot(oid, false); err != nil {
+			return fmt.Errorf("gc: log unroot %v: %w", oid, err)
+		}
+	}
+	return nil
 }
 
 // Access simulates a read of an object.
@@ -202,6 +249,11 @@ func (h *Heap) Overwrite(src objstore.OID, slot int, wantOld, dst objstore.OID, 
 	old, err := h.store.SetSlot(src, slot, dst)
 	if err != nil {
 		return err
+	}
+	if h.durable != nil {
+		if err := h.durable.LogSet(src, slot, dst); err != nil {
+			return fmt.Errorf("gc: log set %v[%d]: %w", src, slot, err)
+		}
 	}
 	if h.retry == nil {
 		err = h.disk.Touch(src, true)
@@ -481,6 +533,16 @@ func (h *Heap) Collect(p storage.PartitionID) (CollectionResult, error) {
 	}
 	sc.deadList = deadList
 	slices.Sort(deadList)
+
+	// Log the whole reclaim as one WAL record before any object leaves the
+	// store: either the commit containing it lands and every reclaimed
+	// object stays dead across a crash, or the batch is lost and recovery
+	// resurrects none of them piecemeal.
+	if h.durable != nil && len(deadList) > 0 {
+		if err := h.durable.LogReclaim(deadList); err != nil {
+			return CollectionResult{}, fmt.Errorf("gc: log reclaim of %d objects: %w", len(deadList), err)
+		}
+	}
 
 	reclaimedBytes := 0
 	for _, oid := range deadList {

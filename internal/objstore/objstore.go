@@ -113,6 +113,16 @@ func NewStore() *Store {
 // NextOID returns the OID that the next Create call will assign.
 func (s *Store) NextOID() OID { return s.nextOID }
 
+// AdvanceNextOID raises the next-assigned OID to at least n. Crash
+// recovery needs it: the reclaimed objects may have held the highest OIDs,
+// so recreating the survivors alone would rewind allocation into a range
+// the durable log has already seen.
+func (s *Store) AdvanceNextOID(n OID) {
+	if n > s.nextOID {
+		s.nextOID = n
+	}
+}
+
 // Len returns the number of objects in the table.
 func (s *Store) Len() int { return len(s.objects) }
 

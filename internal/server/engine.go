@@ -13,6 +13,7 @@ import (
 	"odbgc/internal/obs"
 	"odbgc/internal/obs/span"
 	"odbgc/internal/simerr"
+	"odbgc/internal/storage"
 )
 
 // EngineConfig parameterizes the request engine.
@@ -43,6 +44,16 @@ type EngineConfig struct {
 	// fast path costs one pointer test per request). Collections that run
 	// while a request is in service emit GC child spans attributed to it.
 	Recorder *span.Recorder
+	// Durable, when non-nil, is the write-ahead-logging backend the heap
+	// records every mutation to. The engine commits one batch per request —
+	// before the response goes out, so an acknowledged write is never lost
+	// to a crash — and one batch per collection (the reclaim record).
+	Durable storage.Backend
+	// CheckpointEvery bounds WAL replay work after a crash: the engine
+	// checkpoints the durable store every N commits. Zero means the default
+	// of 1024; negative disables periodic checkpoints (drain still takes a
+	// final one).
+	CheckpointEvery int
 }
 
 func (c *EngineConfig) validate() error {
@@ -57,6 +68,9 @@ func (c *EngineConfig) validate() error {
 	}
 	if c.QueueDepth < 0 {
 		return fmt.Errorf("server: queue depth %d must be positive", c.QueueDepth)
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 1024
 	}
 	return nil
 }
@@ -93,6 +107,7 @@ type Engine struct {
 	draining atomic.Bool
 	requests uint64 // admitted requests processed (engine goroutine only)
 	gcSeq    uint64 // collection spans emitted (engine goroutine only)
+	commits  uint64 // durable batches committed (engine goroutine only)
 
 	// ewmaMs is the exponentially weighted mean service time in
 	// milliseconds, stored as float64 bits so Submit (session goroutines)
@@ -226,6 +241,14 @@ func (e *Engine) process(c *call) {
 	e.cfg.Metrics.RequestStart()
 	e.requests++
 	resp := e.apply(c.req)
+	// Commit the WAL batch this request staged before acknowledging it: an
+	// OK response must mean the mutation survives a crash. Requests that
+	// failed mid-way may still have staged records for the mutations that
+	// did land; committing unconditionally keeps the durable state exactly
+	// in step with the heap (empty batches are free).
+	if err := e.commitDurable(); err != nil && resp.Status == StatusOK {
+		resp = e.fail(c.req.ID, err)
+	}
 	if e.cfg.ServiceDelay > 0 {
 		time.Sleep(e.cfg.ServiceDelay)
 	}
@@ -251,6 +274,28 @@ func (e *Engine) process(c *call) {
 		prev = ms
 	}
 	e.ewmaMs.Store(math.Float64bits(w*prev + (1-w)*ms))
+}
+
+// commitDurable commits the staged WAL batch (if a backend is attached)
+// and takes the periodic checkpoint when one falls due. Engine goroutine
+// only.
+func (e *Engine) commitDurable() error {
+	d := e.cfg.Durable
+	if d == nil {
+		return nil
+	}
+	if err := d.Commit(); err != nil {
+		return fmt.Errorf("durable commit: %w", err)
+	}
+	e.commits++
+	e.cfg.Metrics.DurableCommit()
+	if every := e.cfg.CheckpointEvery; every > 0 && e.commits%uint64(every) == 0 {
+		if err := d.Checkpoint(); err != nil {
+			return fmt.Errorf("durable checkpoint: %w", err)
+		}
+		e.cfg.Metrics.DurableCheckpoint()
+	}
+	return nil
 }
 
 // clock assembles the policy clock from live counters, exactly as the
@@ -283,7 +328,7 @@ func (e *Engine) apply(req Request) Response {
 		// the graph and unroots them: without replay annotations, an
 		// unpinned object could be reclaimed between its create and the
 		// set that makes it reachable.
-		if err := e.heap.Store().AddRoot(oid); err != nil {
+		if err := e.heap.AddRoot(oid); err != nil {
 			return e.fail(req.ID, err)
 		}
 		return Response{ID: req.ID, Status: StatusOK, OID: uint64(oid)}
@@ -315,7 +360,7 @@ func (e *Engine) apply(req Request) Response {
 		}
 		return Response{ID: req.ID, Status: StatusOK, Old: uint64(old)}
 	case OpRoot:
-		if err := e.heap.Store().AddRoot(objstore.OID(req.OID)); err != nil {
+		if err := e.heap.AddRoot(objstore.OID(req.OID)); err != nil {
 			return e.fail(req.ID, err)
 		}
 		return Response{ID: req.ID, Status: StatusOK}
@@ -323,7 +368,9 @@ func (e *Engine) apply(req Request) Response {
 		if e.heap.Store().Get(objstore.OID(req.OID)) == nil {
 			return e.fail(req.ID, fmt.Errorf("unroot: absent object %v", objstore.OID(req.OID)))
 		}
-		e.heap.Store().RemoveRoot(objstore.OID(req.OID))
+		if err := e.heap.RemoveRoot(objstore.OID(req.OID)); err != nil {
+			return e.fail(req.ID, err)
+		}
 		return Response{ID: req.ID, Status: StatusOK}
 	case OpStats:
 		return Response{ID: req.ID, Status: StatusOK, Stats: e.stats()}
@@ -405,6 +452,12 @@ func (e *Engine) collect(parent uint64) {
 			e.finishGCSpan(gsp, parent, span.OutcomeError)
 		}
 		return
+	}
+	// Commit the reclaim record this collection staged: a recovered heap
+	// must never resurrect collected garbage, so the reclaim is durable
+	// before any later batch can build on the space it freed.
+	if cerr := e.commitDurable(); cerr != nil {
+		e.cfg.Metrics.Error(simerr.Classify(cerr))
 	}
 	if yo, ok := e.cfg.Selection.(gc.YieldObserver); ok {
 		yo.ObserveCollection(res)

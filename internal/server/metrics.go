@@ -31,6 +31,15 @@ const (
 	MetricStageService = "odbgc_server_stage_service_ms"
 	MetricStageWrite   = "odbgc_server_stage_write_ms"
 	MetricGCPause      = "odbgc_server_gc_pause_ms"
+
+	// Durability layer (only emitted when the server runs with -data-dir).
+	MetricDurableCommits     = "odbgc_server_durable_commits_total"
+	MetricDurableCheckpoints = "odbgc_server_durable_checkpoints_total"
+	MetricRecoveryRecords    = "odbgc_server_recovery_records_replayed"
+	MetricRecoveryBatches    = "odbgc_server_recovery_batches_replayed"
+	MetricRecoveryObjects    = "odbgc_server_recovery_objects"
+	MetricRecoveryMs         = "odbgc_server_recovery_ms"
+	MetricRecoveryTornTail   = "odbgc_server_recovery_torn_tail"
 )
 
 // ErrorMetric is the per-class failed-request counter name for a simerr
@@ -61,6 +70,8 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		{MetricExpired, "admitted requests dropped because their deadline passed in queue"},
 		{MetricBreakerTrips, "estimator circuit breaker trips"},
 		{MetricBreakerRecoveries, "estimator circuit breaker recoveries"},
+		{MetricDurableCommits, "WAL batches committed by the durability backend"},
+		{MetricDurableCheckpoints, "checkpoints taken by the durability backend"},
 	}
 	for _, c := range counters {
 		_ = reg.RegisterCounter(c.name, c.help)
@@ -69,6 +80,11 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		{MetricSessionsActive, "client sessions currently open"},
 		{MetricInflight, "requests admitted and not yet answered"},
 		{MetricBreakerState, "estimator breaker state: 0 closed, 1 half-open, 2 open"},
+		{MetricRecoveryRecords, "WAL records replayed by crash recovery at boot"},
+		{MetricRecoveryBatches, "WAL batches replayed by crash recovery at boot"},
+		{MetricRecoveryObjects, "objects rebuilt from the durable store at boot"},
+		{MetricRecoveryMs, "wall-clock milliseconds crash recovery took at boot"},
+		{MetricRecoveryTornTail, "1 when recovery trimmed a torn WAL tail, else 0"},
 	}
 	for _, g := range gauges {
 		_ = reg.RegisterGauge(g.name, g.help)
@@ -159,6 +175,30 @@ func (m *Metrics) Expired() { m.add(MetricExpired, 1) }
 
 // Error counts a failed request under its simerr class.
 func (m *Metrics) Error(class simerr.Class) { m.add(ErrorMetric(class), 1) }
+
+// DurableCommit counts one committed WAL batch.
+func (m *Metrics) DurableCommit() { m.add(MetricDurableCommits, 1) }
+
+// DurableCheckpoint counts one completed checkpoint.
+func (m *Metrics) DurableCheckpoint() { m.add(MetricDurableCheckpoints, 1) }
+
+// RecoveryObserve publishes what crash recovery did at boot, so a scrape
+// after a SIGKILL restart shows how much WAL was replayed and how long the
+// rebuild took.
+func (m *Metrics) RecoveryObserve(records, batches, objects int, ms float64, tornTail bool) {
+	if m == nil {
+		return
+	}
+	m.set(MetricRecoveryRecords, float64(records))
+	m.set(MetricRecoveryBatches, float64(batches))
+	m.set(MetricRecoveryObjects, float64(objects))
+	m.set(MetricRecoveryMs, ms)
+	torn := 0.0
+	if tornTail {
+		torn = 1
+	}
+	m.set(MetricRecoveryTornTail, torn)
+}
 
 // BreakerObserve publishes the breaker's current state and cumulative
 // trip/recovery counters (counters are set as totals via gauge-style

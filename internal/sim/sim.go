@@ -77,6 +77,13 @@ type Config struct {
 	// and without a recorder are bit-identical, and the nil case costs one
 	// pointer test per collection.
 	Spans *span.Recorder
+	// Durable, when non-nil, write-ahead-logs every heap mutation to this
+	// backend. The simulator commits one batch per trace event (so a crash
+	// loses at most the event in flight) and checkpoints at phase
+	// boundaries and at Finish. The caller owns the backend's lifecycle
+	// (Open before New, Close after Finish). Simulation results are
+	// bit-identical with and without a backend attached.
+	Durable storage.Backend
 }
 
 func (c *Config) applyDefaults() error {
@@ -256,6 +263,9 @@ func New(cfg Config) (*Simulator, error) {
 		disk.SetFaultInjector(s.injector)
 		heap.SetRetry(cfg.Retry.Do)
 	}
+	if cfg.Durable != nil {
+		heap.SetDurable(cfg.Durable)
+	}
 	s.installObserver()
 	if s.obs != nil {
 		s.obs.ObserveRunStart(s.runStart(0))
@@ -375,6 +385,20 @@ func (s *Simulator) Step(e *trace.Event) error {
 	if err := s.apply(e, i); err != nil {
 		return fmt.Errorf("sim: event %d (%s): %w", i, e.String(), err)
 	}
+	// One durable batch per event: the WAL records staged by this event
+	// (and by any collection that ran at its boundary) commit together, so
+	// a crash can only lose whole events. Phase boundaries additionally
+	// checkpoint, bounding replay work to one phase of WAL.
+	if s.cfg.Durable != nil {
+		if err := s.cfg.Durable.Commit(); err != nil {
+			return fmt.Errorf("sim: durable commit after event %d: %w", i, err)
+		}
+		if e.Kind == trace.KindPhase {
+			if err := s.cfg.Durable.Checkpoint(); err != nil {
+				return fmt.Errorf("sim: durable checkpoint at phase %q: %w", e.Label, err)
+			}
+		}
+	}
 	s.collectSafe = !(e.Kind == trace.KindCreate || (e.Kind == trace.KindOverwrite && e.Init))
 
 	// Sample at each database event (application events only).
@@ -463,10 +487,9 @@ func (s *Simulator) apply(e *trace.Event, idx int) error {
 		return nil
 	case trace.KindRoot:
 		if e.Size == 1 {
-			return s.store.AddRoot(e.OID)
+			return s.heap.AddRoot(e.OID)
 		}
-		s.store.RemoveRoot(e.OID)
-		return nil
+		return s.heap.RemoveRoot(e.OID)
 	case trace.KindIdle:
 		return s.idle(e.Size)
 	default:
@@ -634,6 +657,14 @@ func (s *Simulator) closePhase() {
 // once at end of trace.
 func (s *Simulator) Finish() (*Result, error) {
 	s.closePhase()
+	if s.cfg.Durable != nil {
+		if err := s.cfg.Durable.Commit(); err != nil {
+			return nil, fmt.Errorf("sim: final durable commit: %w", err)
+		}
+		if err := s.cfg.Durable.Checkpoint(); err != nil {
+			return nil, fmt.Errorf("sim: final durable checkpoint: %w", err)
+		}
+	}
 	if err := s.heap.CheckInvariants(); err != nil {
 		return nil, fmt.Errorf("sim: final invariant check: %w", err)
 	}

@@ -42,6 +42,15 @@ import (
 //     served — the server is draining, the connection idled out, or the peer
 //     disconnected mid-request. Not a defect; the request may be resent on a
 //     fresh session once the server is accepting again.
+//   - ErrTornWrite: a persisted page or log record is partially written —
+//     its checksum or length prefix does not cover the bytes on disk. Torn
+//     state is corruption, not transient I/O: retrying the read returns the
+//     same bytes, so recovery (or deletion) is the only safe handling.
+//   - ErrRecoveryFailed: crash recovery could not rebuild a consistent
+//     store — the checkpoint image or the committed WAL prefix itself is
+//     damaged beyond redo. This classifies as corruption, never as a
+//     transient I/O failure: retry logic must not re-run recovery against
+//     an unrecoverable store.
 var (
 	ErrCanceled          = errors.New("simerr: canceled")
 	ErrTimeout           = errors.New("simerr: timeout")
@@ -51,6 +60,8 @@ var (
 	ErrCorruptTrace      = errors.New("simerr: corrupt trace")
 	ErrOverloaded        = errors.New("simerr: overloaded")
 	ErrSessionClosed     = errors.New("simerr: session closed")
+	ErrTornWrite         = errors.New("simerr: torn write")
+	ErrRecoveryFailed    = errors.New("simerr: recovery failed")
 )
 
 // Class is a failure bucket for counters and reports. The zero value is
@@ -68,6 +79,8 @@ const (
 	ClassCorruptTrace      Class = "corrupt_trace"
 	ClassOverloaded        Class = "overloaded"
 	ClassSessionClosed     Class = "session_closed"
+	ClassTornWrite         Class = "torn_write"
+	ClassRecoveryFailed    Class = "recovery_failed"
 	ClassOther             Class = "other"
 )
 
@@ -78,6 +91,7 @@ func FailureClasses() []Class {
 		ClassCanceled, ClassTimeout, ClassFaultExhausted,
 		ClassCorruptCheckpoint, ClassPolicyFailure, ClassCorruptTrace,
 		ClassOverloaded, ClassSessionClosed,
+		ClassTornWrite, ClassRecoveryFailed,
 		ClassOther,
 	}
 }
@@ -91,6 +105,10 @@ var classOf = []struct {
 	class Class
 }{
 	{ErrTimeout, ClassTimeout},
+	// Recovery failure outranks torn-write: a torn record that recovery
+	// could not absorb is reported as the unrecoverable store it produced.
+	{ErrRecoveryFailed, ClassRecoveryFailed},
+	{ErrTornWrite, ClassTornWrite},
 	{ErrCorruptCheckpoint, ClassCorruptCheckpoint},
 	{ErrCorruptTrace, ClassCorruptTrace},
 	{ErrFaultExhausted, ClassFaultExhausted},
@@ -180,4 +198,24 @@ func Overloadedf(format string, args ...any) error {
 // served).
 func SessionClosedf(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrSessionClosed, fmt.Sprintf(format, args...))
+}
+
+// WrapTornWrite marks err as a torn-write corruption (a page or log record
+// whose persisted bytes fail their checksum or length), keeping the cause
+// in the chain. A nil cause returns a bare classified error.
+func WrapTornWrite(detail string, cause error) error {
+	if cause == nil {
+		return fmt.Errorf("%w: %s", ErrTornWrite, detail)
+	}
+	return fmt.Errorf("%w: %s: %w", ErrTornWrite, detail, cause)
+}
+
+// WrapRecoveryFailed marks err as an unrecoverable-store failure, keeping
+// the cause in the chain. Recovery failures are corruption, never transient
+// I/O: callers must not retry against the same store.
+func WrapRecoveryFailed(detail string, cause error) error {
+	if cause == nil {
+		return fmt.Errorf("%w: %s", ErrRecoveryFailed, detail)
+	}
+	return fmt.Errorf("%w: %s: %w", ErrRecoveryFailed, detail, cause)
 }

@@ -12,6 +12,7 @@ func TestSentinelsAreDistinct(t *testing.T) {
 		ErrCanceled, ErrTimeout, ErrFaultExhausted,
 		ErrCorruptCheckpoint, ErrPolicyFailure, ErrCorruptTrace,
 		ErrOverloaded, ErrSessionClosed,
+		ErrTornWrite, ErrRecoveryFailed,
 	}
 	for i, a := range sentinels {
 		for j, b := range sentinels {
@@ -38,6 +39,14 @@ func TestClassify(t *testing.T) {
 		{Overloadedf("queue full (%d waiting)", 128), ClassOverloaded},
 		{ErrSessionClosed, ClassSessionClosed},
 		{SessionClosedf("server draining"), ClassSessionClosed},
+		{ErrTornWrite, ClassTornWrite},
+		{WrapTornWrite("wal record 12", errors.New("crc mismatch")), ClassTornWrite},
+		{ErrRecoveryFailed, ClassRecoveryFailed},
+		{WrapRecoveryFailed("page 3", errors.New("bad checksum")), ClassRecoveryFailed},
+		// Precedence: a torn record recovery could not absorb reports the
+		// unrecoverable store, not the tear that caused it — corruption,
+		// never a retryable I/O failure.
+		{WrapRecoveryFailed("replay", ErrTornWrite), ClassRecoveryFailed},
 		{context.Canceled, ClassCanceled},
 		{context.DeadlineExceeded, ClassTimeout},
 		{errors.New("disk on fire"), ClassOther},

@@ -1,0 +1,187 @@
+// Package crashtest is the deterministic crash-point harness for the disk
+// backend: it records every filesystem operation the backend performs into
+// a journal, then materializes the exact bytes a crash at any operation
+// boundary would leave behind — including torn (partially applied) writes
+// and the two SIGKILL regimes (unsynced data kept by the kernel, or
+// dropped). Recovery is then run against each materialized image and
+// checked against the digests recorded during the original run.
+//
+// Everything is seeded and allocation-order deterministic: the same seed
+// produces the same journal, the same crash points, and the same recovered
+// bytes, so a failure reproduces exactly.
+package crashtest
+
+import (
+	"fmt"
+	"io"
+	"slices"
+
+	"odbgc/internal/storage/disk"
+)
+
+// OpKind is the type of one journaled filesystem operation.
+type OpKind int
+
+// The journaled operation kinds.
+const (
+	OpWrite OpKind = iota
+	OpSync
+	OpTruncate
+)
+
+// Op is one recorded filesystem operation.
+type Op struct {
+	File string
+	Kind OpKind
+	Off  int64  // OpWrite
+	Data []byte // OpWrite; a private copy
+	Size int64  // OpTruncate
+}
+
+// JournalFS is an in-memory disk.FS that records every mutation. It backs
+// both the recording run (journal grows) and the recovery runs (seeded
+// from a materialized image; its own journal is then independent).
+type JournalFS struct {
+	files map[string][]byte
+	ops   []Op
+}
+
+// NewJournalFS returns an empty filesystem.
+func NewJournalFS() *JournalFS {
+	return &JournalFS{files: map[string][]byte{}}
+}
+
+// FromImage returns a filesystem seeded with the given file contents, as
+// left by Materialize. The image is copied.
+func FromImage(img map[string][]byte) *JournalFS {
+	fs := NewJournalFS()
+	for name, data := range img {
+		fs.files[name] = slices.Clone(data)
+	}
+	return fs
+}
+
+// Ops returns the journal. The slice is shared; callers must not mutate.
+func (fs *JournalFS) Ops() []Op { return fs.ops }
+
+// Image snapshots the current file contents.
+func (fs *JournalFS) Image() map[string][]byte {
+	out := make(map[string][]byte, len(fs.files))
+	for name, data := range fs.files {
+		out[name] = slices.Clone(data)
+	}
+	return out
+}
+
+// Open implements disk.FS.
+func (fs *JournalFS) Open(name string) (disk.File, error) {
+	if _, ok := fs.files[name]; !ok {
+		fs.files[name] = nil
+	}
+	return &jfile{fs: fs, name: name}, nil
+}
+
+// Remove implements disk.FS.
+func (fs *JournalFS) Remove(name string) error {
+	if _, ok := fs.files[name]; !ok {
+		return fmt.Errorf("crashtest: remove of absent %s", name)
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+type jfile struct {
+	fs   *JournalFS
+	name string
+}
+
+func (f *jfile) data() []byte { return f.fs.files[f.name] }
+
+func (f *jfile) ReadAt(p []byte, off int64) (int, error) {
+	data := f.data()
+	if off >= int64(len(data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *jfile) WriteAt(p []byte, off int64) (int, error) {
+	f.fs.files[f.name] = applyWrite(f.data(), off, p)
+	f.fs.ops = append(f.fs.ops, Op{File: f.name, Kind: OpWrite, Off: off, Data: slices.Clone(p)})
+	return len(p), nil
+}
+
+func (f *jfile) Truncate(size int64) error {
+	f.fs.files[f.name] = applyTruncate(f.data(), size)
+	f.fs.ops = append(f.fs.ops, Op{File: f.name, Kind: OpTruncate, Size: size})
+	return nil
+}
+
+func (f *jfile) Sync() error {
+	f.fs.ops = append(f.fs.ops, Op{File: f.name, Kind: OpSync})
+	return nil
+}
+
+func (f *jfile) Size() (int64, error) { return int64(len(f.data())), nil }
+
+func (f *jfile) Close() error { return nil }
+
+func applyWrite(data []byte, off int64, p []byte) []byte {
+	if need := off + int64(len(p)); need > int64(len(data)) {
+		grown := make([]byte, need)
+		copy(grown, data)
+		data = grown
+	} else {
+		data = slices.Clone(data)
+	}
+	copy(data[off:], p)
+	return data
+}
+
+func applyTruncate(data []byte, size int64) []byte {
+	if size <= int64(len(data)) {
+		return slices.Clone(data[:size])
+	}
+	grown := make([]byte, size)
+	copy(grown, data)
+	return grown
+}
+
+// Materialize reconstructs the file contents a crash just before op k
+// would leave behind. ops[0:k] are applied; if torn ≥ 0 and ops[k] is a
+// write, its first torn bytes land too (a torn write). keepUnsynced
+// selects the SIGKILL regime: true means the kernel flushed everything
+// written so far (process death, machine alive); false means only data
+// covered by an fsync survives (power cut) — each file reverts to its
+// state at its last sync, except that a sync-covered tail is never
+// resurrected past a later truncate's sync.
+func (fs *JournalFS) Materialize(k int, torn int, keepUnsynced bool) map[string][]byte {
+	cur := map[string][]byte{}
+	synced := map[string][]byte{}
+	for i := 0; i < k && i < len(fs.ops); i++ {
+		op := fs.ops[i]
+		switch op.Kind {
+		case OpWrite:
+			cur[op.File] = applyWrite(cur[op.File], op.Off, op.Data)
+		case OpTruncate:
+			cur[op.File] = applyTruncate(cur[op.File], op.Size)
+		case OpSync:
+			synced[op.File] = slices.Clone(cur[op.File])
+		}
+	}
+	if torn >= 0 && k < len(fs.ops) && fs.ops[k].Kind == OpWrite {
+		op := fs.ops[k]
+		if torn > len(op.Data) {
+			torn = len(op.Data)
+		}
+		cur[op.File] = applyWrite(cur[op.File], op.Off, op.Data[:torn])
+	}
+	if keepUnsynced {
+		return cur
+	}
+	return synced
+}

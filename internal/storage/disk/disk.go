@@ -1,0 +1,438 @@
+package disk
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+
+	"odbgc/internal/objstore"
+	"odbgc/internal/simerr"
+	"odbgc/internal/storage"
+)
+
+// FsyncPolicy controls when the WAL is fsynced.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs the WAL on every commit: a committed batch is
+	// durable the moment Commit returns. The safest and slowest policy.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncGroup syncs once per GroupEvery commits (and at checkpoints and
+	// close): a crash can lose the last unsynced window of committed
+	// batches but never tears one — recovery still lands on a commit
+	// boundary.
+	FsyncGroup
+	// FsyncNever syncs only at checkpoints and close. For tests and
+	// throwaway runs.
+	FsyncNever
+)
+
+// ParseFsyncPolicy maps the -fsync flag values onto policies.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "group":
+		return FsyncGroup, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("disk: unknown fsync policy %q (want always, group, or never)", s)
+}
+
+// String names the policy for flags and diagnostics.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncGroup:
+		return "group"
+	case FsyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("fsync(%d)", int(p))
+}
+
+// Options configures Open.
+type Options struct {
+	// FS is the filesystem to run on. Required; production passes
+	// OSFS{Dir: dataDir}.
+	FS FS
+	// Fsync is the WAL durability policy. Default FsyncAlways.
+	Fsync FsyncPolicy
+	// GroupEvery is the group-commit window for FsyncGroup: sync after
+	// this many commits. Default 8.
+	GroupEvery int
+	// PoolPages sizes the buffer pool used for checkpoint write-back.
+	// Default 64.
+	PoolPages int
+}
+
+// RecoveryInfo reports what Open had to do to reach a consistent state.
+type RecoveryInfo struct {
+	CheckpointSeq   uint64 // last batch absorbed by the checkpoint image
+	CheckpointPages int    // pages read to load the image
+	BatchesReplayed int    // WAL batches applied beyond the checkpoint
+	RecordsReplayed int    // records inside those batches
+	WALBytes        int64  // WAL bytes scanned
+	TornTail        bool   // the WAL ended in a damaged record
+	TornAt          int64  // offset of the damage when TornTail
+	MetaFallback    bool   // one meta slot was damaged; the other served
+	Objects         int    // objects in the recovered state
+	Digest          [sha256.Size]byte
+}
+
+// Store is the durable storage.Backend. Not safe for concurrent use; the
+// owner (engine or simulator) serializes access, matching the repo's
+// single-writer design.
+type Store struct {
+	fs   FS
+	heap File
+	wal  File
+	pool *storage.BufferPool
+
+	fsync      FsyncPolicy
+	groupEvery int
+
+	mem *memState
+
+	// Staging: records logged since the last commit. ops, reclaimBuf, and
+	// encBuf are reused across commits so the hot append path allocates
+	// nothing once warm.
+	ops        []walOp
+	reclaimBuf []objstore.OID
+	encBuf     []byte
+
+	seq         uint64 // last committed batch sequence
+	ckptSeq     uint64 // last batch absorbed into the checkpoint image
+	walTail     int64  // append offset in the WAL
+	walSynced   bool   // no committed bytes await fsync
+	unsyncedN   int    // commits since the last WAL sync
+	commits     uint64
+	checkpoints uint64
+
+	pageCount  uint32
+	freePages  []uint32
+	usedPages  map[uint32]bool // pages the committed image references
+	dirHead    uint32
+	generation uint64
+
+	ckptPages map[uint32][]byte // in-flight checkpoint images, by page
+
+	closed bool
+}
+
+// Compile-time check: *Store is a storage.Backend.
+var _ storage.Backend = (*Store)(nil)
+
+// Open opens (creating if absent) the database on opts.FS and runs
+// recovery: load the newest valid checkpoint, replay the committed WAL
+// tail, and truncate any torn tail. It returns the store positioned to
+// accept new batches plus a report of what recovery did.
+func Open(opts Options) (*Store, *RecoveryInfo, error) {
+	if opts.FS == nil {
+		return nil, nil, fmt.Errorf("disk: Options.FS is required")
+	}
+	if opts.GroupEvery <= 0 {
+		opts.GroupEvery = 8
+	}
+	if opts.PoolPages <= 0 {
+		opts.PoolPages = 64
+	}
+	pool, err := storage.NewBufferPool(opts.PoolPages)
+	if err != nil {
+		return nil, nil, fmt.Errorf("disk: %w", err)
+	}
+	s := &Store{
+		fs:         opts.FS,
+		pool:       pool,
+		fsync:      opts.Fsync,
+		groupEvery: opts.GroupEvery,
+		mem:        newMemState(),
+		walSynced:  true,
+		pageCount:  2, // meta slots always exist
+	}
+	pool.SetWriteback(s.pageWriteback)
+
+	info, err := s.recover()
+	if err != nil {
+		// Best effort: release the handles recover may have opened.
+		if s.heap != nil {
+			_ = s.heap.Close()
+		}
+		if s.wal != nil {
+			_ = s.wal.Close()
+		}
+		return nil, nil, err
+	}
+	return s, info, nil
+}
+
+// recover loads the checkpoint, replays the WAL, and trims the torn tail.
+func (s *Store) recover() (*RecoveryInfo, error) {
+	var err error
+	if s.heap, err = s.fs.Open(heapFile); err != nil {
+		return nil, err
+	}
+	if s.wal, err = s.fs.Open(walFile); err != nil {
+		return nil, err
+	}
+
+	m, fallback, pagesRead, used, err := loadCheckpoint(s.heap, s.mem)
+	if err != nil {
+		return nil, err
+	}
+	s.usedPages = used
+	if m != nil {
+		s.ckptSeq = m.seq
+		s.seq = m.seq
+		s.generation = m.generation
+		s.dirHead = m.dirHead
+		s.pageCount = max(m.pageCount, 2)
+	}
+	s.rebuildFreeList(used)
+
+	walSize, err := s.wal.Size()
+	if err != nil {
+		return nil, fmt.Errorf("disk: wal size: %w", err)
+	}
+	data := make([]byte, walSize)
+	if walSize > 0 {
+		if n, rerr := s.wal.ReadAt(data, 0); int64(n) != walSize {
+			if rerr == nil || errors.Is(rerr, io.EOF) {
+				rerr = fmt.Errorf("short read: %d of %d bytes", n, walSize)
+			}
+			return nil, simerr.WrapRecoveryFailed("read wal", rerr)
+		}
+	}
+	scan, err := scanWAL(data, s.ckptSeq, s.mem)
+	if err != nil {
+		return nil, err
+	}
+	s.seq = scan.lastSeq
+	s.walTail = scan.tail
+	if scan.tail != walSize {
+		// Drop the torn or uncommitted tail so new batches append onto a
+		// clean boundary and a re-scan of the file is byte-stable.
+		if err := s.wal.Truncate(scan.tail); err != nil {
+			return nil, fmt.Errorf("disk: truncate wal tail: %w", err)
+		}
+		if err := s.wal.Sync(); err != nil {
+			return nil, fmt.Errorf("disk: sync truncated wal: %w", err)
+		}
+	}
+
+	info := &RecoveryInfo{
+		CheckpointSeq:   s.ckptSeq,
+		CheckpointPages: pagesRead,
+		BatchesReplayed: scan.batches,
+		RecordsReplayed: scan.records,
+		WALBytes:        walSize,
+		TornTail:        scan.torn,
+		TornAt:          scan.tornAt,
+		MetaFallback:    fallback,
+		Objects:         len(s.mem.objects),
+		Digest:          s.mem.digest(),
+	}
+	return info, nil
+}
+
+// stage adds one record to the pending batch.
+func (s *Store) stage(op walOp) error {
+	if s.closed {
+		return fmt.Errorf("disk: store is closed")
+	}
+	s.ops = append(s.ops, op)
+	return nil
+}
+
+// LogAlloc implements storage.Backend.
+func (s *Store) LogAlloc(oid objstore.OID, class objstore.Class, size, nslots int) error {
+	if oid.IsNil() {
+		return fmt.Errorf("disk: alloc of nil OID")
+	}
+	return s.stage(walOp{kind: recAlloc, oid: oid, class: class, size: size, nslots: nslots})
+}
+
+// LogSet implements storage.Backend.
+func (s *Store) LogSet(src objstore.OID, slot int, dst objstore.OID) error {
+	return s.stage(walOp{kind: recSet, oid: src, slot: slot, dst: dst})
+}
+
+// LogRoot implements storage.Backend.
+func (s *Store) LogRoot(oid objstore.OID, on bool) error {
+	return s.stage(walOp{kind: recRoot, oid: oid, on: on})
+}
+
+// LogReclaim implements storage.Backend. The OIDs are copied into the
+// staging buffer; the caller keeps ownership of its slice.
+func (s *Store) LogReclaim(oids []objstore.OID) error {
+	if len(oids) == 0 {
+		return nil
+	}
+	start := len(s.reclaimBuf)
+	s.reclaimBuf = append(s.reclaimBuf, oids...)
+	return s.stage(walOp{kind: recReclaim, oids: s.reclaimBuf[start:len(s.reclaimBuf):len(s.reclaimBuf)]})
+}
+
+// Commit seals the staged records into one batch: encode, append with a
+// single write, fsync per policy, then fold into the committed mirror.
+// An empty batch is a no-op (no WAL bytes, no sequence number).
+func (s *Store) Commit() error {
+	if s.closed {
+		return fmt.Errorf("disk: store is closed")
+	}
+	if len(s.ops) == 0 {
+		return nil
+	}
+	seq := s.seq + 1
+	buf := s.encBuf[:0]
+	for _, op := range s.ops {
+		buf = appendRecord(buf, op, 0)
+	}
+	buf = appendRecord(buf, walOp{kind: recCommit}, seq)
+	s.encBuf = buf
+	if _, err := s.wal.WriteAt(buf, s.walTail); err != nil {
+		return fmt.Errorf("disk: append wal batch %d: %w", seq, err)
+	}
+	s.walTail += int64(len(buf))
+	s.walSynced = false
+	s.unsyncedN++
+	if s.fsync == FsyncAlways || (s.fsync == FsyncGroup && s.unsyncedN >= s.groupEvery) {
+		if err := s.syncWAL(); err != nil {
+			return err
+		}
+	}
+	// The write is down; the batch is committed. Fold it into the mirror.
+	// An apply failure here means the caller logged an inconsistent batch
+	// (e.g. a set on an object it never allocated) — surface it loudly,
+	// because recovery would hit the same wall.
+	for _, op := range s.ops {
+		if err := s.mem.apply(op); err != nil {
+			return fmt.Errorf("disk: batch %d is inconsistent: %w", seq, err)
+		}
+	}
+	s.seq = seq
+	s.commits++
+	s.ops = s.ops[:0]
+	s.reclaimBuf = s.reclaimBuf[:0]
+	return nil
+}
+
+// syncWAL fsyncs the WAL if committed bytes await it.
+func (s *Store) syncWAL() error {
+	if s.walSynced {
+		return nil
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("disk: sync wal: %w", err)
+	}
+	s.walSynced = true
+	s.unsyncedN = 0
+	return nil
+}
+
+func (s *Store) syncHeap() error {
+	if err := s.heap.Sync(); err != nil {
+		return fmt.Errorf("disk: sync heap: %w", err)
+	}
+	return nil
+}
+
+// Checkpoint writes the committed state as a fresh copy-on-write page
+// image, flips the meta page to it, and prunes the WAL. The sequence is
+// crash-safe at every step: pages land before the meta flip (via the
+// write-back hook, which also enforces WAL-before-page ordering), the flip
+// is a single checksummed page write, and a stale WAL prefix left by a
+// crash before the truncate is skipped on replay by its batch sequence.
+func (s *Store) Checkpoint() error {
+	if s.closed {
+		return fmt.Errorf("disk: store is closed")
+	}
+	if len(s.ops) != 0 {
+		return fmt.Errorf("disk: checkpoint with %d uncommitted staged records", len(s.ops))
+	}
+	img, err := s.buildCheckpoint()
+	if err != nil {
+		return err
+	}
+	if err := s.writeCheckpoint(img); err != nil {
+		return err
+	}
+	s.generation++
+	m := meta{
+		generation: s.generation,
+		seq:        s.seq,
+		nextOID:    uint64(s.mem.nextOID),
+		pageCount:  s.pageCount,
+		dirHead:    img.dirHead,
+		objects:    uint64(len(s.mem.objects)),
+	}
+	slot := uint32(s.generation % 2)
+	if _, err := s.heap.WriteAt(encodeMeta(m), int64(slot)*PageSize); err != nil {
+		return fmt.Errorf("disk: write meta slot %d: %w", slot, err)
+	}
+	if err := s.syncHeap(); err != nil {
+		return err
+	}
+	// The flip is durable: the new image is the committed one. Everything
+	// the WAL held is absorbed; prune it.
+	s.ckptSeq = s.seq
+	s.usedPages = img.used
+	s.rebuildFreeList(img.used)
+	s.dirHead = img.dirHead
+	s.checkpoints++
+	if err := s.wal.Truncate(0); err != nil {
+		return fmt.Errorf("disk: truncate wal: %w", err)
+	}
+	s.walTail = 0
+	s.walSynced = true
+	s.unsyncedN = 0
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("disk: sync pruned wal: %w", err)
+	}
+	return nil
+}
+
+// Close syncs outstanding committed batches and releases the files. The
+// staged (uncommitted) records, if any, are discarded — exactly what a
+// crash would do to them.
+func (s *Store) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.syncWAL()
+	if cerr := s.wal.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("disk: close wal: %w", cerr)
+	}
+	if cerr := s.heap.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("disk: close heap: %w", cerr)
+	}
+	return err
+}
+
+// Stats reports backend counters for metrics surfaces.
+type Stats struct {
+	Commits     uint64
+	Checkpoints uint64
+	Seq         uint64
+	WALTail     int64
+	PageCount   uint32
+	FreePages   int
+	Objects     int
+}
+
+// Stats returns a snapshot of the backend counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Commits:     s.commits,
+		Checkpoints: s.checkpoints,
+		Seq:         s.seq,
+		WALTail:     s.walTail,
+		PageCount:   s.pageCount,
+		FreePages:   len(s.freePages),
+		Objects:     len(s.mem.objects),
+	}
+}

@@ -1,0 +1,363 @@
+package disk
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"slices"
+
+	"odbgc/internal/objstore"
+	"odbgc/internal/simerr"
+	"odbgc/internal/storage"
+)
+
+// poolPage maps a heap page number into the buffer pool's identifier space.
+// The disk backend has a single flat page file, so the partition is always 0.
+func poolPage(no uint32) storage.PageID {
+	return storage.PageID{Part: 0, Index: int(no)}
+}
+
+// readPage reads one full page. A short read of a page the committed image
+// references is torn-write corruption.
+func readPage(f File, no uint32, buf []byte) error {
+	n, err := f.ReadAt(buf[:PageSize], int64(no)*PageSize)
+	if n == PageSize {
+		return nil
+	}
+	if err == nil || errors.Is(err, io.EOF) {
+		err = fmt.Errorf("short read: %d bytes", n)
+	}
+	return simerr.WrapTornWrite(fmt.Sprintf("page %d", no), err)
+}
+
+// allocPage hands out the lowest free page, extending the file only when
+// the free list is empty. Lowest-first keeps the allocation order — and
+// therefore every on-disk byte — deterministic.
+func (s *Store) allocPage() uint32 {
+	if n := len(s.freePages); n > 0 {
+		pg := s.freePages[0]
+		s.freePages = s.freePages[1:]
+		return pg
+	}
+	pg := s.pageCount
+	s.pageCount++
+	return pg
+}
+
+// checkpointImage is the set of pages a checkpoint writes: page images by
+// number, the directory head, and which pages the new image occupies.
+type checkpointImage struct {
+	pages   map[uint32][]byte
+	used    map[uint32]bool
+	dirHead uint32
+}
+
+// buildCheckpoint serializes the committed state into fresh pages: data
+// pages holding object records in ascending OID order, then directory
+// pages mapping every OID to its (page, slot). Pages come from the free
+// list, so the previous checkpoint's image is never overwritten — a crash
+// mid-checkpoint recovers from the old image plus the intact WAL.
+func (s *Store) buildCheckpoint() (*checkpointImage, error) {
+	img := &checkpointImage{pages: make(map[uint32][]byte), used: make(map[uint32]bool)}
+	type dirEntry struct {
+		oid  objstore.OID
+		page uint32
+		slot uint16
+	}
+	var entries []dirEntry
+
+	var (
+		data   []byte
+		dataNo uint32
+		nrecs  uint16
+	)
+	flushData := func() {
+		if data == nil {
+			return
+		}
+		used := uint32(len(data) - pageHdrLen)
+		data = data[:PageSize] // zero padding is covered by the CRC
+		sealPage(data, pageHdr{kind: kindData, count: nrecs, used: used})
+		img.pages[dataNo] = data
+		data, nrecs = nil, 0
+	}
+	for _, oid := range s.mem.sortedOIDs() {
+		o := s.mem.objects[oid]
+		rec := objRecLen(len(o.slots))
+		if rec > pagePayload {
+			return nil, fmt.Errorf("disk: object %v needs %d bytes, page payload is %d", oid, rec, pagePayload)
+		}
+		if data != nil && len(data)+rec > PageSize {
+			flushData()
+		}
+		if data == nil {
+			dataNo = s.allocPage()
+			img.used[dataNo] = true
+			data = make([]byte, pageHdrLen, PageSize)
+		}
+		entries = append(entries, dirEntry{oid: oid, page: dataNo, slot: nrecs})
+		data = le.AppendUint64(data, uint64(oid))
+		root := byte(0)
+		if o.root {
+			root = 1
+		}
+		data = append(data, byte(o.class), root)
+		data = le.AppendUint32(data, uint32(o.size))
+		data = le.AppendUint32(data, uint32(len(o.slots)))
+		for _, sl := range o.slots {
+			data = le.AppendUint64(data, uint64(sl))
+		}
+		nrecs++
+	}
+	flushData()
+
+	// Directory pages, chained head → tail. Page numbers are allocated up
+	// front so each page can be sealed once with its next pointer in place.
+	perPage := pagePayload / dirEntryLen
+	nDir := (len(entries) + perPage - 1) / perPage
+	dirNos := make([]uint32, nDir)
+	for i := range dirNos {
+		dirNos[i] = s.allocPage()
+		img.used[dirNos[i]] = true
+	}
+	for i := 0; i < nDir; i++ {
+		start := i * perPage
+		n := min(perPage, len(entries)-start)
+		page := make([]byte, pageHdrLen, PageSize)
+		for _, e := range entries[start : start+n] {
+			page = le.AppendUint64(page, uint64(e.oid))
+			page = le.AppendUint32(page, e.page)
+			page = le.AppendUint16(page, e.slot)
+		}
+		page = page[:PageSize]
+		next := uint32(0)
+		if i+1 < nDir {
+			next = dirNos[i+1]
+		}
+		sealPage(page, pageHdr{kind: kindDir, count: uint16(n), next: next, used: uint32(n * dirEntryLen)})
+		img.pages[dirNos[i]] = page
+	}
+	if nDir > 0 {
+		img.dirHead = dirNos[0]
+	}
+	return img, nil
+}
+
+// writeCheckpoint persists an image through the buffer pool. Every page is
+// pinned dirty and flushed through the write-back hook, which syncs the WAL
+// first — the write-ordering invariant: no page whose contents depend on a
+// committed batch reaches disk before that batch's WAL records do.
+func (s *Store) writeCheckpoint(img *checkpointImage) error {
+	s.ckptPages = img.pages
+	defer func() { s.ckptPages = nil }()
+	for _, no := range sortedKeys(img.pages) {
+		if _, err := s.pool.Pin(poolPage(no), true, true); err != nil {
+			return fmt.Errorf("disk: pin checkpoint page %d: %w", no, err)
+		}
+	}
+	for _, pid := range s.pool.DirtyPages() {
+		if _, err := s.pool.Flush(pid); err != nil {
+			return err
+		}
+	}
+	if len(s.ckptPages) != 0 {
+		return fmt.Errorf("disk: %d checkpoint pages left unwritten", len(s.ckptPages))
+	}
+	return s.syncHeap()
+}
+
+// pageWriteback is the buffer pool's write-back hook: WAL first, then the
+// page. Evictions during image building and explicit flushes both land here.
+func (s *Store) pageWriteback(pid storage.PageID) error {
+	page, ok := s.ckptPages[uint32(pid.Index)]
+	if !ok {
+		return fmt.Errorf("disk: write-back of unknown page %d", pid.Index)
+	}
+	if err := s.syncWAL(); err != nil {
+		return err
+	}
+	if _, err := s.heap.WriteAt(page, int64(pid.Index)*PageSize); err != nil {
+		return fmt.Errorf("disk: write page %d: %w", pid.Index, err)
+	}
+	delete(s.ckptPages, uint32(pid.Index))
+	return nil
+}
+
+// loadCheckpoint rebuilds the committed state from the newest valid meta
+// slot. Both slots damaged (on a non-empty heap) is unrecoverable; one
+// damaged slot falls back to the other, which is the dual-slot design
+// absorbing a torn meta write.
+func loadCheckpoint(heap File, mem *memState) (m *meta, metaFallback bool, pagesRead int, used map[uint32]bool, err error) {
+	used = make(map[uint32]bool)
+	size, err := heap.Size()
+	if err != nil {
+		return nil, false, 0, used, fmt.Errorf("disk: heap size: %w", err)
+	}
+	if size == 0 {
+		return nil, false, 0, used, nil // fresh database
+	}
+	var buf [PageSize]byte
+	var metas [2]*meta
+	var metaErrs [2]error
+	for no := uint32(0); no < 2; no++ {
+		if int64(no+1)*PageSize > size {
+			continue
+		}
+		if err := readPage(heap, no, buf[:]); err != nil {
+			metaErrs[no] = err
+			continue
+		}
+		pagesRead++
+		metas[no], metaErrs[no] = decodeMeta(buf[:], no)
+	}
+	best := -1
+	for no, mm := range metas {
+		if mm != nil && (best < 0 || mm.generation > metas[best].generation) {
+			best = no
+		}
+	}
+	if best < 0 {
+		damaged := 0
+		var derr error
+		for _, e := range metaErrs {
+			if e != nil {
+				damaged++
+				derr = e
+			}
+		}
+		if damaged == 2 {
+			return nil, false, pagesRead, used, simerr.WrapRecoveryFailed("both meta pages damaged", derr)
+		}
+		if damaged == 1 {
+			// One slot torn, the other never written: a crash tore the
+			// very first checkpoint's meta flip. The WAL has not been
+			// truncated yet, so checkpoint-less replay loses nothing —
+			// and scanWAL's sequence check (batches must start at 1 when
+			// there is no checkpoint) refuses the look-alike case where
+			// the only meta of a pruned store rotted.
+			return nil, true, pagesRead, used, nil
+		}
+		return nil, false, pagesRead, used, nil // both slots blank: heap never checkpointed
+	}
+	m = metas[best]
+	metaFallback = metaErrs[1-best] != nil
+	mem.nextOID = objstore.OID(m.nextOID)
+
+	// Walk the directory chain, then fetch each referenced data page once
+	// and decode its records in place.
+	type pageRecs struct {
+		oids []objstore.OID
+		offs []int
+		page []byte
+	}
+	dataCache := make(map[uint32]*pageRecs)
+	loadData := func(no uint32) (*pageRecs, error) {
+		if pr, ok := dataCache[no]; ok {
+			return pr, nil
+		}
+		page := make([]byte, PageSize)
+		if err := readPage(heap, no, page); err != nil {
+			return nil, err
+		}
+		pagesRead++
+		used[no] = true
+		hdr, err := openPage(page, no)
+		if err != nil {
+			return nil, err
+		}
+		if hdr.kind != kindData {
+			return nil, fmt.Errorf("page %d: kind %d, want data", no, hdr.kind)
+		}
+		pr := &pageRecs{page: page}
+		off := pageHdrLen
+		for i := 0; i < int(hdr.count); i++ {
+			if off+18 > pageHdrLen+int(hdr.used) {
+				return nil, fmt.Errorf("page %d: record %d overruns payload", no, i)
+			}
+			nslots := int(le.Uint32(page[off+14:]))
+			if off+objRecLen(nslots) > pageHdrLen+int(hdr.used) {
+				return nil, fmt.Errorf("page %d: record %d slots overrun payload", no, i)
+			}
+			pr.oids = append(pr.oids, objstore.OID(le.Uint64(page[off:])))
+			pr.offs = append(pr.offs, off)
+			off += objRecLen(nslots)
+		}
+		dataCache[no] = pr
+		return pr, nil
+	}
+
+	for no := m.dirHead; no != 0; {
+		page := make([]byte, PageSize)
+		if err := readPage(heap, no, page); err != nil {
+			return nil, metaFallback, pagesRead, used, simerr.WrapRecoveryFailed(fmt.Sprintf("directory page %d", no), err)
+		}
+		pagesRead++
+		used[no] = true
+		hdr, err := openPage(page, no)
+		if err != nil {
+			return nil, metaFallback, pagesRead, used, simerr.WrapRecoveryFailed(fmt.Sprintf("directory page %d", no), err)
+		}
+		if hdr.kind != kindDir {
+			return nil, metaFallback, pagesRead, used, simerr.WrapRecoveryFailed(
+				fmt.Sprintf("directory page %d: kind %d", no, hdr.kind), nil)
+		}
+		for i := 0; i < int(hdr.count); i++ {
+			off := pageHdrLen + i*dirEntryLen
+			oid := objstore.OID(le.Uint64(page[off:]))
+			dataNo := le.Uint32(page[off+8:])
+			slot := int(le.Uint16(page[off+12:]))
+			pr, err := loadData(dataNo)
+			if err != nil {
+				return nil, metaFallback, pagesRead, used, simerr.WrapRecoveryFailed(fmt.Sprintf("object %v", oid), err)
+			}
+			if slot >= len(pr.oids) || pr.oids[slot] != oid {
+				return nil, metaFallback, pagesRead, used, simerr.WrapRecoveryFailed(
+					fmt.Sprintf("directory entry %v → (%d,%d) does not resolve", oid, dataNo, slot), nil)
+			}
+			rOff := pr.offs[slot]
+			nslots := int(le.Uint32(pr.page[rOff+14:]))
+			o := &memObj{
+				class: objstore.Class(pr.page[rOff+8]),
+				root:  pr.page[rOff+9] != 0,
+				size:  int(le.Uint32(pr.page[rOff+10:])),
+				slots: make([]objstore.OID, nslots),
+			}
+			for si := range o.slots {
+				o.slots[si] = objstore.OID(le.Uint64(pr.page[rOff+18+8*si:]))
+			}
+			if _, dup := mem.objects[oid]; dup {
+				return nil, metaFallback, pagesRead, used, simerr.WrapRecoveryFailed(
+					fmt.Sprintf("duplicate directory entry for %v", oid), nil)
+			}
+			mem.objects[oid] = o
+		}
+		no = hdr.next
+	}
+	if uint64(len(mem.objects)) != m.objects {
+		return nil, metaFallback, pagesRead, used, simerr.WrapRecoveryFailed(
+			fmt.Sprintf("checkpoint holds %d objects, meta says %d", len(mem.objects), m.objects), nil)
+	}
+	return m, metaFallback, pagesRead, used, nil
+}
+
+// rebuildFreeList recomputes the free list from the committed image: every
+// page in [2, pageCount) that the image does not reference. Pages written
+// for a checkpoint whose meta flip never landed return here automatically.
+func (s *Store) rebuildFreeList(used map[uint32]bool) {
+	s.freePages = s.freePages[:0]
+	for no := uint32(2); no < s.pageCount; no++ {
+		if !used[no] {
+			s.freePages = append(s.freePages, no)
+		}
+	}
+	slices.Sort(s.freePages)
+}
+
+func sortedKeys(m map[uint32][]byte) []uint32 {
+	out := make([]uint32, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	slices.Sort(out)
+	return out
+}

@@ -1,0 +1,150 @@
+package disk
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"slices"
+
+	"odbgc/internal/objstore"
+)
+
+// memObj is one object in the committed mirror. The backend keeps the full
+// committed logical state in memory (the database is in-memory at runtime
+// anyway; the mirror is what checkpoints serialize and recovery rebuilds).
+type memObj struct {
+	class objstore.Class
+	size  int
+	slots []objstore.OID
+	root  bool
+}
+
+// memState is the committed logical state: exactly what a crash-and-recover
+// must reproduce. It advances only at Commit, so an uncommitted batch never
+// leaks into a checkpoint.
+type memState struct {
+	objects map[objstore.OID]*memObj
+	nextOID objstore.OID
+}
+
+func newMemState() *memState {
+	return &memState{objects: make(map[objstore.OID]*memObj), nextOID: 1}
+}
+
+// sortedOIDs returns the object identifiers in ascending order, the
+// canonical iteration order for checkpoints and digests.
+func (m *memState) sortedOIDs() []objstore.OID {
+	oids := make([]objstore.OID, 0, len(m.objects))
+	for oid := range m.objects {
+		oids = append(oids, oid)
+	}
+	slices.Sort(oids)
+	return oids
+}
+
+// apply folds one committed WAL operation into the mirror. Recovery replays
+// through the same entry point as live commits, so the two cannot drift.
+func (m *memState) apply(op walOp) error {
+	switch op.kind {
+	case recAlloc:
+		if _, dup := m.objects[op.oid]; dup {
+			return fmt.Errorf("alloc of existing %v", op.oid)
+		}
+		//lint:allow hotalloc the allocation is the recovered object; it lives in the table
+		m.objects[op.oid] = &memObj{
+			class: op.class,
+			size:  op.size,
+			//lint:allow hotalloc slot array lives as long as the object
+			slots: make([]objstore.OID, op.nslots),
+		}
+		if op.oid >= m.nextOID {
+			m.nextOID = op.oid + 1
+		}
+	case recSet:
+		o := m.objects[op.oid]
+		if o == nil {
+			return fmt.Errorf("set on absent %v", op.oid)
+		}
+		if op.slot < 0 || op.slot >= len(o.slots) {
+			return fmt.Errorf("slot %d out of range on %v", op.slot, op.oid)
+		}
+		o.slots[op.slot] = op.dst
+	case recRoot:
+		o := m.objects[op.oid]
+		if o == nil {
+			return fmt.Errorf("root change on absent %v", op.oid)
+		}
+		o.root = op.on
+	case recReclaim:
+		for _, oid := range op.oids {
+			if _, ok := m.objects[oid]; !ok {
+				return fmt.Errorf("reclaim of absent %v", oid)
+			}
+			delete(m.objects, oid)
+		}
+	default:
+		return fmt.Errorf("unknown op kind %d", op.kind)
+	}
+	return nil
+}
+
+// digest hashes the committed state canonically: objects in ascending OID
+// order with class, size, root flag, and slots, then the OID horizon.
+// Recovery is correct iff this value is byte-identical before the crash and
+// after the rebuild.
+func (m *memState) digest() [sha256.Size]byte {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v uint64) {
+		le.PutUint64(buf[:], v)
+		_, _ = h.Write(buf[:]) // hash.Hash.Write never fails
+	}
+	for _, oid := range m.sortedOIDs() {
+		o := m.objects[oid]
+		put(uint64(oid))
+		put(uint64(o.class))
+		put(uint64(o.size))
+		if o.root {
+			put(1)
+		} else {
+			put(0)
+		}
+		put(uint64(len(o.slots)))
+		for _, s := range o.slots {
+			put(uint64(s))
+		}
+	}
+	put(uint64(m.nextOID))
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return sum
+}
+
+// ObjectState is one recovered object, handed to ForEach callbacks so the
+// caller can rebuild a live heap.
+type ObjectState struct {
+	OID   objstore.OID
+	Class objstore.Class
+	Size  int
+	Slots []objstore.OID // aliased, not copied; callers must not retain
+	Root  bool
+}
+
+// ForEach visits the committed objects in ascending OID order.
+func (s *Store) ForEach(fn func(ObjectState)) {
+	for _, oid := range s.mem.sortedOIDs() {
+		o := s.mem.objects[oid]
+		fn(ObjectState{OID: oid, Class: o.class, Size: o.size, Slots: o.slots, Root: o.root})
+	}
+}
+
+// NextOID returns the committed OID horizon: the next OID a rebuilt store
+// must hand out. It can exceed every live OID when the newest objects were
+// reclaimed.
+func (s *Store) NextOID() objstore.OID { return s.mem.nextOID }
+
+// NumObjects returns the number of committed objects.
+func (s *Store) NumObjects() int { return len(s.mem.objects) }
+
+// Digest returns the canonical hash of the committed state. Uncommitted
+// staged records do not affect it.
+func (s *Store) Digest() [sha256.Size]byte { return s.mem.digest() }

@@ -283,9 +283,12 @@ func (m *Manager) charge(read bool) {
 
 // pin brings a page into the buffer, charging a read on a miss (unless the
 // page is fresh, i.e. has no disk image yet) and a write when a dirty
-// victim is evicted. If dirty is true the page is marked dirty.
+// victim is evicted. If dirty is true the page is marked dirty. The
+// simulated manager installs no write-back hook and holds no references,
+// so the pool's Pin cannot fail here; the error is swallowed after the
+// accounting, keeping the simulation's call sites unconditional.
 func (m *Manager) pin(pg PageID, dirty, fresh bool) {
-	res := m.buf.Pin(pg, dirty, fresh)
+	res, _ := m.buf.Pin(pg, dirty, fresh)
 	if res.ReadFault {
 		m.charge(true)
 	}

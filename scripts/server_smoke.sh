@@ -24,6 +24,7 @@ http=127.0.0.1:9472
   -policy saga -frac 0.10 -initial-interval 20 -estimator fgs-hb -fallback-estimator cgs-cb \
   -queue-depth 4 -service-delay 5ms -max-sessions 32 \
   -page-size 1024 -pages-per-partition 4 -buffer-pages 8 \
+  -data-dir "$work/data" -fsync group \
   -manifest "$work/run.manifest.json" -events "$work/events.jsonl" \
   -traces "$work/traces.jsonl" -trace-buffer 512 \
   >"$work/daemon.out" 2>&1 &
@@ -41,14 +42,14 @@ done
 curl -fsS "http://$http/healthz"
 echo "server-smoke: daemon healthy on $addr"
 
-"$work/odbgload" -addr "$addr" -rate 800 -duration 6s -workers 8 \
+"$work/odbgload" -addr "$addr" -rate 800 -duration 10s -workers 8 \
   -net-profile net-chaos -seed 7 >"$work/load.json" 2>"$work/load.err" &
 load=$!
 
 # Mid-burst: the server must be shedding, with sessions active.
 sleep 2
 curl -fsS "http://$http/metrics" -o "$work/metrics.txt"
-grep '^odbgc_server_' "$work/metrics.txt" | head -n 20
+grep -m 20 '^odbgc_server_' "$work/metrics.txt"
 grep -Eq '^odbgc_server_shed_total [1-9]' "$work/metrics.txt"
 grep -q '^odbgc_server_sessions_active ' "$work/metrics.txt"
 grep -Eq '^odbgc_server_requests_total [1-9]' "$work/metrics.txt"
@@ -69,6 +70,20 @@ grep -q '"outcome":"shed"' "$work/traces_live.jsonl"
 grep -q '"stages"' "$work/traces_live.jsonl"
 go run ./cmd/obsdump -spans -check "$work/traces_live.jsonl"
 echo "server-smoke: live /debug/traces scrape holds shed spans"
+
+# Wait for the first online collection before draining, so the trace
+# dump is guaranteed to carry a GC pause span. The first collection
+# lands a few hundred admitted requests in; the load runs long enough
+# that this resolves well before the burst ends.
+for _ in $(seq 1 35); do
+  curl -fsS "http://$http/metrics" -o "$work/metrics_gc.txt" || true
+  grep -Eq '^odbgc_sim_collections_total [1-9]' "$work/metrics_gc.txt" && break
+  sleep 0.2
+done
+grep -Eq '^odbgc_sim_collections_total [1-9]' "$work/metrics_gc.txt" || {
+  echo "server-smoke: no online collection before the drain point" >&2
+  exit 1
+}
 
 # SIGINT mid-load: stage-1 drain. The daemon must exit 0 on its own (a
 # data race would fail the -race build with a nonzero exit).
@@ -108,6 +123,15 @@ grep -Eq '"parent":[1-9][0-9]*,"kind":"gc"' "$work/traces.jsonl" || {
 }
 echo "server-smoke: GC pause spans attributed to overlapping requests"
 echo "server-smoke: drain-path trace dump validates (obsdump -spans -check)"
+
+# Restart phase: the drained daemon checkpointed its durable store; a
+# fresh boot on the same data dir must recover the surviving objects and
+# replay nothing (the final checkpoint made the WAL empty).
+grep -q '^durable:' "$work/daemon.out"
+"$work/odbgcd" -data-dir "$work/data" -recover >"$work/recover.out"
+grep -Eq '^recovered [1-9][0-9]* objects' "$work/recover.out"
+grep -q ' 0 batches / 0 records replayed' "$work/recover.out"
+echo "server-smoke: post-drain restart recovers the heap replay-free"
 
 echo "server-smoke: load report:"
 cat "$work/load.json"
