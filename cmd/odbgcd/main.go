@@ -88,8 +88,8 @@ func runWithShutdown(sd *obs.Shutdown, args []string, stdout, stderr io.Writer) 
 		tracesOut = fs.String("traces", "", "dump the span flight recorder to this path on drain (and to PATH.spike on shed-rate spikes)")
 		traceBuf  = fs.Int("trace-buffer", 512, "flight recorder capacity in spans per ring; 0 disables tracing entirely")
 
-		dataDir     = fs.String("data-dir", "", "persist the heap to a crash-safe disk store in this directory (WAL + checksummed pages); restart recovers every acknowledged write")
-		fsyncMode   = fs.String("fsync", "group", "with -data-dir, WAL fsync policy: always (fsync per commit), group (fsync every few commits), never (durability only at checkpoints)")
+		dataDir     = fs.String("data-dir", "", "persist the heap to a crash-safe disk store in this directory (WAL + checksummed pages); with the default -fsync always, restart recovers every acknowledged write")
+		fsyncMode   = fs.String("fsync", "always", "with -data-dir, WAL fsync policy: always (fsync per commit; no acknowledged write is ever lost), group (fsync every few commits; a crash can lose the last unsynced window of acknowledged writes), never (durability only at checkpoints)")
 		ckptEvery   = fs.Int("checkpoint-every", 1024, "with -data-dir, checkpoint the durable store every N commits (bounds WAL replay after a crash)")
 		recoverOnly = fs.Bool("recover", false, "with -data-dir, run crash recovery, print what it rebuilt, and exit without serving")
 	)

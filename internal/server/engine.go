@@ -278,7 +278,12 @@ func (e *Engine) process(c *call) {
 
 // commitDurable commits the staged WAL batch (if a backend is attached)
 // and takes the periodic checkpoint when one falls due. Engine goroutine
-// only.
+// only. Only a commit failure is returned: once Commit succeeds the
+// request's mutation is durable, and failing the request over a broken
+// checkpoint would make a retrying client duplicate a committed write.
+// A checkpoint failure is counted on /metrics and retried at the next
+// checkpoint interval; the backend rolls an aborted checkpoint back, so
+// the WAL simply keeps growing until one succeeds.
 func (e *Engine) commitDurable() error {
 	d := e.cfg.Durable
 	if d == nil {
@@ -291,9 +296,10 @@ func (e *Engine) commitDurable() error {
 	e.cfg.Metrics.DurableCommit()
 	if every := e.cfg.CheckpointEvery; every > 0 && e.commits%uint64(every) == 0 {
 		if err := d.Checkpoint(); err != nil {
-			return fmt.Errorf("durable checkpoint: %w", err)
+			e.cfg.Metrics.Error(simerr.Classify(err))
+		} else {
+			e.cfg.Metrics.DurableCheckpoint()
 		}
-		e.cfg.Metrics.DurableCheckpoint()
 	}
 	return nil
 }

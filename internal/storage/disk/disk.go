@@ -120,6 +120,10 @@ type Store struct {
 
 	ckptPages map[uint32][]byte // in-flight checkpoint images, by page
 
+	// fatal, once set, permanently fails the store: an error left the WAL,
+	// the mirror, and the staged batch out of agreement, and any further
+	// append could break the sequence discipline recovery depends on.
+	fatal  error
 	closed bool
 }
 
@@ -238,10 +242,32 @@ func (s *Store) recover() (*RecoveryInfo, error) {
 	return info, nil
 }
 
+// poison marks the store permanently failed and returns err. Commit,
+// Checkpoint, and the Log* methods all refuse a poisoned store, so a
+// caller that keeps retrying fails loudly instead of quietly corrupting
+// the WAL sequence discipline.
+func (s *Store) poison(err error) error {
+	if s.fatal == nil {
+		s.fatal = err
+	}
+	return err
+}
+
+// failed reports the poisoned-store condition as an error, nil when healthy.
+func (s *Store) failed() error {
+	if s.fatal == nil {
+		return nil
+	}
+	return fmt.Errorf("disk: store poisoned by earlier failure: %w", s.fatal)
+}
+
 // stage adds one record to the pending batch.
 func (s *Store) stage(op walOp) error {
 	if s.closed {
 		return fmt.Errorf("disk: store is closed")
+	}
+	if err := s.failed(); err != nil {
+		return err
 	}
 	s.ops = append(s.ops, op)
 	return nil
@@ -283,6 +309,9 @@ func (s *Store) Commit() error {
 	if s.closed {
 		return fmt.Errorf("disk: store is closed")
 	}
+	if err := s.failed(); err != nil {
+		return err
+	}
 	if len(s.ops) == 0 {
 		return nil
 	}
@@ -293,24 +322,39 @@ func (s *Store) Commit() error {
 	}
 	buf = appendRecord(buf, walOp{kind: recCommit}, seq)
 	s.encBuf = buf
+	// A failed or torn append is retryable as-is: walTail has not moved, so
+	// the retry overwrites the partial bytes, and a crash before then leaves
+	// a torn tail recovery already rolls back.
 	if _, err := s.wal.WriteAt(buf, s.walTail); err != nil {
 		return fmt.Errorf("disk: append wal batch %d: %w", seq, err)
 	}
+	prevTail, prevSynced, prevUnsynced := s.walTail, s.walSynced, s.unsyncedN
 	s.walTail += int64(len(buf))
 	s.walSynced = false
 	s.unsyncedN++
 	if s.fsync == FsyncAlways || (s.fsync == FsyncGroup && s.unsyncedN >= s.groupEvery) {
 		if err := s.syncWAL(); err != nil {
+			// The batch bytes are fully written but not durable, and the
+			// staged ops stay staged for a retry. Rewind the append so the
+			// retry cannot lay down a second copy of seq — two batches with
+			// one sequence number would make the store unrecoverable. If the
+			// rewind itself fails, the duplicate is unavoidable on retry, so
+			// the store is done.
+			if terr := s.wal.Truncate(prevTail); terr != nil {
+				return s.poison(fmt.Errorf("disk: rewind wal after failed sync of batch %d: %w (sync: %w)", seq, terr, err))
+			}
+			s.walTail, s.walSynced, s.unsyncedN = prevTail, prevSynced, prevUnsynced
 			return err
 		}
 	}
 	// The write is down; the batch is committed. Fold it into the mirror.
 	// An apply failure here means the caller logged an inconsistent batch
-	// (e.g. a set on an object it never allocated) — surface it loudly,
-	// because recovery would hit the same wall.
+	// (e.g. a set on an object it never allocated); the WAL already holds
+	// the batch, the mirror may be half-applied, and recovery would hit the
+	// same wall — the store cannot continue.
 	for _, op := range s.ops {
 		if err := s.mem.apply(op); err != nil {
-			return fmt.Errorf("disk: batch %d is inconsistent: %w", seq, err)
+			return s.poison(fmt.Errorf("disk: batch %d is inconsistent: %w", seq, err))
 		}
 	}
 	s.seq = seq
@@ -350,14 +394,45 @@ func (s *Store) Checkpoint() error {
 	if s.closed {
 		return fmt.Errorf("disk: store is closed")
 	}
+	if err := s.failed(); err != nil {
+		return err
+	}
 	if len(s.ops) != 0 {
 		return fmt.Errorf("disk: checkpoint with %d uncommitted staged records", len(s.ops))
 	}
+	// Until the meta flip lands, the previous image stays the committed one,
+	// so a failed attempt must be rolled back: the aborted image's frames
+	// leave the pool (a later flush must never write back a page of an
+	// abandoned image) and the generation counter rewinds so the retry
+	// targets the same meta slot — never the live one. Before the meta write
+	// nothing can reference the image's pages and they return to the free
+	// list; once the meta write has been attempted, a valid meta naming them
+	// may be on disk with unknown durability, so they are counted as used —
+	// leaked until a successful flip supersedes the slot, or until the next
+	// open recomputes the free list from the committed image.
+	prevPages, prevGen := s.pageCount, s.generation
+	abort := func(img *checkpointImage, metaMayExist bool) {
+		if img != nil {
+			for no := range img.used {
+				s.pool.Drop(poolPage(no))
+				if metaMayExist {
+					s.usedPages[no] = true
+				}
+			}
+		}
+		s.generation = prevGen
+		if !metaMayExist {
+			s.pageCount = prevPages
+		}
+		s.rebuildFreeList(s.usedPages)
+	}
 	img, err := s.buildCheckpoint()
 	if err != nil {
+		abort(nil, false)
 		return err
 	}
 	if err := s.writeCheckpoint(img); err != nil {
+		abort(img, false)
 		return err
 	}
 	s.generation++
@@ -371,9 +446,11 @@ func (s *Store) Checkpoint() error {
 	}
 	slot := uint32(s.generation % 2)
 	if _, err := s.heap.WriteAt(encodeMeta(m), int64(slot)*PageSize); err != nil {
+		abort(img, true)
 		return fmt.Errorf("disk: write meta slot %d: %w", slot, err)
 	}
 	if err := s.syncHeap(); err != nil {
+		abort(img, true)
 		return err
 	}
 	// The flip is durable: the new image is the committed one. Everything
@@ -397,13 +474,18 @@ func (s *Store) Checkpoint() error {
 
 // Close syncs outstanding committed batches and releases the files. The
 // staged (uncommitted) records, if any, are discarded — exactly what a
-// crash would do to them.
+// crash would do to them. A poisoned store only releases the files: its
+// WAL bookkeeping no longer matches the bytes on disk, so syncing could
+// make an inconsistent tail durable.
 func (s *Store) Close() error {
 	if s.closed {
 		return nil
 	}
 	s.closed = true
-	err := s.syncWAL()
+	err := s.failed()
+	if err == nil {
+		err = s.syncWAL()
+	}
 	if cerr := s.wal.Close(); cerr != nil && err == nil {
 		err = fmt.Errorf("disk: close wal: %w", cerr)
 	}

@@ -476,6 +476,222 @@ func TestManyObjectsSpanPagesAndCheckpointsRecycle(t *testing.T) {
 	}
 }
 
+// flakyFS wraps an FS and injects failures into one named file: syncFails
+// counts Sync calls to fail, writeFails counts WriteAts to fail, and
+// metaWriteFails counts WriteAts inside the meta-slot region (offset below
+// 2*PageSize) to fail. Counters are armed after Open, so recovery runs
+// clean and the injection lands exactly where a test aims it.
+type flakyFS struct {
+	FS
+	name           string
+	syncFails      int
+	writeFails     int
+	metaWriteFails int
+}
+
+func (f *flakyFS) Open(name string) (File, error) {
+	file, err := f.FS.Open(name)
+	if err != nil || name != f.name {
+		return file, err
+	}
+	return &flakyFile{File: file, fs: f}, nil
+}
+
+type flakyFile struct {
+	File
+	fs *flakyFS
+}
+
+func (f *flakyFile) Sync() error {
+	if f.fs.syncFails > 0 {
+		f.fs.syncFails--
+		return errors.New("injected sync failure")
+	}
+	return f.File.Sync()
+}
+
+func (f *flakyFile) WriteAt(p []byte, off int64) (int, error) {
+	if f.fs.writeFails > 0 {
+		f.fs.writeFails--
+		return 0, errors.New("injected write failure")
+	}
+	if f.fs.metaWriteFails > 0 && off < 2*PageSize {
+		f.fs.metaWriteFails--
+		return 0, errors.New("injected meta write failure")
+	}
+	return f.File.WriteAt(p, off)
+}
+
+// A failed WAL fsync must rewind the append: the staged batch stays staged
+// for a retry, and the retry must not lay down a second copy of the same
+// sequence number (which would poison recovery with a duplicate-seq error).
+func TestCommitSyncFailureRewindsWAL(t *testing.T) {
+	dir := t.TempDir()
+	ffs := &flakyFS{FS: OSFS{Dir: dir}, name: walFile}
+	s, _, err := Open(Options{FS: ffs, Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedObjects(t, s)
+	before := s.Stats()
+
+	if err := s.LogAlloc(4, objstore.ClassManual, 30, 0); err != nil {
+		t.Fatal(err)
+	}
+	ffs.syncFails = 1
+	if err := s.Commit(); err == nil {
+		t.Fatal("commit over a failing fsync succeeded")
+	}
+	if st := s.Stats(); st.Seq != before.Seq || st.WALTail != before.WALTail || st.Commits != before.Commits {
+		t.Errorf("failed commit left tracks: %+v, want seq/tail/commits of %+v", st, before)
+	}
+	// The staged batch survives; the retry commits it exactly once.
+	if err := s.Commit(); err != nil {
+		t.Fatalf("retry after failed fsync: %v", err)
+	}
+	if st := s.Stats(); st.Seq != before.Seq+1 {
+		t.Errorf("retry seq = %d, want %d", st.Seq, before.Seq+1)
+	}
+	want := s.Digest()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, info := openTemp(t, dir, FsyncAlways)
+	defer func() {
+		if err := s2.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if got := s2.Digest(); got != want {
+		t.Errorf("digest changed across reopen after fsync failure")
+	}
+	if info.BatchesReplayed != 3 {
+		t.Errorf("recovery = %+v, want 3 batches (no duplicate)", info)
+	}
+}
+
+// A failed checkpoint must roll back completely — allocator state restored,
+// the aborted image's frames out of the pool — so the next checkpoint (and
+// every one after) still works.
+func TestCheckpointFailureRollsBackAndRetries(t *testing.T) {
+	dir := t.TempDir()
+	ffs := &flakyFS{FS: OSFS{Dir: dir}, name: heapFile}
+	s, _, err := Open(Options{FS: ffs, Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedObjects(t, s)
+	before := s.Stats()
+
+	ffs.writeFails = 1
+	if err := s.Checkpoint(); err == nil {
+		t.Fatal("checkpoint over a failing page write succeeded")
+	}
+	if st := s.Stats(); st.PageCount != before.PageCount || st.FreePages != before.FreePages {
+		t.Errorf("aborted checkpoint leaked pages: %+v, want page state of %+v", st, before)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint after aborted checkpoint: %v", err)
+	}
+	// Another full commit+checkpoint cycle exercises the dirty-page flush
+	// over the pool the aborted image once occupied.
+	if err := s.LogAlloc(4, objstore.ClassManual, 30, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatalf("second checkpoint after aborted checkpoint: %v", err)
+	}
+	want := s.Digest()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, info := openTemp(t, dir, FsyncAlways)
+	defer func() {
+		if err := s2.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if got := s2.Digest(); got != want {
+		t.Errorf("digest changed across reopen after aborted checkpoint")
+	}
+	if info.CheckpointSeq != 3 {
+		t.Errorf("recovery = %+v, want checkpoint seq 3", info)
+	}
+}
+
+// A failure at the meta flip itself also rolls back, and the retry lands on
+// the same slot with a fresh image; the store round-trips afterwards.
+func TestCheckpointMetaWriteFailureRetries(t *testing.T) {
+	dir := t.TempDir()
+	ffs := &flakyFS{FS: OSFS{Dir: dir}, name: heapFile}
+	s, _, err := Open(Options{FS: ffs, Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedObjects(t, s)
+
+	ffs.metaWriteFails = 1
+	if err := s.Checkpoint(); err == nil {
+		t.Fatal("checkpoint over a failing meta write succeeded")
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint after failed meta flip: %v", err)
+	}
+	want := s.Digest()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, info := openTemp(t, dir, FsyncAlways)
+	defer func() {
+		if err := s2.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if got := s2.Digest(); got != want {
+		t.Errorf("digest changed across reopen after failed meta flip")
+	}
+	if info.CheckpointSeq != 2 || info.BatchesReplayed != 0 {
+		t.Errorf("recovery = %+v", info)
+	}
+}
+
+// Committing an inconsistent batch (the caller's bug) poisons the store:
+// the WAL already holds the batch, so every later operation must fail
+// loudly instead of writing past a state recovery cannot reach.
+func TestInconsistentBatchPoisonsStore(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openTemp(t, dir, FsyncAlways)
+	seedObjects(t, s)
+	if err := s.LogSet(99, 0, 1); err != nil { // set on an object never allocated
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err == nil {
+		t.Fatal("commit of an inconsistent batch succeeded")
+	}
+	if err := s.LogAlloc(5, objstore.ClassManual, 10, 0); err == nil {
+		t.Error("stage on a poisoned store succeeded")
+	}
+	if err := s.Commit(); err == nil {
+		t.Error("commit on a poisoned store succeeded")
+	}
+	if err := s.Checkpoint(); err == nil {
+		t.Error("checkpoint on a poisoned store succeeded")
+	}
+	if err := s.Close(); err == nil {
+		t.Error("close of a poisoned store reported success")
+	}
+	// The durable WAL holds the inconsistent batch; recovery refuses it.
+	if _, _, err := Open(Options{FS: OSFS{Dir: dir}, Fsync: FsyncAlways}); !errors.Is(err, simerr.ErrRecoveryFailed) {
+		t.Errorf("reopen of a store with an inconsistent committed batch: %v, want recovery failure", err)
+	}
+}
+
 func TestRecoveryIsDeterministic(t *testing.T) {
 	dir := t.TempDir()
 	s, _ := openTemp(t, dir, FsyncAlways)
