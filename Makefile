@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race race vet lint lint-fix-report lint-allocbudget fuzz bench bench-diff experiments examples soak server-smoke crash-drill clean
+.PHONY: all build test test-short test-race race vet lint lint-concurrency lint-fix-report lint-allocbudget fuzz bench bench-diff experiments examples soak server-smoke crash-drill clean
 
 all: build vet lint test
 
@@ -14,12 +14,19 @@ vet:
 
 # Repository invariants: determinism (direct and transitive), panic-free
 # libraries, snapshot completeness, context threading, error discipline,
-# cancelable goroutines, and the performance layer (hot-path allocation,
+# cancelable goroutines, the performance layer (hot-path allocation,
 # boxing, defer, and append-growth checks plus the allocation budget in
-# lint/allocbudget.json — see README "Code invariants" and internal/analysis).
+# lint/allocbudget.json), and the concurrency-safety layer (lockcheck,
+# guarded, lifecycle — see README "Code invariants" and internal/analysis).
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/odbglint -allocbudget ./...
+
+# Just the concurrency-safety analyzers: mutex discipline, guarded-field
+# inference, and call-order lifecycle protocols. A fast pre-commit check
+# when touching the serving or durability stack.
+lint-concurrency:
+	$(GO) run ./cmd/odbglint -only lockcheck,guarded,lifecycle ./...
 
 # Re-baseline the per-hot-function allocation budget after deliberate
 # changes; the diff to lint/allocbudget.json is the reviewable artifact.
@@ -53,16 +60,17 @@ fuzz:
 
 # Benchmark sweep. One iteration per benchmark keeps the sweep quick; the
 # parsed JSON baseline (ns/op, allocs/op per benchmark) lands in
-# BENCH_PR9.json for mechanical diffing across PRs.
+# BENCH_PR10.json for mechanical diffing across PRs.
 bench:
-	$(GO) test -bench=. -benchmem -benchtime 1x . | $(GO) run ./cmd/benchjson -o BENCH_PR9.json
+	$(GO) test -bench=. -benchmem -benchtime 1x . | $(GO) run ./cmd/benchjson -o BENCH_PR10.json
 
 # Per-benchmark deltas against the previous committed baseline — the
 # one-command perf claim for PR bodies. The threshold is 50% because the
 # committed baselines run at -benchtime 1x, where ns/op carries real
-# noise; allocs/op is exact at any iteration count.
+# noise; allocs/op is exact at any iteration count. A benchmark missing
+# from the new baseline is itself a failure.
 bench-diff:
-	$(GO) run ./cmd/benchjson -diff BENCH_PR8.json BENCH_PR9.json -threshold 50
+	$(GO) run ./cmd/benchjson -diff BENCH_PR9.json BENCH_PR10.json -threshold 50
 
 # Full paper regeneration: every table and figure, 10 seeded runs per data
 # point, CSV series under results/.

@@ -11,7 +11,8 @@
 // benchjson can sit at the end of a pipe without hiding the run from the
 // operator. In diff mode the two reports are compared benchmark by
 // benchmark and the command fails when any shared benchmark's ns/op or
-// allocs/op grew by more than the threshold percentage.
+// allocs/op grew by more than the threshold percentage, or when a
+// benchmark in the old baseline is missing from the new one.
 package main
 
 import (
@@ -169,13 +170,23 @@ func runDiff(args []string, stdout io.Writer) error {
 				fmt.Sprintf("%s: allocs/op +%.1f%% (threshold %.1f%%)", nb.Name, allocDelta, threshold))
 		}
 	}
+	// A benchmark that exists in the old baseline but not the new one is a
+	// failure, not a footnote: a silently vanished benchmark usually means
+	// a renamed or deleted test, and the perf claim it carried vanishes
+	// with it. Re-baseline deliberately or restore the benchmark.
 	var dropped []string
 	for name := range oldBy {
 		dropped = append(dropped, name)
 	}
 	sort.Strings(dropped)
 	for _, name := range dropped {
-		fmt.Fprintf(stdout, "%-40s only in %s\n", name, paths[0])
+		ob := oldBy[name]
+		fmt.Fprintf(stdout, "%-40s %14.0f %14s %8s %10.0f %10s %8s\n",
+			name, ob.NsPerOp, "-", "gone", ob.AllocsPerOp, "-", "gone")
+	}
+	for _, name := range dropped {
+		regressions = append(regressions,
+			fmt.Sprintf("%s: present in %s but missing from %s", name, paths[0], paths[1]))
 	}
 	if len(regressions) > 0 {
 		sort.Strings(regressions)

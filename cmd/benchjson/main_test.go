@@ -80,7 +80,6 @@ func TestBenchjsonDiff(t *testing.T) {
 	writeReport(t, old, []Benchmark{
 		{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 100},
 		{Name: "BenchmarkB", NsPerOp: 500, AllocsPerOp: 10},
-		{Name: "BenchmarkGone", NsPerOp: 1},
 	})
 	writeReport(t, cur, []Benchmark{
 		{Name: "BenchmarkA", NsPerOp: 900, AllocsPerOp: 20}, // improved
@@ -92,14 +91,46 @@ func TestBenchjsonDiff(t *testing.T) {
 	if err := run([]string{"-diff", old, cur}, strings.NewReader(""), &stdout, &stderr); err != nil {
 		t.Fatalf("improvement flagged as regression: %v\n%s", err, stdout.String())
 	}
-	for _, want := range []string{"BenchmarkA", "BenchmarkNew", "BenchmarkGone", "no regressions"} {
+	for _, want := range []string{"BenchmarkA", "BenchmarkNew", "no regressions"} {
 		if !strings.Contains(stdout.String(), want) {
 			t.Errorf("diff output missing %q:\n%s", want, stdout.String())
 		}
 	}
 
+	// A benchmark that disappears from the new baseline fails the diff:
+	// silent deletion would let a perf claim vanish without review. The
+	// gone benchmark still gets a table row so the operator sees it in
+	// context, plus a REGRESSION line naming both files.
+	gone := filepath.Join(dir, "gone.json")
+	writeReport(t, gone, []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 900, AllocsPerOp: 20},
+		{Name: "BenchmarkB", NsPerOp: 510, AllocsPerOp: 11},
+	})
+	stdout.Reset()
+	if err := run([]string{"-diff", old, gone}, strings.NewReader(""), &stdout, &stderr); err != nil {
+		t.Fatalf("baseline without drops rejected: %v\n%s", err, stdout.String())
+	}
+	writeReport(t, gone, []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 900, AllocsPerOp: 20},
+	})
+	stdout.Reset()
+	if err := run([]string{"-diff", old, gone}, strings.NewReader(""), &stdout, &stderr); err == nil {
+		t.Fatalf("dropped benchmark accepted:\n%s", stdout.String())
+	}
+	for _, want := range []string{
+		"BenchmarkB", "gone",
+		"REGRESSION BenchmarkB: present in " + old + " but missing from " + gone,
+	} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("dropped-benchmark output missing %q:\n%s", want, stdout.String())
+		}
+	}
+
 	// A ns/op regression beyond the threshold fails.
-	writeReport(t, cur, []Benchmark{{Name: "BenchmarkA", NsPerOp: 2000, AllocsPerOp: 100}})
+	writeReport(t, cur, []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 2000, AllocsPerOp: 100},
+		{Name: "BenchmarkB", NsPerOp: 500, AllocsPerOp: 10},
+	})
 	stdout.Reset()
 	err := run([]string{"-diff", old, cur}, strings.NewReader(""), &stdout, &stderr)
 	if err == nil {
@@ -115,7 +146,10 @@ func TestBenchjsonDiff(t *testing.T) {
 	}
 
 	// Alloc growth alone also fails.
-	writeReport(t, cur, []Benchmark{{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 200}})
+	writeReport(t, cur, []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 200},
+		{Name: "BenchmarkB", NsPerOp: 500, AllocsPerOp: 10},
+	})
 	stdout.Reset()
 	if err := run([]string{"-diff", old, cur}, strings.NewReader(""), &stdout, &stderr); err == nil {
 		t.Errorf("alloc regression accepted:\n%s", stdout.String())

@@ -31,15 +31,30 @@
 //	hotdefer           defer statements inside hot loops
 //	prealloc           append-growth in hot range loops with derivable
 //	                   length
+//	lockcheck          mutex discipline: every Lock reaches an Unlock on
+//	                   every path, no double-lock, no copied locks, no
+//	                   blocking calls while a hot-package mutex is held
+//	guarded            inferred guarded fields: accesses reachable from a
+//	                   go statement without the field's majority mutex, and
+//	                   sync/atomic mixed with direct access
+//	lifecycle          declarative call-order protocols: WAL staging before
+//	                   commit, no checkpoint over staged records, span
+//	                   Start/Finish pairing, buffer-pool Ref/Unref balance
 //
 // ctxflow, errflow, goleak, and detrand-transitive are dataflow analyzers
 // built on the control-flow graphs of internal/analysis/cfg and the
-// whole-module call graph of internal/analysis/callgraph. The last four are
-// the performance layer: internal/analysis/hotpath marks the hot region
-// (benchmark bodies, curated simulator/trace/server roots, unbounded serving
-// loops, closed over the call graph) and internal/analysis/escape turns
-// `go build -gcflags='-m=2 -l'` diagnostics into the allocation facts they
-// join against.
+// whole-module call graph of internal/analysis/callgraph. hotalloc, hotbox,
+// hotdefer, and prealloc are the performance layer: internal/analysis/hotpath
+// marks the hot region (benchmark bodies, curated simulator/trace/server
+// roots, unbounded serving loops, closed over the call graph) and
+// internal/analysis/escape turns `go build -gcflags='-m=2 -l'` diagnostics
+// into the allocation facts they join against. lockcheck, guarded, and
+// lifecycle are the concurrency-safety layer (`make lint-concurrency` runs
+// just these), path-sensitive over the same CFGs and call graph.
+//
+// -json emits the findings as a JSON array (file/line/col/analyzer/message
+// and, for call-graph findings, the call chain) for CI artifacts and
+// scripted triage.
 //
 // The performance layer also maintains an allocation budget:
 //
@@ -55,6 +70,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/token"
@@ -72,10 +88,13 @@ import (
 	"odbgc/internal/analysis/errflow"
 	"odbgc/internal/analysis/escape"
 	"odbgc/internal/analysis/goleak"
+	"odbgc/internal/analysis/guarded"
 	"odbgc/internal/analysis/hotalloc"
 	"odbgc/internal/analysis/hotbox"
 	"odbgc/internal/analysis/hotdefer"
 	"odbgc/internal/analysis/hotpath"
+	"odbgc/internal/analysis/lifecycle"
+	"odbgc/internal/analysis/lockcheck"
 	"odbgc/internal/analysis/maporder"
 	"odbgc/internal/analysis/nopanic"
 	"odbgc/internal/analysis/prealloc"
@@ -95,6 +114,9 @@ var analyzers = []*analysis.Analyzer{
 	hotbox.Analyzer,
 	hotdefer.Analyzer,
 	prealloc.Analyzer,
+	lockcheck.Analyzer,
+	guarded.Analyzer,
+	lifecycle.Analyzer,
 }
 
 // factAnalyzers names the analyzers that consume compiler escape facts; the
@@ -129,6 +151,7 @@ func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	only := flag.String("only", "", "run only the named analyzers (comma-separated)")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of file:line text")
 	checkBudget := flag.Bool("allocbudget", false, "also fail when a hot function allocates on more lines than lint/allocbudget.json records")
 	writeBudget := flag.Bool("write-allocbudget", false, "recompute the allocation budget and rewrite the budget file")
 	budgetFile := flag.String("allocbudget-file", filepath.Join("lint", "allocbudget.json"), "allocation budget file")
@@ -182,13 +205,19 @@ func main() {
 		os.Exit(2)
 	}
 	cwd, _ := os.Getwd()
-	for _, f := range findings {
+	for i := range findings {
 		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil {
-				f.Pos.Filename = rel
+			if rel, err := filepath.Rel(cwd, findings[i].Pos.Filename); err == nil {
+				findings[i].Pos.Filename = rel
 			}
 		}
-		fmt.Println(f)
+	}
+	if *jsonOut {
+		printJSON(findings)
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 
 	failures := len(findings)
@@ -230,6 +259,40 @@ func main() {
 			fmt.Fprintf(os.Stderr, "odbglint: %d finding(s)\n", len(findings))
 		}
 		os.Exit(1)
+	}
+}
+
+// jsonFinding is the -json record: position, analyzer, message, and — for
+// findings that cross the call graph (lockcheck's transitive blocking,
+// detrand-transitive) — the call chain from the reported site to the sink.
+type jsonFinding struct {
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Analyzer string   `json:"analyzer"`
+	Message  string   `json:"message"`
+	Chain    []string `json:"chain,omitempty"`
+}
+
+// printJSON writes the findings as one JSON array on stdout. An empty run
+// prints [] so CI artifacts are always well-formed.
+func printJSON(findings []analysis.Finding) {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+			Chain:    f.Chain,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "odbglint:", err)
+		os.Exit(2)
 	}
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os/exec"
 	"strings"
 	"testing"
@@ -25,7 +26,8 @@ func TestLintTreeClean(t *testing.T) {
 	}
 }
 
-// TestListAnalyzers asserts all eight contract analyzers are wired in.
+// TestListAnalyzers asserts the contract, performance, and concurrency
+// analyzers are all wired in.
 func TestListAnalyzers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("go run is slow")
@@ -39,6 +41,8 @@ func TestListAnalyzers(t *testing.T) {
 	for _, name := range []string{
 		"detrand", "maporder", "nopanic", "snapcover",
 		"ctxflow", "errflow", "goleak", "detrand-transitive",
+		"hotalloc", "hotbox", "hotdefer", "prealloc",
+		"lockcheck", "guarded", "lifecycle",
 	} {
 		if !strings.Contains(string(out), name) {
 			t.Errorf("odbglint -list output is missing %q:\n%s", name, out)
@@ -77,6 +81,35 @@ func TestOnlyFlag(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "unknown analyzer") {
 		t.Errorf("odbglint -only nosuch error does not name the problem:\n%s", out)
+	}
+}
+
+// TestJSONOutput pins the -json contract: a clean run prints a well-formed
+// (empty) JSON array, so CI can always upload the artifact and scripted
+// consumers never special-case success.
+func TestJSONOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("go run is slow")
+	}
+	cmd := exec.Command("go", "run", "./cmd/odbglint",
+		"-json", "-only", "lockcheck,guarded,lifecycle", "./internal/simerr/...")
+	cmd.Dir = moduleRoot(t)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("odbglint -json: %v\n%s", err, out)
+	}
+	var findings []struct {
+		File     string   `json:"file"`
+		Line     int      `json:"line"`
+		Analyzer string   `json:"analyzer"`
+		Message  string   `json:"message"`
+		Chain    []string `json:"chain"`
+	}
+	if jerr := json.Unmarshal(out, &findings); jerr != nil {
+		t.Fatalf("odbglint -json output is not a JSON array: %v\n%s", jerr, out)
+	}
+	if len(findings) != 0 {
+		t.Errorf("clean package produced findings: %+v", findings)
 	}
 }
 

@@ -42,10 +42,14 @@ type Pass struct {
 	Report    func(Diagnostic)
 }
 
-// Diagnostic is a single finding at a source position.
+// Diagnostic is a single finding at a source position. Chain, when set,
+// names the call path an interprocedural analyzer followed to the sink
+// (caller first); the driver's -json output carries it so CI artifacts keep
+// the evidence, not just the verdict.
 type Diagnostic struct {
 	Pos     token.Pos
 	Message string
+	Chain   []string
 }
 
 // Reportf reports a formatted finding at pos.
@@ -60,6 +64,9 @@ type Finding struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Chain is the call path to the sink for interprocedural findings
+	// (caller first, sink last); empty for local findings.
+	Chain []string
 }
 
 // String formats the finding the way the driver prints it.

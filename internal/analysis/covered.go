@@ -2,6 +2,18 @@ package analysis
 
 import "strings"
 
+// ConcurrentDirs lists the module-relative directories whose packages are
+// mutex- and goroutine-heavy: the live serving engine, the shared buffer
+// pool and WAL, and the observability/flight-recorder stack. The
+// concurrency-safety analyzers (lockcheck's blocking-while-held rule,
+// guarded's field inference, lifecycle's protocol specs) all gate on this
+// one list so their notion of "concurrent code" cannot drift apart.
+var ConcurrentDirs = []string{
+	"internal/server",
+	"internal/storage",
+	"internal/obs",
+}
+
 // PathCovered reports whether pkgPath is one of the module-relative
 // directories in dirs or a subpackage of one. A directory matches when it
 // appears as a complete path-segment run inside the import path, so

@@ -1,0 +1,783 @@
+// Package guarded infers, RacerD-style, which mutex guards each struct
+// field in the concurrent packages (analysis.ConcurrentDirs) and reports
+// the accesses that break the inferred discipline:
+//
+//   - a field whose accesses mostly happen with one receiver mutex held
+//     (at least two guarded accesses, strict majority) is considered
+//     guarded by that mutex; an access without it, in code that can run
+//     concurrently — a goroutine body, or anything a `go` statement
+//     reaches through the module call graph — is a finding;
+//   - a field accessed both through sync/atomic calls and directly is a
+//     finding regardless of reachability: mixing the two disciplines
+//     publishes torn state.
+//
+// Lock state is tracked path-sensitively over the control-flow graph
+// (must-held: intersection at merges), and "caller holds the lock" helper
+// methods are handled interprocedurally: an unexported method's entry
+// state is the intersection of the lock sets at its intra-package call
+// sites, so the documented `// Caller holds r.mu` idiom needs no
+// annotations. Code that only runs before any goroutine starts
+// (constructors, single-threaded setup) is deliberately not reported.
+package guarded
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"odbgc/internal/analysis"
+	"odbgc/internal/analysis/callgraph"
+	"odbgc/internal/analysis/cfg"
+)
+
+// Analyzer is the guarded check.
+var Analyzer = &analysis.Analyzer{
+	Name: "guarded",
+	Doc:  "infer each struct field's guarding mutex and report unguarded concurrent accesses and atomic/direct mixing",
+	Run:  run,
+}
+
+type opKind int
+
+const (
+	opLock opKind = iota
+	opUnlock
+	opAccess
+	opCall
+)
+
+// op is one lock-relevant operation in source order inside a basic block.
+type op struct {
+	kind opKind
+	// key is the mutex access path ("s.mu") for opLock/opUnlock.
+	key string
+	// field, base, atomic describe an opAccess: which struct field, through
+	// which base expression ("s"), and whether via a sync/atomic call.
+	field  *types.Var
+	base   string
+	atomic bool
+	// callee and base describe an opCall to a local struct method; goCall
+	// marks `go recv.m()`, whose goroutine starts with no locks held.
+	callee *types.Func
+	goCall bool
+	pos    token.Pos
+}
+
+// structInfo is one struct type declared in this package.
+type structInfo struct {
+	named  *types.Named
+	fields []*types.Var
+	// mutexes lists the sync.Mutex/RWMutex fields — the guard candidates.
+	mutexes []*types.Var
+}
+
+// unit is one analyzed body: a declared function/method, or the function
+// literal of a go statement (which starts on a fresh goroutine with no
+// locks held).
+type unit struct {
+	fn    *types.Func // enclosing declared function
+	body  *ast.BlockStmt
+	flow  *cfg.Graph
+	ops   map[*cfg.Block][]op
+	recv  string // receiver ident name, "" when none
+	goLit bool
+	goPos token.Pos // the go statement, when goLit
+}
+
+// access is one recorded field access with the lock state at that point.
+type access struct {
+	field  *types.Var
+	base   string
+	held   map[string]bool
+	fn     *types.Func
+	goLit  bool
+	goPos  token.Pos
+	atomic bool
+	pos    token.Pos
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathCovered(pass.Pkg.Path(), analysis.ConcurrentDirs) {
+		return nil
+	}
+	structs, fieldOwner := localStructs(pass)
+	if len(structs) == 0 {
+		return nil
+	}
+	units := collectUnits(pass, structs, fieldOwner)
+	entry := entryFixpoint(pass, structs, units)
+
+	var accesses []access
+	for _, u := range units {
+		in := u.dataflow(entryKeys(u, entry, structs))
+		u.replay(in, func(o op, held map[string]bool) {
+			if o.kind != opAccess {
+				return
+			}
+			h := make(map[string]bool, len(held))
+			for k := range held {
+				h[k] = true
+			}
+			accesses = append(accesses, access{
+				field: o.field, base: o.base, held: h, fn: u.fn,
+				goLit: u.goLit, goPos: u.goPos, atomic: o.atomic, pos: o.pos,
+			})
+		})
+	}
+	report(pass, structs, fieldOwner, accesses)
+	return nil
+}
+
+// localStructs collects the named struct types declared in this package and
+// a field → owner index for them.
+func localStructs(pass *analysis.Pass) ([]*structInfo, map[*types.Var]*structInfo) {
+	var out []*structInfo
+	owner := map[*types.Var]*structInfo{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				named, ok := tn.Type().(*types.Named)
+				if !ok {
+					continue
+				}
+				st, ok := named.Underlying().(*types.Struct)
+				if !ok {
+					continue
+				}
+				si := &structInfo{named: named}
+				for i := 0; i < st.NumFields(); i++ {
+					f := st.Field(i)
+					if isMutex(f.Type()) {
+						si.mutexes = append(si.mutexes, f)
+						continue
+					}
+					if fromPkg(f.Type(), "sync") || fromPkg(f.Type(), "sync/atomic") {
+						// WaitGroups, Onces, and atomic-typed fields carry
+						// their own discipline; they are not data.
+						continue
+					}
+					si.fields = append(si.fields, f)
+					owner[f] = si
+				}
+				out = append(out, si)
+			}
+		}
+	}
+	return out, owner
+}
+
+func isMutex(t types.Type) bool {
+	return fromPkg(t, "sync") && (typeName(t) == "Mutex" || typeName(t) == "RWMutex")
+}
+
+func fromPkg(t types.Type, path string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == path
+}
+
+func typeName(t types.Type) string {
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// collectUnits builds one unit per declared function plus one per
+// go-statement function literal (other literals — callbacks, deferred
+// closures — are skipped: when they run is unknown, so charging them with
+// the enclosing lock state would guess).
+func collectUnits(pass *analysis.Pass, structs []*structInfo, fieldOwner map[*types.Var]*structInfo) []*unit {
+	var units []*unit
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			u := &unit{fn: fn, body: fd.Body, recv: recvName(fd)}
+			u.build(pass, fieldOwner)
+			units = append(units, u)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+					gu := &unit{fn: fn, body: lit.Body, goLit: true, goPos: gs.Pos()}
+					gu.build(pass, fieldOwner)
+					units = append(units, gu)
+				}
+				return true
+			})
+		}
+	}
+	return units
+}
+
+func recvName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}
+
+// build constructs the unit's CFG and per-block op lists.
+func (u *unit) build(pass *analysis.Pass, fieldOwner map[*types.Var]*structInfo) {
+	u.flow = cfg.New(u.body)
+	u.ops = make(map[*cfg.Block][]op)
+	for _, b := range u.flow.Blocks {
+		ops := extractOps(pass, b, fieldOwner)
+		if len(ops) > 0 {
+			u.ops[b] = ops
+		}
+	}
+}
+
+// extractOps lists one block's operations in source order: lock/unlock
+// calls, field accesses (plain or atomic), and calls to local struct
+// methods. Function literals are skipped — go literals get their own unit.
+func extractOps(pass *analysis.Pass, b *cfg.Block, fieldOwner map[*types.Var]*structInfo) []op {
+	info := pass.TypesInfo
+	var ops []op
+	// handled marks selector expressions consumed by a containing
+	// construct (an atomic call's &field argument, a lock receiver).
+	handled := map[ast.Expr]bool{}
+	for _, node := range b.Nodes {
+		if rs, ok := node.(*ast.RangeStmt); ok {
+			node = rs.X // only the ranged expression evaluates at the head
+		}
+		ast.Inspect(node, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.DeferStmt:
+				// A deferred Unlock releases at return, not here: skipping
+				// the statement keeps the lock held for the rest of the
+				// function, which is exactly the defer-unlock idiom.
+				return false
+			case *ast.GoStmt:
+				// The goroutine starts with no locks held; record the call
+				// site so a named target's entry state drops to empty.
+				if fn := callgraph.Callee(info, n.Call); fn != nil && methodStruct(fn, fieldOwner) != nil {
+					ops = append(ops, op{kind: opCall, callee: fn, goCall: true, pos: n.Pos()})
+				}
+				return false
+			case *ast.CallExpr:
+				if key, locks, isLock := lockOp(info, n); isLock {
+					kind := opUnlock
+					if locks {
+						kind = opLock
+					}
+					ops = append(ops, op{kind: kind, key: key, pos: n.Pos()})
+					if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+						markSelectors(sel.X, handled)
+					}
+					return true
+				}
+				if sels := atomicArgs(info, n); len(sels) > 0 {
+					for _, sel := range sels {
+						if o, ok := fieldAccess(info, sel, fieldOwner); ok {
+							o.atomic = true
+							ops = append(ops, o)
+						}
+						handled[sel] = true
+					}
+					return true
+				}
+				if fn := callgraph.Callee(info, n); fn != nil && methodStruct(fn, fieldOwner) != nil {
+					if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+						ops = append(ops, op{kind: opCall, callee: fn, base: types.ExprString(sel.X), pos: n.Pos()})
+					}
+				}
+			case *ast.SelectorExpr:
+				if handled[n] {
+					return false
+				}
+				if o, ok := fieldAccess(info, n, fieldOwner); ok {
+					ops = append(ops, o)
+				}
+			}
+			return true
+		})
+	}
+	return ops
+}
+
+// markSelectors marks e and its nested selectors as consumed, so a lock
+// receiver path is not itself recorded as a field access.
+func markSelectors(e ast.Expr, handled map[ast.Expr]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			handled[sel] = true
+		}
+		return true
+	})
+}
+
+// lockOp classifies a call as a mutex Lock/RLock (locks=true) or
+// Unlock/RUnlock (locks=false) and returns the mutex path as key.
+func lockOp(info *types.Info, call *ast.CallExpr) (key string, locks, isLock bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	fn := callgraph.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false, false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	if tn := typeName(recv); tn != "Mutex" && tn != "RWMutex" {
+		return "", false, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return types.ExprString(sel.X), true, true
+	case "Unlock", "RUnlock":
+		return types.ExprString(sel.X), false, true
+	}
+	return "", false, false
+}
+
+// atomicArgs returns the field selectors a sync/atomic call reads or
+// writes through &field arguments.
+func atomicArgs(info *types.Info, call *ast.CallExpr) []*ast.SelectorExpr {
+	fn := callgraph.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return nil
+	}
+	var out []*ast.SelectorExpr
+	for _, arg := range call.Args {
+		u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+		if !ok || u.Op != token.AND {
+			continue
+		}
+		if sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr); ok {
+			out = append(out, sel)
+		}
+	}
+	return out
+}
+
+// fieldAccess classifies a selector as an access to a local struct field.
+func fieldAccess(info *types.Info, sel *ast.SelectorExpr, fieldOwner map[*types.Var]*structInfo) (op, bool) {
+	v, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() || fieldOwner[v] == nil {
+		return op{}, false
+	}
+	return op{kind: opAccess, field: v, base: types.ExprString(sel.X), pos: sel.Sel.Pos()}, true
+}
+
+// methodStruct returns the local struct a function is a method of, nil
+// otherwise.
+func methodStruct(fn *types.Func, fieldOwner map[*types.Var]*structInfo) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	for f, si := range fieldOwner {
+		_ = f
+		if si.named == named {
+			return named
+		}
+	}
+	return nil
+}
+
+// dataflow computes, for each reachable block, the set of mutex paths that
+// are held on entry to the block on every path from the function entry
+// (must-analysis: intersection at merges). entry seeds the function's
+// entry block.
+func (u *unit) dataflow(entry map[string]bool) map[*cfg.Block]map[string]bool {
+	preds := map[*cfg.Block][]*cfg.Block{}
+	for _, b := range u.flow.Blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	in := map[*cfg.Block]map[string]bool{u.flow.Entry: entry}
+	work := []*cfg.Block{u.flow.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := u.transfer(b, in[b])
+		for _, s := range b.Succs {
+			next, seeded := intersectInto(in[s], out, s == u.flow.Entry)
+			if seeded {
+				in[s] = next
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}
+
+// intersectInto merges a predecessor's out-set into a successor's in-set.
+// A successor never seen keeps the whole out-set; otherwise the in-set
+// shrinks to the intersection. seeded reports whether the in-set changed.
+func intersectInto(cur, out map[string]bool, isEntry bool) (map[string]bool, bool) {
+	if isEntry {
+		return cur, false // the entry's in-set is fixed
+	}
+	if cur == nil {
+		next := make(map[string]bool, len(out))
+		for k := range out {
+			next[k] = true
+		}
+		return next, true
+	}
+	changed := false
+	for k := range cur {
+		if !out[k] {
+			delete(cur, k)
+			changed = true
+		}
+	}
+	return cur, changed
+}
+
+// transfer applies one block's lock/unlock ops to a held-set copy.
+func (u *unit) transfer(b *cfg.Block, held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k := range held {
+		out[k] = true
+	}
+	for _, o := range u.ops[b] {
+		switch o.kind {
+		case opLock:
+			out[o.key] = true
+		case opUnlock:
+			delete(out, o.key)
+		}
+	}
+	return out
+}
+
+// replay walks every reachable block's ops in order with the current held
+// set, invoking visit on each op.
+func (u *unit) replay(in map[*cfg.Block]map[string]bool, visit func(op, map[string]bool)) {
+	for _, b := range u.flow.Blocks {
+		held, ok := in[b]
+		if !ok {
+			continue // unreachable
+		}
+		cur := make(map[string]bool, len(held))
+		for k := range held {
+			cur[k] = true
+		}
+		for _, o := range u.ops[b] {
+			switch o.kind {
+			case opLock:
+				cur[o.key] = true
+			case opUnlock:
+				delete(cur, o.key)
+			default:
+				visit(o, cur)
+			}
+		}
+	}
+}
+
+// entryKeys converts a method's entry lock-field set into the unit's held
+// keys ("recv.mu"); embedded mutexes also match the bare receiver.
+func entryKeys(u *unit, entry map[*types.Func]map[string]bool, structs []*structInfo) map[string]bool {
+	keys := map[string]bool{}
+	if u.goLit || u.recv == "" {
+		return keys
+	}
+	fields := entry[u.fn]
+	if fields == nil {
+		return keys
+	}
+	named := methodStructOf(u.fn)
+	for _, si := range structs {
+		if si.named != named {
+			continue
+		}
+		for _, m := range si.mutexes {
+			if !fields[m.Name()] {
+				continue
+			}
+			keys[u.recv+"."+m.Name()] = true
+			if m.Embedded() {
+				keys[u.recv] = true
+			}
+		}
+	}
+	return keys
+}
+
+func methodStructOf(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// entryFixpoint computes each local method's entry lock state: the
+// intersection of the lock sets at its intra-package call sites.
+// Unexported methods start optimistic (all receiver mutexes held — the
+// "caller holds the lock" documentation idiom) and are knocked down by
+// call sites; exported methods start and stay empty, since unseen external
+// callers hold nothing.
+func entryFixpoint(pass *analysis.Pass, structs []*structInfo, units []*unit) map[*types.Func]map[string]bool {
+	structOf := map[*types.Named]*structInfo{}
+	for _, si := range structs {
+		structOf[si.named] = si
+	}
+	entry := map[*types.Func]map[string]bool{}
+	var methods []*types.Func
+	for _, u := range units {
+		if u.goLit || u.recv == "" {
+			continue
+		}
+		named := methodStructOf(u.fn)
+		si := structOf[named]
+		if si == nil {
+			continue
+		}
+		fields := map[string]bool{}
+		if !u.fn.Exported() {
+			for _, m := range si.mutexes {
+				fields[m.Name()] = true
+			}
+		}
+		entry[u.fn] = fields
+		methods = append(methods, u.fn)
+	}
+
+	for changed := true; changed; {
+		changed = false
+		sites := map[*types.Func][]map[string]bool{}
+		for _, u := range units {
+			in := u.dataflow(entryKeys(u, entry, structs))
+			u.replay(in, func(o op, held map[string]bool) {
+				if o.kind != opCall {
+					return
+				}
+				if _, tracked := entry[o.callee]; !tracked {
+					return
+				}
+				named := methodStructOf(o.callee)
+				si := structOf[named]
+				fields := map[string]bool{}
+				if !o.goCall {
+					for _, m := range si.mutexes {
+						if held[o.base+"."+m.Name()] || (m.Embedded() && held[o.base]) {
+							fields[m.Name()] = true
+						}
+					}
+				}
+				sites[o.callee] = append(sites[o.callee], fields)
+			})
+		}
+		for _, fn := range methods {
+			if fn.Exported() {
+				continue
+			}
+			ss := sites[fn]
+			if len(ss) == 0 {
+				continue // never called intra-package: unreachable, keep optimistic
+			}
+			next := map[string]bool{}
+			for k := range ss[0] {
+				next[k] = true
+			}
+			for _, s := range ss[1:] {
+				for k := range next {
+					if !s[k] {
+						delete(next, k)
+					}
+				}
+			}
+			if len(next) != len(entry[fn]) {
+				entry[fn] = next
+				changed = true
+			}
+		}
+	}
+	return entry
+}
+
+// report infers each field's guard from the access census and reports the
+// violations.
+func report(pass *analysis.Pass, structs []*structInfo, fieldOwner map[*types.Var]*structInfo, accesses []access) {
+	byField := map[*types.Var][]access{}
+	for _, a := range accesses {
+		byField[a.field] = append(byField[a.field], a)
+	}
+	concurrent := concurrentFuncs(pass.Module)
+	for _, si := range structs {
+		for _, f := range si.fields {
+			accs := byField[f]
+			if len(accs) == 0 {
+				continue
+			}
+			reportMixed(pass, si, f, accs)
+			reportUnguarded(pass, si, f, accs, concurrent)
+		}
+	}
+}
+
+// reportMixed flags a field touched both through sync/atomic and directly.
+func reportMixed(pass *analysis.Pass, si *structInfo, f *types.Var, accs []access) {
+	hasAtomic := false
+	for _, a := range accs {
+		if a.atomic {
+			hasAtomic = true
+			break
+		}
+	}
+	if !hasAtomic {
+		return
+	}
+	for _, a := range accs {
+		if !a.atomic {
+			pass.Reportf(a.pos, "field %s of %s mixes sync/atomic and direct access; every access must go through sync/atomic once any does",
+				f.Name(), si.named.Obj().Name())
+		}
+	}
+}
+
+// reportUnguarded infers the field's guard (majority of non-atomic
+// accesses, at least two guarded) and flags guard-free accesses in code
+// that can run concurrently.
+func reportUnguarded(pass *analysis.Pass, si *structInfo, f *types.Var, accs []access, concurrent map[*types.Func]token.Position) {
+	guardedBy := func(a access, m *types.Var) bool {
+		return a.held[a.base+"."+m.Name()] || (m.Embedded() && a.held[a.base])
+	}
+	var guard *types.Var
+	best, total := 0, 0
+	for _, a := range accs {
+		if !a.atomic {
+			total++
+		}
+	}
+	for _, m := range si.mutexes {
+		n := 0
+		for _, a := range accs {
+			if !a.atomic && guardedBy(a, m) {
+				n++
+			}
+		}
+		if n > best {
+			best, guard = n, m
+		}
+	}
+	if guard == nil || best < 2 || best*2 <= total {
+		return
+	}
+	for _, a := range accs {
+		if a.atomic || guardedBy(a, guard) {
+			continue
+		}
+		var goPos token.Position
+		switch {
+		case a.goLit:
+			goPos = pass.Fset.Position(a.goPos)
+		default:
+			p, ok := concurrent[a.fn]
+			if !ok {
+				continue // runs before any goroutine exists; not a race
+			}
+			goPos = p
+		}
+		pass.Reportf(a.pos, "field %s of %s is guarded by %s on %d of %d accesses but not here, and this code runs concurrently (go statement at %s:%d); hold %s",
+			f.Name(), si.named.Obj().Name(), guard.Name(), best, total, goPos.Filename, goPos.Line, guard.Name())
+	}
+}
+
+// concurrentFuncs computes, once per module, every declared function that
+// can run off the main goroutine: the resolved targets of go statements
+// (including calls made directly inside `go func(){...}` literals), closed
+// transitively over the module call graph. The value is the position of
+// the go statement that makes the function concurrent.
+func concurrentFuncs(mod *analysis.Module) map[*types.Func]token.Position {
+	v, _ := mod.Memo("guarded.concurrent", func() (any, error) {
+		g := callgraph.For(mod)
+		out := map[*types.Func]token.Position{}
+		var queue []*types.Func
+		add := func(fn *types.Func, pos token.Position) {
+			if _, ok := out[fn]; !ok {
+				out[fn] = pos
+				queue = append(queue, fn)
+			}
+		}
+		for _, n := range g.Nodes() {
+			info, fset := n.Pkg.Info, n.Pkg.Fset
+			ast.Inspect(n.Decl, func(node ast.Node) bool {
+				gs, ok := node.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				pos := fset.Position(gs.Pos())
+				if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+					ast.Inspect(lit, func(m ast.Node) bool {
+						if call, ok := m.(*ast.CallExpr); ok {
+							if fn := callgraph.Callee(info, call); fn != nil {
+								add(fn, pos)
+							}
+						}
+						return true
+					})
+				} else if fn := callgraph.Callee(info, gs.Call); fn != nil {
+					add(fn, pos)
+				}
+				return true
+			})
+		}
+		for len(queue) > 0 {
+			fn := queue[0]
+			queue = queue[1:]
+			node := g.Lookup(fn)
+			if node == nil {
+				continue
+			}
+			for _, e := range node.Out {
+				add(e.Callee.Func, out[fn])
+			}
+		}
+		return out, nil
+	})
+	return v.(map[*types.Func]token.Position)
+}

@@ -1,0 +1,81 @@
+package guarded_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"odbgc/internal/analysis"
+	"odbgc/internal/analysis/analysistest"
+	"odbgc/internal/analysis/guarded"
+)
+
+// TestInference pins guard inference, the caller-holds helper idiom,
+// goroutine reachability, and atomic/direct mixing in a covered package.
+func TestInference(t *testing.T) {
+	analysistest.Run(t, "testdata/src/infer", guarded.Analyzer, "example.com/internal/obs/reg")
+}
+
+// TestUncoveredPackageExempt runs the same shapes outside the concurrent
+// directories: no findings.
+func TestUncoveredPackageExempt(t *testing.T) {
+	analysistest.Run(t, "testdata/src/uncovered", guarded.Analyzer, "example.com/internal/report")
+}
+
+// TestUnreasonedAllowRejected pins the suppression contract: an allow
+// without a reason is itself a finding and suppresses nothing.
+func TestUnreasonedAllowRejected(t *testing.T) {
+	dir := t.TempDir()
+	src := `package reg
+
+import "sync"
+
+type stats struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *stats) add(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n += v
+}
+
+func (s *stats) get() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+func (s *stats) Watch() {
+	go func() {
+		//lint:allow guarded
+		s.n++
+	}()
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "reg.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg := analysistest.LoadPackage(t, dir, "example.com/internal/obs/reg")
+	findings, err := analysis.RunPackage(pkg, []*analysis.Analyzer{guarded.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawMalformed, sawFinding bool
+	for _, f := range findings {
+		if f.Analyzer == "allow" && strings.Contains(f.Message, "no reason") {
+			sawMalformed = true
+		}
+		if f.Analyzer == "guarded" {
+			sawFinding = true
+		}
+	}
+	if !sawMalformed {
+		t.Errorf("unreasoned //lint:allow not reported as malformed; findings: %v", findings)
+	}
+	if !sawFinding {
+		t.Errorf("unreasoned //lint:allow suppressed the guarded finding; findings: %v", findings)
+	}
+}

@@ -1,0 +1,132 @@
+// Package infer exercises guard inference in a covered (concurrent)
+// package: majority-guarded fields, the caller-holds-the-lock helper
+// idiom, goroutine reachability, and atomic/direct mixing.
+package infer
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type stats struct {
+	mu sync.Mutex
+	n  int
+	m  map[string]int
+}
+
+// newStats writes n before any goroutine can see the value: no finding.
+func newStats() *stats {
+	s := &stats{m: make(map[string]int)}
+	s.n = 1
+	return s
+}
+
+// add and get establish mu as n's guard.
+func (s *stats) add(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n += v
+}
+
+func (s *stats) get() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// bump is a caller-holds-s.mu helper: every call site holds the lock, so
+// the inferred entry state keeps it clean. True negative.
+func (s *stats) bump() { s.n++ }
+
+func (s *stats) incr() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bump()
+}
+
+// peek reads n without the guard; Watch makes it run on a goroutine.
+func (s *stats) peek() int {
+	return s.n // want "guarded by mu"
+}
+
+// Watch launches the unguarded reader.
+func (s *stats) Watch() {
+	go s.watch()
+}
+
+func (s *stats) watch() {
+	_ = s.peek()
+	_ = s.get()
+}
+
+// ServeLocked locks inside the goroutine body. True negative.
+func (s *stats) ServeLocked() {
+	go func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.n++
+	}()
+}
+
+// ServeUnlocked writes the guarded field from a goroutine with no lock:
+// the seeded-regression shape.
+func (s *stats) ServeUnlocked() {
+	go func() {
+		s.n++ // want "guarded by mu"
+	}()
+}
+
+type table struct {
+	rw   sync.RWMutex
+	rows map[string]int
+}
+
+// insert and lookup establish rw (write- and read-locked) as rows' guard.
+func (t *table) insert(k string) {
+	t.rw.Lock()
+	defer t.rw.Unlock()
+	t.rows[k]++
+}
+
+func (t *table) lookup(k string) int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.rows[k]
+}
+
+// scan walks the map with no lock and runs concurrently via Monitor.
+func (t *table) scan() int {
+	total := 0
+	for _, v := range t.rows { // want "guarded by rw"
+		total += v
+	}
+	return total
+}
+
+// Monitor reaches scan from inside a go literal.
+func (t *table) Monitor(out chan<- int) {
+	go func() {
+		out <- t.scan()
+	}()
+}
+
+type flags struct {
+	ready int64
+	spare int64
+}
+
+// set uses sync/atomic on ready; sloppy reads it directly: mixing finding,
+// no goroutine required.
+func (f *flags) set() {
+	atomic.StoreInt64(&f.ready, 1)
+}
+
+func (f *flags) sloppy() int64 {
+	return f.ready // want "mixes sync/atomic and direct access"
+}
+
+// consistent only ever touches spare directly: no finding.
+func (f *flags) consistent() int64 {
+	f.spare++
+	return f.spare
+}

@@ -1,0 +1,32 @@
+// Package uncovered repeats the violating shapes outside the concurrent
+// directories: the analyzer does not apply, so no findings.
+package uncovered
+
+import "sync"
+
+type stats struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *stats) add(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n += v
+}
+
+func (s *stats) get() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+func (s *stats) peek() int {
+	return s.n
+}
+
+func (s *stats) Watch() {
+	go func() {
+		_ = s.peek()
+	}()
+}

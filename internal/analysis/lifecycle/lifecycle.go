@@ -1,0 +1,811 @@
+// Package lifecycle implements a typestate analyzer driven by declarative
+// protocol specs. Each spec names methods of one type (the WAL backend, the
+// buffer pool, the span recorder) and the order they must be called in;
+// the analyzer explores every intra-procedural CFG path and reports calls
+// that a spec forbids in the state the path has reached.
+//
+// Two spec shapes cover the protocols the durability and tracing stacks
+// rely on:
+//
+//   - A StateSpec is a small state machine: Log* methods stage records,
+//     Commit seals them, and Checkpoint is forbidden while records are
+//     staged. A poison method latches a fatal error; after it, every
+//     protocol method is forbidden until a check method has observed the
+//     failure.
+//
+//   - A PairSpec balances an acquire against a release: the span returned
+//     by Recorder.Start must reach Finish — or be handed off (passed to a
+//     call, returned, stored, captured by a closure) — on every path, and
+//     each BufferPool.Ref must be balanced by an Unref on the same page
+//     expression.
+//
+// Specs match by type, not by caller package: a protocol holds wherever
+// its type is used (the engine, the simulator, the GC heap). Every spec
+// type is defined in a package under analysis.ConcurrentDirs, so the
+// notion of protocol-carrying code stays aligned with the other
+// concurrency analyzers.
+//
+// The analysis is path-sensitive but intra-procedural, and deliberately
+// leans on consume-on-escape: once a tracked value is passed to any call,
+// returned, stored, or captured, responsibility for it has moved and the
+// path is done. That keeps helpers like finishGCSpan (which finishes the
+// span it is handed) out of false positives without inter-procedural
+// reasoning. Nil-guard branches (`if sp != nil { ... }`) are understood:
+// on the nil edge there is nothing to finish.
+package lifecycle
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"odbgc/internal/analysis"
+	"odbgc/internal/analysis/cfg"
+)
+
+// A TypeRef names a type by its defining package directory (module
+// relative, matched as a path-segment run like analysis.PathCovered) and
+// its type name.
+type TypeRef struct {
+	Dir  string
+	Name string
+}
+
+// A StateSpec is a protocol state machine over the methods of one type.
+type StateSpec struct {
+	Label   string          // noun for messages, e.g. "WAL"
+	Types   []TypeRef       // types carrying the protocol (interface or concrete)
+	Stage   map[string]bool // methods that move any healthy state to staged
+	Commit  string          // staged -> idle
+	Barrier string          // forbidden while staged
+	Poison  string          // latches a fatal error (unexported: intra-package only)
+	Check   string          // observes the latched error, clearing the poisoned state
+}
+
+// A PairSpec balances an acquire call against a release call.
+type PairSpec struct {
+	Label      string // noun for messages, e.g. "span"
+	Types      []TypeRef
+	Acquire    string
+	Release    string // tracked value is the release's first argument
+	ResultMode bool   // true: track Acquire's result; false: track (receiver, first arg)
+}
+
+// walSpec is the durability protocol: storage.Backend is the interface the
+// engine, simulator, and GC heap log through; disk.Store is the concrete
+// store the crash tests drive directly. Both carry the same state machine.
+var walSpec = &StateSpec{
+	Label: "WAL",
+	Types: []TypeRef{
+		{Dir: "internal/storage", Name: "Backend"},
+		{Dir: "internal/storage/disk", Name: "Store"},
+	},
+	Stage: map[string]bool{
+		"LogAlloc": true, "LogSet": true, "LogRoot": true, "LogReclaim": true,
+	},
+	Commit:  "Commit",
+	Barrier: "Checkpoint",
+	Poison:  "poison",
+	Check:   "failed",
+}
+
+var stateSpecs = []*StateSpec{walSpec}
+
+var pairSpecs = []*PairSpec{
+	{
+		Label:      "span",
+		Types:      []TypeRef{{Dir: "internal/obs/span", Name: "Recorder"}},
+		Acquire:    "Start",
+		Release:    "Finish",
+		ResultMode: true,
+	},
+	{
+		Label:   "page ref",
+		Types:   []TypeRef{{Dir: "internal/storage", Name: "BufferPool"}},
+		Acquire: "Ref",
+		Release: "Unref",
+	},
+}
+
+// Analyzer reports protocol-order violations: checkpoints over staged WAL
+// records, WAL calls after poison, spans that never reach Finish, and
+// unbalanced buffer-pool refs.
+var Analyzer = &analysis.Analyzer{
+	Name: "lifecycle",
+	Doc:  "check declarative call-order protocols (WAL staging, span pairing, buffer refs) along CFG paths",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBody(pass, fd.Body)
+			// Function literals get their own graphs: cfg.New does not
+			// traverse them, and a closure's paths are its own.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					checkBody(pass, fl.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	for _, spec := range stateSpecs {
+		checkStateMachine(pass, g, spec)
+	}
+	for _, spec := range pairSpecs {
+		checkPairs(pass, g, spec)
+	}
+}
+
+// matchType reports whether t (after stripping pointers) is one of the
+// named types the spec applies to.
+func matchType(t types.Type, refs []TypeRef) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	for _, r := range refs {
+		if obj.Name() == r.Name && analysis.PathCovered(obj.Pkg().Path(), []string{r.Dir}) {
+			return true
+		}
+	}
+	return false
+}
+
+// specCall decomposes a call into (receiver expr, method name) when the
+// receiver's type matches the spec's types. Function-typed calls, builtin
+// calls, and methods of other types return ok=false.
+func specCall(info *types.Info, call *ast.CallExpr, refs []TypeRef) (recv ast.Expr, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	if _, isConv := info.Types[call.Fun].Type.(*types.Signature); !isConv {
+		return nil, "", false
+	}
+	if !matchType(info.Types[sel.X].Type, refs) {
+		return nil, "", false
+	}
+	return sel.X, sel.Sel.Name, true
+}
+
+// ---------------------------------------------------------------------------
+// State-machine specs
+
+type stState int
+
+const (
+	stNone stState = iota // nothing staged (also the unknown entry state)
+	stStaged
+	stPoisoned
+)
+
+type stKind int
+
+const (
+	seStage stKind = iota
+	seCommit
+	seBarrier
+	sePoison
+	seCheck
+)
+
+type stEvent struct {
+	kind stKind
+	name string
+	pos  token.Pos
+}
+
+// checkStateMachine finds every receiver expression the function calls
+// spec methods on (each is one protocol instance, keyed by its printed
+// form: "d", "s.cfg.Durable", "h.durable") and walks all CFG paths per
+// instance.
+func checkStateMachine(pass *analysis.Pass, g *cfg.Graph, spec *StateSpec) {
+	events := map[string]map[*cfg.Block][]stEvent{}
+	for _, b := range g.Blocks {
+		for _, node := range b.Nodes {
+			// A range head's block holds the whole RangeStmt; its body
+			// statements live in their own blocks, so only the ranged-over
+			// expression is this block's.
+			if rs, ok := node.(*ast.RangeStmt); ok {
+				node = rs.X
+			}
+			bb := b
+			ast.Inspect(node, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+					// Literals are separate graphs; go/defer calls run on
+					// their own schedule, outside this path's order.
+					return false
+				case *ast.CallExpr:
+					recv, name, ok := specCall(pass.TypesInfo, n, spec.Types)
+					if !ok {
+						return true
+					}
+					var kind stKind
+					switch {
+					case spec.Stage[name]:
+						kind = seStage
+					case name == spec.Commit:
+						kind = seCommit
+					case name == spec.Barrier:
+						kind = seBarrier
+					case name == spec.Poison:
+						kind = sePoison
+					case name == spec.Check:
+						kind = seCheck
+					default:
+						return true
+					}
+					key := types.ExprString(recv)
+					if events[key] == nil {
+						events[key] = map[*cfg.Block][]stEvent{}
+					}
+					events[key][bb] = append(events[key][bb], stEvent{kind: kind, name: name, pos: n.Pos()})
+				}
+				return true
+			})
+		}
+	}
+	for inst, evs := range events {
+		simulateState(pass, g, spec, inst, evs)
+	}
+}
+
+func simulateState(pass *analysis.Pass, g *cfg.Graph, spec *StateSpec, inst string, events map[*cfg.Block][]stEvent) {
+	type frame struct {
+		b         *cfg.Block
+		st        stState
+		stageName string
+		stageLine int
+	}
+	type visitKey struct {
+		b  *cfg.Block
+		st stState
+	}
+	seen := map[visitKey]bool{}
+	reported := map[token.Pos]bool{}
+	report := func(ev stEvent, format string, args ...any) {
+		if !reported[ev.pos] {
+			reported[ev.pos] = true
+			pass.Reportf(ev.pos, format, args...)
+		}
+	}
+	stack := []frame{{b: g.Entry}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		k := visitKey{f.b, f.st}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		st, sn, sl := f.st, f.stageName, f.stageLine
+		for _, ev := range events[f.b] {
+			switch ev.kind {
+			case seStage:
+				if st == stPoisoned {
+					report(ev, "%s on %s after %s latched a failure with no %s() check on this path",
+						ev.name, inst, spec.Poison, spec.Check)
+				} else {
+					st, sn, sl = stStaged, ev.name, pass.Fset.Position(ev.pos).Line
+				}
+			case seCommit:
+				if st == stPoisoned {
+					report(ev, "%s on %s after %s latched a failure with no %s() check on this path",
+						ev.name, inst, spec.Poison, spec.Check)
+				} else {
+					st = stNone
+				}
+			case seBarrier:
+				switch st {
+				case stStaged:
+					report(ev, "%s on %s with staged records not yet committed (%s at line %d); call %s first",
+						ev.name, inst, sn, sl, spec.Commit)
+				case stPoisoned:
+					report(ev, "%s on %s after %s latched a failure with no %s() check on this path",
+						ev.name, inst, spec.Poison, spec.Check)
+				}
+			case sePoison:
+				st = stPoisoned
+			case seCheck:
+				// Commit and friends report the latched error themselves once
+				// it has been observed; checking clears the obligation.
+				if st == stPoisoned {
+					st = stNone
+				}
+			}
+		}
+		for _, s := range f.b.Succs {
+			stack = append(stack, frame{b: s, st: st, stageName: sn, stageLine: sl})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Pairing specs
+
+// checkPairs finds each acquire site and follows the tracked value along
+// every path from the site.
+func checkPairs(pass *analysis.Pass, g *cfg.Graph, spec *PairSpec) {
+	for _, b := range g.Blocks {
+		for i, node := range b.Nodes {
+			if rs, ok := node.(*ast.RangeStmt); ok {
+				node = rs.X
+			}
+			call, form := acquireAt(pass.TypesInfo, node, spec)
+			if call == nil {
+				continue
+			}
+			if spec.ResultMode {
+				startResult(pass, g, spec, b, i, node, call, form)
+			} else {
+				startArg(pass, g, spec, b, i, call, form)
+			}
+		}
+	}
+}
+
+// acquireForm classifies how an acquire call sits in its statement.
+type acquireForm int
+
+const (
+	formNone     acquireForm = iota
+	formAssign               // v := B.Acquire(...) or v = B.Acquire(...)
+	formDiscard              // B.Acquire(...) as a bare statement
+	formCond                 // if B.Acquire(...) { ... } — the call is the branch condition
+	formCondNeg              // if !B.Acquire(...) { ... }
+	formConsumed             // nested in a larger expression: consumed on the spot
+)
+
+// acquireAt reports the acquire call a block node carries, if any, and the
+// form it takes. Only the outermost statement shapes are recognized; an
+// acquire nested deeper (an argument to another call, a composite literal
+// field) is consumed where it stands and needs no tracking.
+func acquireAt(info *types.Info, node ast.Node, spec *PairSpec) (*ast.CallExpr, acquireForm) {
+	isAcq := func(e ast.Expr) *ast.CallExpr {
+		call, ok := unparen(e).(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		if _, name, ok := specCall(info, call, spec.Types); !ok || name != spec.Acquire {
+			return nil
+		}
+		return call
+	}
+	switch n := node.(type) {
+	case *ast.AssignStmt:
+		if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+			if call := isAcq(n.Rhs[0]); call != nil {
+				return call, formAssign
+			}
+		}
+	case *ast.ExprStmt:
+		if call := isAcq(n.X); call != nil {
+			return call, formDiscard
+		}
+	case ast.Expr:
+		// A bare expression node is a branch condition the CFG hoisted into
+		// this block.
+		if call := isAcq(n); call != nil {
+			return call, formCond
+		}
+		if u, ok := unparen(n).(*ast.UnaryExpr); ok && u.Op == token.NOT {
+			if call := isAcq(u.X); call != nil {
+				return call, formCondNeg
+			}
+		}
+	}
+	return nil, formNone
+}
+
+// ---------------------------------------------------------------------------
+// Result-mode pairing (Recorder.Start -> Finish)
+
+// pairEvent classifies what one block node does to a tracked value.
+type pairEvent int
+
+const (
+	peNone pairEvent = iota
+	peRelease
+	peDeferRelease
+	peEscape     // handed off: call argument, return, store, send, closure capture
+	peKill       // the variable was reassigned; the old value is out of scope here
+	peCondNil    // branch on v == nil: the then-edge carries nothing to release
+	peCondNotNil // branch on v != nil: the else-edge carries nothing
+)
+
+func startResult(pass *analysis.Pass, g *cfg.Graph, spec *PairSpec, b *cfg.Block, idx int, node ast.Node, call *ast.CallExpr, form acquireForm) {
+	switch form {
+	case formDiscard:
+		pass.Reportf(call.Pos(), "result of %s is discarded; the %s can never reach %s",
+			types.ExprString(call.Fun), spec.Label, spec.Release)
+		return
+	case formAssign:
+	default:
+		return // conditions and nested uses consume the result on the spot
+	}
+	as := node.(*ast.AssignStmt)
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return // stored through a selector/index: handed off immediately
+	}
+	v := pass.TypesInfo.ObjectOf(id)
+	if v == nil {
+		return
+	}
+
+	type frame struct {
+		b        *cfg.Block
+		i        int
+		deferred bool
+	}
+	type visitKey struct {
+		b        *cfg.Block
+		deferred bool
+	}
+	seen := map[visitKey]bool{}
+	stack := []frame{{b: b, i: idx + 1}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f.i == 0 {
+			k := visitKey{f.b, f.deferred}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		if f.b == g.Exit {
+			if !f.deferred {
+				pass.Reportf(call.Pos(), "%s from %s is not passed to %s, returned, or handed off on every path",
+					spec.Label, types.ExprString(call.Fun), spec.Release)
+				return // one report per acquire site
+			}
+			continue
+		}
+		deferred := f.deferred
+		released := false
+		var cond pairEvent
+		for i := f.i; i < len(f.b.Nodes); i++ {
+			ev := classifyUse(pass.TypesInfo, f.b.Nodes[i], v, spec)
+			switch ev {
+			case peRelease, peEscape, peKill:
+				released = true
+			case peDeferRelease:
+				deferred = true
+			case peCondNil, peCondNotNil:
+				if i == len(f.b.Nodes)-1 && len(f.b.Succs) >= 2 {
+					cond = ev
+				}
+			}
+			if released {
+				break
+			}
+		}
+		if released {
+			continue
+		}
+		if cond != peNone {
+			// Succs[0] is the then-edge (cfg builder emits it first). On the
+			// edge where the comparison proves v nil there is nothing to
+			// release: tracking ends.
+			if cond == peCondNotNil {
+				stack = append(stack, frame{b: f.b.Succs[0], deferred: deferred})
+			} else {
+				stack = append(stack, frame{b: f.b.Succs[1], deferred: deferred})
+			}
+			continue
+		}
+		for _, s := range f.b.Succs {
+			stack = append(stack, frame{b: s, deferred: deferred})
+		}
+	}
+}
+
+// classifyUse reports what node does to the tracked object v. Reads
+// through v (v.Field, v.Method(...)) touch a copy of a field or run a
+// method and keep the obligation alive; anything that moves the value
+// itself — argument, return, store, send, closure capture — ends it.
+func classifyUse(info *types.Info, node ast.Node, v types.Object, spec *PairSpec) pairEvent {
+	if rs, ok := node.(*ast.RangeStmt); ok {
+		node = rs.X
+	}
+	if ds, ok := node.(*ast.DeferStmt); ok {
+		if isReleaseOf(info, ds.Call, v, spec) {
+			return peDeferRelease
+		}
+		if handsOff(info, ds.Call, v, spec) {
+			return peEscape
+		}
+		return peNone
+	}
+	// A bare expression node is a branch condition; nil comparisons are
+	// reads that refine the path, not hand-offs.
+	if e, ok := node.(ast.Expr); ok {
+		if bin, ok := unparen(e).(*ast.BinaryExpr); ok && (bin.Op == token.EQL || bin.Op == token.NEQ) {
+			x, y := unparen(bin.X), unparen(bin.Y)
+			if isNil(info, y) && isIdentOf(info, x, v) || isNil(info, x) && isIdentOf(info, y, v) {
+				if bin.Op == token.EQL {
+					return peCondNil
+				}
+				return peCondNotNil
+			}
+		}
+	}
+	if as, ok := node.(*ast.AssignStmt); ok {
+		for _, l := range as.Lhs {
+			if isIdentOf(info, l, v) {
+				return peKill
+			}
+		}
+	}
+	// Release wins over escape: the value's occurrence as the release
+	// call's argument is the pairing itself. A release inside a function
+	// literal is only a capture at this point — it runs later, if at all.
+	released := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if c, ok := n.(*ast.CallExpr); ok && isReleaseOf(info, c, v, spec) {
+			released = true
+		}
+		return !released
+	})
+	if released {
+		return peRelease
+	}
+	if handsOff(info, node, v, spec) {
+		return peEscape
+	}
+	return peNone
+}
+
+// isReleaseOf reports whether call is spec.Release on a matching receiver
+// with v as its first argument.
+func isReleaseOf(info *types.Info, call *ast.CallExpr, v types.Object, spec *PairSpec) bool {
+	_, name, ok := specCall(info, call, spec.Types)
+	if !ok || name != spec.Release || len(call.Args) == 0 {
+		return false
+	}
+	return isIdentOf(info, call.Args[0], v)
+}
+
+// handsOff reports whether node contains a use of v that transfers the
+// value itself somewhere this analysis cannot follow. Occurrences as the
+// base of a selector (v.Field, v.Method(...)) are reads and do not count;
+// every other identifier occurrence — call argument, return value,
+// assignment source, channel send, composite literal element, closure
+// capture — does. Hand-off ends tracking, so over-approximating here can
+// only hide a leak, never invent one.
+func handsOff(info *types.Info, node ast.Node, v types.Object, spec *PairSpec) bool {
+	selBase := map[*ast.Ident]bool{}
+	ast.Inspect(node, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if id, ok := unparen(sel.X).(*ast.Ident); ok {
+				selBase[id] = true
+			}
+		}
+		return true
+	})
+	handed := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && !selBase[id] && info.ObjectOf(id) == v {
+			handed = true
+		}
+		return !handed
+	})
+	return handed
+}
+
+// ---------------------------------------------------------------------------
+// Arg-mode pairing (BufferPool.Ref -> Unref)
+
+// startArg tracks one Ref site by the printed form of its receiver and
+// page argument ("b", "pg"): the balance holds when a matching Unref runs
+// (or is deferred) on every path the true-branch of the Ref can take.
+func startArg(pass *analysis.Pass, g *cfg.Graph, spec *PairSpec, b *cfg.Block, idx int, call *ast.CallExpr, form acquireForm) {
+	if len(call.Args) == 0 {
+		return
+	}
+	recv, _, _ := specCall(pass.TypesInfo, call, spec.Types)
+	recvStr := types.ExprString(recv)
+	argStr := types.ExprString(call.Args[0])
+
+	type frame struct {
+		b        *cfg.Block
+		i        int
+		depth    int
+		deferred int
+	}
+	type visitKey struct {
+		b               *cfg.Block
+		depth, deferred int
+	}
+	const maxDepth = 8 // nested re-refs beyond this abandon the site
+	var start []frame
+	switch form {
+	case formAssign, formDiscard:
+		start = []frame{{b: b, i: idx + 1, depth: 1}}
+	case formCond:
+		// The acquire is the branch condition: the ref is only held on the
+		// true edge (Succs[0]; the cfg builder emits the then-edge first).
+		if len(b.Succs) >= 2 {
+			start = []frame{{b: b.Succs[0], depth: 1}}
+		}
+	case formCondNeg:
+		if len(b.Succs) >= 2 {
+			start = []frame{{b: b.Succs[1], depth: 1}}
+		}
+	default:
+		return
+	}
+
+	match := func(c *ast.CallExpr, name string) bool {
+		r, n, ok := specCall(pass.TypesInfo, c, spec.Types)
+		return ok && n == name && len(c.Args) > 0 &&
+			types.ExprString(r) == recvStr && types.ExprString(c.Args[0]) == argStr
+	}
+
+	seen := map[visitKey]bool{}
+	stack := start
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f.i == 0 {
+			k := visitKey{f.b, f.depth, f.deferred}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		if f.b == g.Exit {
+			if f.depth-f.deferred > 0 {
+				pass.Reportf(call.Pos(), "%s.%s(%s) is not balanced by %s(%s) on every path",
+					recvStr, spec.Acquire, argStr, spec.Release, argStr)
+				return
+			}
+			continue
+		}
+		depth, deferred := f.depth, f.deferred
+		dead := false
+		condThen := false // a re-acquire as branch condition: ref held on one edge only
+		condAcq := false
+		for i := f.i; i < len(f.b.Nodes) && !dead; i++ {
+			node := f.b.Nodes[i]
+			if rs, ok := node.(*ast.RangeStmt); ok {
+				node = rs.X
+			}
+			// A matching acquire as the block's branch condition holds the
+			// ref only on the edge where it returned true; count it on that
+			// edge instead of here.
+			if e, ok := node.(ast.Expr); ok && i == len(f.b.Nodes)-1 && len(f.b.Succs) >= 2 {
+				if c, ok := unparen(e).(*ast.CallExpr); ok && match(c, spec.Acquire) {
+					condAcq, condThen = true, true
+					continue
+				}
+				if u, ok := unparen(e).(*ast.UnaryExpr); ok && u.Op == token.NOT {
+					if c, ok := unparen(u.X).(*ast.CallExpr); ok && match(c, spec.Acquire) {
+						condAcq, condThen = true, false
+						continue
+					}
+				}
+			}
+			if ds, ok := node.(*ast.DeferStmt); ok {
+				if match(ds.Call, spec.Release) {
+					deferred++
+				} else if fl, ok := ds.Call.Fun.(*ast.FuncLit); ok {
+					// defer func() { _ = b.Unref(pg) }() — the closure runs
+					// at return; a matching release inside it counts.
+					ast.Inspect(fl.Body, func(n ast.Node) bool {
+						if c, ok := n.(*ast.CallExpr); ok && match(c, spec.Release) {
+							deferred++
+						}
+						return true
+					})
+				}
+				continue
+			}
+			if as, ok := node.(*ast.AssignStmt); ok {
+				// Reassigning the page variable (or the pool) changes what
+				// the printed keys mean; stop tracking rather than guess.
+				for _, l := range as.Lhs {
+					ls := types.ExprString(l)
+					if ls == argStr || ls == recvStr {
+						dead = true
+					}
+				}
+				if dead {
+					break
+				}
+			}
+			ast.Inspect(node, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				c, ok := n.(*ast.CallExpr)
+				if !ok || dead {
+					return !dead
+				}
+				if match(c, spec.Release) {
+					depth--
+					if depth <= 0 {
+						dead = true
+					}
+				} else if match(c, spec.Acquire) {
+					depth++
+					if depth > maxDepth {
+						dead = true
+					}
+				}
+				return !dead
+			})
+		}
+		if dead {
+			continue
+		}
+		if condAcq {
+			then, els := depth+1, depth
+			if !condThen {
+				then, els = depth, depth+1
+			}
+			if then <= maxDepth && els <= maxDepth {
+				stack = append(stack,
+					frame{b: f.b.Succs[0], depth: then, deferred: deferred},
+					frame{b: f.b.Succs[1], depth: els, deferred: deferred})
+			}
+			continue
+		}
+		for _, s := range f.b.Succs {
+			stack = append(stack, frame{b: s, depth: depth, deferred: deferred})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// small helpers
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func isNil(info *types.Info, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNilConst := info.ObjectOf(id).(*types.Nil)
+	return isNilConst
+}
+
+func isIdentOf(info *types.Info, e ast.Expr, v types.Object) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && info.ObjectOf(id) == v
+}

@@ -1,0 +1,88 @@
+package lifecycle_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"odbgc/internal/analysis"
+	"odbgc/internal/analysis/analysistest"
+	"odbgc/internal/analysis/lifecycle"
+)
+
+// TestWALStore pins the state machine on the concrete store shape:
+// checkpoint-over-staged, poison without a check, and the err-checked
+// commit loop from the crash-test workload.
+func TestWALStore(t *testing.T) {
+	analysistest.Run(t, "testdata/src/wal", lifecycle.Analyzer, "example.com/internal/storage/disk")
+}
+
+// TestWALBackend pins the same protocol through the interface the engine,
+// simulator, and heap log through — including the dropped-commit seeded
+// regression.
+func TestWALBackend(t *testing.T) {
+	analysistest.Run(t, "testdata/src/backend", lifecycle.Analyzer, "example.com/internal/storage")
+}
+
+// TestSpanPairing pins Start/Finish pairing: consume-on-escape, nil-guard
+// branches, the abandoned-span regression, and the type gate.
+func TestSpanPairing(t *testing.T) {
+	analysistest.Run(t, "testdata/src/spans", lifecycle.Analyzer, "example.com/internal/obs/span")
+}
+
+// TestRefPairing pins Ref/Unref balance on the buffer-pool shape,
+// including conditional acquires and nested re-refs.
+func TestRefPairing(t *testing.T) {
+	analysistest.Run(t, "testdata/src/buffer", lifecycle.Analyzer, "example.com/internal/storage")
+}
+
+// TestUnreasonedAllowRejected pins the suppression contract: an allow
+// without a reason is itself a finding and suppresses nothing.
+func TestUnreasonedAllowRejected(t *testing.T) {
+	dir := t.TempDir()
+	src := `package span
+
+type Span struct{ Start int64 }
+
+type Recorder struct{ spans []*Span }
+
+func (r *Recorder) Start(op string, t int64) *Span { return &Span{Start: t} }
+
+func (r *Recorder) Finish(sp *Span, end int64, outcome string) {
+	r.spans = append(r.spans, sp)
+}
+
+func leak(r *Recorder, t int64, early bool) {
+	//lint:allow lifecycle
+	sp := r.Start("req", t)
+	if early {
+		return
+	}
+	r.Finish(sp, t+1, "ok")
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "span.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg := analysistest.LoadPackage(t, dir, "example.com/internal/obs/span")
+	findings, err := analysis.RunPackage(pkg, []*analysis.Analyzer{lifecycle.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawMalformed, sawFinding bool
+	for _, f := range findings {
+		if f.Analyzer == "allow" && strings.Contains(f.Message, "no reason") {
+			sawMalformed = true
+		}
+		if f.Analyzer == "lifecycle" {
+			sawFinding = true
+		}
+	}
+	if !sawMalformed {
+		t.Errorf("unreasoned //lint:allow not reported as malformed; findings: %v", findings)
+	}
+	if !sawFinding {
+		t.Errorf("unreasoned //lint:allow suppressed the lifecycle finding; findings: %v", findings)
+	}
+}

@@ -1,0 +1,72 @@
+// Package backend exercises the WAL spec through the Backend interface —
+// the shape the engine, simulator, and GC heap log through — including the
+// seeded regression: a per-event commit dropped before a phase-boundary
+// checkpoint.
+package backend
+
+// OID is a stand-in object identifier.
+type OID int
+
+// Backend matches the spec's interface type reference: the protocol holds
+// for every caller that logs through it, whatever the caller's package.
+type Backend interface {
+	LogAlloc(oid OID) error
+	LogSet(src OID, slot int, dst OID) error
+	LogRoot(oid OID, on bool) error
+	LogReclaim(oids []OID) error
+	Commit() error
+	Checkpoint() error
+}
+
+type engine struct {
+	durable Backend
+	commits uint64
+	every   uint64
+}
+
+// commitDurable mirrors the live engine: commit the staged batch, then the
+// periodic checkpoint. True negative.
+func (e *engine) commitDurable() error {
+	d := e.durable
+	if d == nil {
+		return nil
+	}
+	if err := d.Commit(); err != nil {
+		return err
+	}
+	e.commits++
+	if e.every > 0 && e.commits%e.every == 0 {
+		if err := d.Checkpoint(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// create mirrors the heap: stage one record, err-checked; the commit
+// belongs to the event boundary in another function. True negative.
+func (e *engine) create(oid OID) error {
+	if e.durable != nil {
+		if err := e.durable.LogAlloc(oid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// step is the seeded regression: the simulator's per-event commit was
+// dropped, so the phase-boundary checkpoint runs over the event's staged
+// records.
+func (e *engine) step(oid OID, phase bool) error {
+	if e.durable != nil {
+		if err := e.durable.LogSet(oid, 0, oid+1); err != nil {
+			return err
+		}
+		if phase {
+			if err := e.durable.Checkpoint(); err != nil { // want "Checkpoint on e.durable with staged records not yet committed"
+				return err
+			}
+		}
+	}
+	return nil
+}

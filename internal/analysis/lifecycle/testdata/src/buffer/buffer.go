@@ -1,0 +1,87 @@
+// Package buffer exercises the ref-pairing spec on the buffer-pool shape:
+// each Ref(pg) must be balanced by an Unref(pg) — directly or deferred —
+// on every path where the ref was actually taken.
+package buffer
+
+// PageID is a stand-in page number.
+type PageID uint32
+
+// BufferPool matches the spec's type reference.
+type BufferPool struct {
+	refs map[PageID]int
+}
+
+func (b *BufferPool) Ref(pg PageID) bool {
+	if _, ok := b.refs[pg]; !ok {
+		return false
+	}
+	b.refs[pg]++
+	return true
+}
+
+func (b *BufferPool) Unref(pg PageID) error {
+	b.refs[pg]--
+	return nil
+}
+
+// pinned holds the ref across the critical section with a deferred
+// release; the false edge of the conditional acquire holds nothing. True
+// negative.
+func pinned(b *BufferPool, pg PageID, work func() error) error {
+	if !b.Ref(pg) {
+		return nil
+	}
+	defer func() { _ = b.Unref(pg) }()
+	return work()
+}
+
+// balanced releases explicitly on both exits. True negative.
+func balanced(b *BufferPool, pg PageID, flush bool) error {
+	if !b.Ref(pg) {
+		return nil
+	}
+	if flush {
+		_ = b.Unref(pg)
+		return nil
+	}
+	return b.Unref(pg)
+}
+
+// leaky drops the ref on the flush path.
+func leaky(b *BufferPool, pg PageID, flush bool) error {
+	if b.Ref(pg) { // want "is not balanced by Unref"
+		if flush {
+			return nil
+		}
+		return b.Unref(pg)
+	}
+	return nil
+}
+
+// nested takes the ref twice and releases twice. True negative.
+func nested(b *BufferPool, pg PageID) {
+	if b.Ref(pg) {
+		if b.Ref(pg) {
+			_ = b.Unref(pg)
+		}
+		_ = b.Unref(pg)
+	}
+}
+
+// renter takes the ref twice but releases once.
+func renter(b *BufferPool, pg PageID) {
+	if b.Ref(pg) { // want "is not balanced by Unref"
+		if b.Ref(pg) {
+			_ = b.Unref(pg)
+		}
+	}
+}
+
+// swapped stops tracking when the page variable is reassigned: the
+// printed key no longer means the same page. No finding either way.
+func swapped(b *BufferPool, pg PageID) {
+	if b.Ref(pg) {
+		pg = pg + 1
+		_ = b.Unref(pg)
+	}
+}

@@ -1,0 +1,140 @@
+// Package spans exercises the span pairing spec: every Start must reach
+// Finish, be returned, or be handed off on every path, with nil-guard
+// branches understood.
+package spans
+
+// Span is the tracked value; its fields and methods are reads through the
+// pointer, not hand-offs.
+type Span struct {
+	Start int64
+	Seq   uint64
+	stage int64
+}
+
+// SetStage is nil-safe, like the real span API.
+func (s *Span) SetStage(d int64) {
+	if s == nil {
+		return
+	}
+	s.stage += d
+}
+
+// Recorder matches the spec's type reference.
+type Recorder struct {
+	spans []*Span
+}
+
+func (r *Recorder) Start(op string, t int64) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{Start: t}
+}
+
+func (r *Recorder) Finish(sp *Span, end int64, outcome string) {
+	if r == nil || sp == nil {
+		return
+	}
+	r.spans = append(r.spans, sp)
+}
+
+type engine struct {
+	rec *Recorder
+}
+
+// collect mirrors the GC path: nil-guarded start, the error path hands the
+// span to a finishing helper, the success path too. True negative.
+func (e *engine) collect(t int64, fail bool) {
+	var gsp *Span
+	if e.rec != nil {
+		gsp = e.rec.Start("collect", t)
+		gsp.Seq = 1
+	}
+	if fail {
+		if gsp != nil {
+			e.finishGC(gsp, t+1)
+		}
+		return
+	}
+	if gsp != nil {
+		gsp.SetStage(t)
+		e.finishGC(gsp, t+2)
+	}
+}
+
+func (e *engine) finishGC(gsp *Span, end int64) {
+	e.rec.Finish(gsp, end, "ok")
+}
+
+// session mirrors the server loop: the span is handed to submit, which
+// owns it from there. True negative.
+func (e *engine) session(ops []string, t int64) {
+	for i, op := range ops {
+		sp := e.rec.Start(op, t+int64(i))
+		if sp != nil {
+			sp.Seq = uint64(i)
+		}
+		e.submit(op, sp)
+	}
+}
+
+func (e *engine) submit(op string, sp *Span) {
+	e.finishGC(sp, 0)
+}
+
+// open returns the span: the caller owns it. True negative.
+func (e *engine) open(t int64) *Span {
+	sp := e.rec.Start("open", t)
+	return sp
+}
+
+// direct finishes on every path, one of them deferred-free. True negative.
+func (e *engine) direct(t int64, slow bool) {
+	sp := e.rec.Start("direct", t)
+	if slow {
+		sp.SetStage(t)
+		e.rec.Finish(sp, t+2, "slow")
+		return
+	}
+	e.rec.Finish(sp, t+1, "ok")
+}
+
+// abandoned drops the span on the timeout path: the seeded regression.
+func (e *engine) abandoned(t int64, timeout bool) {
+	sp := e.rec.Start("req", t) // want "span from e.rec.Start is not passed to Finish"
+	if timeout {
+		return
+	}
+	e.rec.Finish(sp, t+1, "ok")
+}
+
+// fireAndForget never even keeps the span.
+func (e *engine) fireAndForget(t int64) {
+	e.rec.Start("bg", t) // want "result of e.rec.Start is discarded"
+}
+
+// probe drops fast-path spans by design: the reasoned allow is accepted
+// and the finding suppressed.
+func (e *engine) probe(t int64, slow bool) {
+	//lint:allow lifecycle probe spans on the fast path are dropped by design; the recorder reclaims them in bulk
+	sp := e.rec.Start("probe", t)
+	if slow {
+		e.rec.Finish(sp, t+1, "ok")
+	}
+}
+
+// logger has Start/Finish methods with the same shapes but is not the
+// spec's type: no findings.
+type logger struct {
+	out []*Span
+}
+
+func (l *logger) Start(op string, t int64) *Span { return &Span{Start: t} }
+
+func (l *logger) leak(t int64, early bool) {
+	sp := l.Start("log", t)
+	if early {
+		return
+	}
+	l.out = append(l.out, sp)
+}

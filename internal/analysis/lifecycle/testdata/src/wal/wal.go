@@ -1,0 +1,123 @@
+// Package wal exercises the WAL state-machine spec on a concrete store —
+// the disk.Store shape: Log* stages, Commit seals, Checkpoint is forbidden
+// over staged records, and poison latches a failure that only a failed()
+// check clears.
+package wal
+
+import "errors"
+
+// OID is a stand-in object identifier.
+type OID int
+
+// Store carries the protocol: its name and package path match the spec's
+// concrete type reference.
+type Store struct {
+	ops   []int
+	fatal error
+}
+
+func (s *Store) LogAlloc(oid OID) error                  { s.ops = append(s.ops, int(oid)); return nil }
+func (s *Store) LogSet(src OID, slot int, dst OID) error { s.ops = append(s.ops, int(src)); return nil }
+func (s *Store) LogRoot(oid OID, on bool) error          { s.ops = append(s.ops, int(oid)); return nil }
+func (s *Store) LogReclaim(oids []OID) error             { s.ops = append(s.ops, len(oids)); return nil }
+func (s *Store) Commit() error                           { s.ops = s.ops[:0]; return nil }
+func (s *Store) Checkpoint() error                       { return nil }
+
+func (s *Store) poison(err error) error {
+	if s.fatal == nil {
+		s.fatal = err
+	}
+	return err
+}
+
+func (s *Store) failed() error {
+	return s.fatal
+}
+
+// commitThenCheckpoint follows the protocol. True negative.
+func commitThenCheckpoint(s *Store) error {
+	if err := s.LogAlloc(1); err != nil {
+		return err
+	}
+	if err := s.LogSet(1, 0, 2); err != nil {
+		return err
+	}
+	if err := s.Commit(); err != nil {
+		return err
+	}
+	return s.Checkpoint()
+}
+
+// checkpointStaged checkpoints over records no commit has sealed.
+func checkpointStaged(s *Store) error {
+	if err := s.LogRoot(1, true); err != nil {
+		return err
+	}
+	return s.Checkpoint() // want "Checkpoint on s with staged records not yet committed"
+}
+
+// batchLoop mirrors the crash-test workload: staging in a loop, an
+// err-checked commit every batch, a periodic checkpoint. The checkpoint is
+// only reachable through the commit, so every path is clean. True negative.
+func batchLoop(s *Store, n int) error {
+	for c := 0; c < n; c++ {
+		for i := 0; i < 3; i++ {
+			if err := s.LogSet(OID(i), 0, OID(i+1)); err != nil {
+				return err
+			}
+		}
+		if err := s.Commit(); err != nil {
+			return err
+		}
+		if c%7 == 0 {
+			if err := s.Checkpoint(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// logAfterPoison keeps staging after the store latched a failure: on the
+// err path the poison runs and the following log call is a use-after-fatal.
+func (s *Store) logAfterPoison(err error) error {
+	if err != nil {
+		_ = s.poison(err)
+	}
+	return s.LogRoot(2, false) // want "LogRoot on s after poison latched a failure"
+}
+
+// checkedAfterPoison observes the failure before continuing: the failed()
+// check clears the obligation. True negative.
+func (s *Store) checkedAfterPoison(err error) error {
+	if err != nil {
+		_ = s.poison(err)
+	}
+	if ferr := s.failed(); ferr != nil {
+		return ferr
+	}
+	return s.LogRoot(3, true)
+}
+
+// poisonAndStop is the real store's own shape: latch and return. True
+// negative.
+func (s *Store) poisonAndStop(bad bool) error {
+	if err := s.LogAlloc(4); err != nil {
+		return err
+	}
+	if bad {
+		return s.poison(errors.New("torn write"))
+	}
+	return s.Commit()
+}
+
+// recoveryCheckpoint deliberately images staged records: replay folds the
+// WAL tail into the image itself, so the usual order does not apply. The
+// reasoned allow is accepted and the finding suppressed.
+func recoveryCheckpoint(s *Store) error {
+	if err := s.LogAlloc(9); err != nil {
+		return err
+	}
+	//lint:allow lifecycle recovery folds the replayed tail into the image itself; there is no commit to wait for
+	return s.Checkpoint()
+}

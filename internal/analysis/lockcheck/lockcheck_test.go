@@ -1,0 +1,84 @@
+package lockcheck_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"odbgc/internal/analysis"
+	"odbgc/internal/analysis/analysistest"
+	"odbgc/internal/analysis/lockcheck"
+)
+
+// TestDiscipline pins the unconditional rules — unlock-on-all-paths,
+// double-lock, lock copies — in a package outside the concurrent set.
+func TestDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata/src/discipline", lockcheck.Analyzer, "example.com/internal/sim/pool")
+}
+
+// TestBlockingCovered pins the blocking-while-held rule inside a concurrent
+// package, including the transitive call-graph case.
+func TestBlockingCovered(t *testing.T) {
+	analysistest.Run(t, "testdata/src/blocking", lockcheck.Analyzer, "example.com/internal/server/fix")
+}
+
+// TestBlockingUncoveredExempt runs blocking-under-lock code that lives
+// outside the concurrent directories: no findings.
+func TestBlockingUncoveredExempt(t *testing.T) {
+	analysistest.Run(t, "testdata/src/uncovered", lockcheck.Analyzer, "example.com/internal/report")
+}
+
+// TestEngineRegression pins the seeded regression: an engine-shaped
+// track/untrack pair where untrack lost its defer mu.Unlock().
+func TestEngineRegression(t *testing.T) {
+	analysistest.Run(t, "testdata/src/engine", lockcheck.Analyzer, "example.com/odbgc/internal/server")
+}
+
+// TestUnreasonedAllowRejected pins the suppression contract: an allow
+// without a reason is itself a finding and suppresses nothing.
+func TestUnreasonedAllowRejected(t *testing.T) {
+	dir := t.TempDir()
+	src := `package pool
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (b *box) leak(v int) int {
+	//lint:allow lockcheck
+	b.mu.Lock()
+	if v < 0 {
+		return b.n
+	}
+	b.mu.Unlock()
+	return b.n
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "pool.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg := analysistest.LoadPackage(t, dir, "example.com/internal/sim/pool")
+	findings, err := analysis.RunPackage(pkg, []*analysis.Analyzer{lockcheck.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawMalformed, sawFinding bool
+	for _, f := range findings {
+		if f.Analyzer == "allow" && strings.Contains(f.Message, "no reason") {
+			sawMalformed = true
+		}
+		if f.Analyzer == "lockcheck" {
+			sawFinding = true
+		}
+	}
+	if !sawMalformed {
+		t.Errorf("unreasoned //lint:allow not reported as malformed; findings: %v", findings)
+	}
+	if !sawFinding {
+		t.Errorf("unreasoned //lint:allow suppressed the lockcheck finding; findings: %v", findings)
+	}
+}

@@ -1,0 +1,107 @@
+// Package blocking exercises the blocking-while-held rule, which is active
+// because this fixture pretends to live under internal/server. Channel
+// operations, sleeps, waits, and external writes under a held mutex are
+// findings; buffered rendering, post-unlock sends, non-blocking selects,
+// and go statements are not.
+package blocking
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+type srv struct {
+	mu    sync.Mutex
+	out   io.Writer
+	queue chan int
+	n     int
+}
+
+// enqueue sends on a channel while holding s.mu: a slow consumer stalls
+// every other lock holder.
+func (s *srv) enqueue(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queue <- v // want "channel send while s.mu is held"
+}
+
+// enqueueAfter releases before sending. True negative.
+func (s *srv) enqueueAfter(v int) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.queue <- v
+}
+
+// tryEnqueue uses a select with default, which never blocks. True negative.
+func (s *srv) tryEnqueue(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.queue <- v:
+	default:
+		s.n++
+	}
+}
+
+// await receives while holding the lock.
+func (s *srv) await() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.queue // want "channel receive while s.mu is held"
+}
+
+// dump writes to an external writer while locked.
+func (s *srv) dump() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(s.out, "n=%d\n", s.n) // want "writes to an external io.Writer"
+}
+
+// render builds the text into an in-memory buffer under the lock and lets
+// the caller write it out: the sanctioned shape. True negative.
+func (s *srv) render() string {
+	var buf bytes.Buffer
+	s.mu.Lock()
+	fmt.Fprintf(&buf, "n=%d\n", s.n)
+	s.mu.Unlock()
+	return buf.String()
+}
+
+// nap sleeps under the lock.
+func (s *srv) nap() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want "blocks in time.Sleep"
+}
+
+// flushAll waits for a group under the lock.
+func (s *srv) flushAll(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait() // want "blocks in sync.WaitGroup.Wait"
+}
+
+// slowPath blocks transitively: the helper it calls sleeps. The finding
+// carries the call chain.
+func (s *srv) slowPath() {
+	s.mu.Lock()
+	s.backoff() // want "call to backoff which blocks in time.Sleep"
+	s.mu.Unlock()
+}
+
+func (s *srv) backoff() {
+	time.Sleep(time.Millisecond)
+}
+
+// spawn launches the blocking helper on its own goroutine, which does not
+// block the lock holder. True negative.
+func (s *srv) spawn() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go s.backoff()
+	s.n++
+}

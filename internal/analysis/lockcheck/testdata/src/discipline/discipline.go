@@ -1,0 +1,130 @@
+// Package discipline exercises the path-sensitive rules that hold in every
+// package: unlock-on-all-paths, double-lock, and lock copies. It pretends
+// to live outside the concurrent directories, so the blocking-while-held
+// rule stays off here (see the blocking fixture for that).
+package discipline
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// inc is the canonical discipline: defer covers every path. True negative.
+func (c *counter) inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// add releases manually on both the early return and the fallthrough path.
+// True negative.
+func (c *counter) add(v int) int {
+	c.mu.Lock()
+	if v < 0 {
+		c.mu.Unlock()
+		return c.n
+	}
+	c.n += v
+	c.mu.Unlock()
+	return c.n
+}
+
+// bySwitch releases on every switch arm. True negative.
+func (c *counter) bySwitch(v int) {
+	c.mu.Lock()
+	switch {
+	case v > 0:
+		c.n += v
+		c.mu.Unlock()
+	default:
+		c.mu.Unlock()
+	}
+}
+
+// leaky forgets the unlock on the early-return path.
+func (c *counter) leaky(v int) int {
+	c.mu.Lock() // want "not released on every path"
+	if v < 0 {
+		return c.n
+	}
+	c.n += v
+	c.mu.Unlock()
+	return c.n
+}
+
+// double re-acquires a mutex it already holds.
+func (c *counter) double() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Lock() // want "locked again"
+	c.n++
+	c.mu.Unlock()
+}
+
+// upgrade tries a read-lock while holding the write lock: self-deadlock.
+func (c *counter) upgrade() {
+	c.rw.Lock()
+	defer c.rw.Unlock()
+	c.rw.RLock() // want "locked again"
+	c.n++
+	c.rw.RUnlock()
+}
+
+// readers re-enters a read lock, which is legal. True negative.
+func (c *counter) readers() int {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	c.rw.RLock()
+	n := c.n
+	c.rw.RUnlock()
+	return n
+}
+
+// spin locks every loop iteration and never releases: the back edge makes
+// it both a double-lock and a leak.
+func (c *counter) spin(vs []int) {
+	for range vs {
+		c.mu.Lock() // want "locked again" "not released on every path"
+		c.n++
+	}
+}
+
+// handoff intentionally leaves the lock held for its caller; the reasoned
+// allow keeps it out of the findings.
+func (c *counter) handoff() {
+	//lint:allow lockcheck the matching Unlock is in release, pinned by counter_test
+	c.mu.Lock()
+}
+
+type boxed struct {
+	mu sync.Mutex
+	v  int
+}
+
+func sink(v any) { _ = v }
+
+// byValue copies the mutex at every call.
+func byValue(b boxed) int { // want "passes a mutex-bearing value by value"
+	return b.v
+}
+
+// get copies the mutex into the receiver.
+func (b boxed) get() int { // want "value receiver whose type contains a mutex"
+	return b.v
+}
+
+// snapshot copies a live lock twice: once into a local, once into a call.
+func snapshot(b *boxed) int {
+	c := *b  // want "assignment copies a value containing a mutex"
+	sink(*b) // want "passes a value containing a mutex by value"
+	return c.v
+}
+
+// byPointer shares the mutex instead of copying it. True negative.
+func byPointer(b *boxed) int {
+	sink(b)
+	return b.v
+}

@@ -1,0 +1,38 @@
+// Package engine mirrors the real serving engine's connection-tracking
+// shape: Server.track/untrack guard a conns map with s.mu using the
+// defer-unlock idiom. untrack is the seeded regression — track's sibling
+// with the defer dropped, the exact bug lint must keep catching if a
+// refactor loses one.
+package engine
+
+import "sync"
+
+type conn interface{ Close() error }
+
+type server struct {
+	mu       sync.Mutex
+	conns    map[conn]struct{}
+	draining bool
+}
+
+// track mirrors the real Server.track. True negative.
+func (s *server) track(c conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+// untrack is track with the defer removed: the early return leaks the lock.
+func (s *server) untrack(c conn) bool {
+	s.mu.Lock() // want "not released on every path"
+	if s.draining {
+		return false
+	}
+	delete(s.conns, c)
+	s.mu.Unlock()
+	return true
+}

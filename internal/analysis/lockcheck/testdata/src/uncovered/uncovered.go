@@ -1,0 +1,23 @@
+// Package uncovered blocks under a lock but lives outside the concurrent
+// directories, so the blocking-while-held rule does not apply: no findings.
+// (The unconditional discipline rules still hold — the lock is balanced.)
+package uncovered
+
+import (
+	"sync"
+	"time"
+)
+
+type report struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+func (r *report) publish(v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ch <- v
+	time.Sleep(time.Millisecond)
+	r.n++
+}

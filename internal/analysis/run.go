@@ -52,7 +52,7 @@ func runPackage(mod *Module, pkg *Package, analyzers []*Analyzer) ([]Finding, er
 			if sup.Allowed(a.Name, pos) {
 				continue
 			}
-			out = append(out, Finding{Pos: pos, Analyzer: a.Name, Message: d.Message})
+			out = append(out, Finding{Pos: pos, Analyzer: a.Name, Message: d.Message, Chain: d.Chain})
 		}
 	}
 	sortFindings(out)

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"math"
@@ -197,36 +198,33 @@ func fmtValue(v float64) string {
 }
 
 // WriteText renders the registry in the Prometheus text exposition format,
-// metrics sorted by name so output is deterministic.
+// metrics sorted by name so output is deterministic. Rendering happens into
+// an in-memory buffer under the lock and the single write to w happens
+// after release: WriteText serves scrapes over HTTP, and a slow scraper
+// must not stall every metric update behind r.mu.
 func (r *Registry) WriteText(w io.Writer) error {
+	var buf bytes.Buffer
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	names := append([]string(nil), r.order...)
 	sort.Strings(names)
 	for _, name := range names {
 		kind := r.kinds[name]
 		if help := r.help[name]; help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
-				return err
-			}
+			fmt.Fprintf(&buf, "# HELP %s %s\n", name, help)
 		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, kind); err != nil {
-			return err
-		}
-		var err error
+		fmt.Fprintf(&buf, "# TYPE %s %s\n", name, kind)
 		switch kind {
 		case "counter":
-			_, err = fmt.Fprintf(w, "%s %s\n", name, fmtValue(r.counts[name]))
+			fmt.Fprintf(&buf, "%s %s\n", name, fmtValue(r.counts[name]))
 		case "gauge":
-			_, err = fmt.Fprintf(w, "%s %s\n", name, fmtValue(r.gauges[name]))
+			fmt.Fprintf(&buf, "%s %s\n", name, fmtValue(r.gauges[name]))
 		case "histogram":
-			err = writeHistogram(w, name, r.hists[name], r.exemplars[name])
-		}
-		if err != nil {
-			return err
+			writeHistogram(&buf, name, r.hists[name], r.exemplars[name])
 		}
 	}
-	return nil
+	r.mu.Unlock()
+	_, err := w.Write(buf.Bytes())
+	return err
 }
 
 // writeHistogram renders one histogram as cumulative le-labelled buckets
@@ -235,7 +233,9 @@ func (r *Registry) WriteText(w io.Writer) error {
 // with a recorded exemplar get an OpenMetrics-style exemplar suffix
 // (`# {span_id="…"} value`) naming the last span that landed there; the
 // underflow exemplar rides on the first bucket, the overflow one on +Inf.
-func writeHistogram(w io.Writer, name string, h *metrics.Histogram, exs map[int]exemplar) error {
+// The buffer parameter (not an io.Writer) keeps the rendering loop free of
+// real I/O, so it is safe to run while the registry lock is held.
+func writeHistogram(buf *bytes.Buffer, name string, h *metrics.Histogram, exs map[int]exemplar) {
 	suffix := func(i int) string {
 		ex, ok := exs[i]
 		if !ok && i == 0 {
@@ -251,20 +251,13 @@ func writeHistogram(w io.Writer, name string, h *metrics.Histogram, exs map[int]
 	for i := 0; i < h.Buckets(); i++ {
 		c, _, hi := h.Bucket(i)
 		cum += c
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d%s\n", name, fmtValue(hi), cum, suffix(i)); err != nil {
-			return err
-		}
+		fmt.Fprintf(buf, "%s_bucket{le=%q} %d%s\n", name, fmtValue(hi), cum, suffix(i))
 	}
-	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d%s\n", name, h.N(), suffix(h.Buckets())); err != nil {
-		return err
-	}
+	fmt.Fprintf(buf, "%s_bucket{le=\"+Inf\"} %d%s\n", name, h.N(), suffix(h.Buckets()))
 	sum := 0.0
 	if h.N() > 0 {
 		sum = h.Mean() * float64(h.N())
 	}
-	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, fmtValue(sum)); err != nil {
-		return err
-	}
-	_, err := fmt.Fprintf(w, "%s_count %d\n", name, h.N())
-	return err
+	fmt.Fprintf(buf, "%s_sum %s\n", name, fmtValue(sum))
+	fmt.Fprintf(buf, "%s_count %d\n", name, h.N())
 }

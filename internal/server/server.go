@@ -215,20 +215,30 @@ func (s *Server) beginDrain() {
 	s.engine.BeginDrain()
 	_ = s.ln.Close()
 	dl := time.Now().Add(s.cfg.DrainGrace)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for conn := range s.conns {
+	for _, conn := range s.snapshotConns() {
 		_ = conn.SetReadDeadline(dl)
 	}
 }
 
 // closeAll is stage 2: hard-close every connection.
 func (s *Server) closeAll() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for conn := range s.conns {
+	for _, conn := range s.snapshotConns() {
 		_ = conn.Close()
 	}
+}
+
+// snapshotConns copies the live connection set under s.mu so drain and
+// close touch the sockets with the lock released: net.Conn calls can block
+// on a wedged peer, and a stalled socket must not stall track/untrack.
+func (s *Server) snapshotConns() []net.Conn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	conns := make([]net.Conn, 0, len(s.conns))
+	for conn := range s.conns {
+		//lint:allow maporder shutdown touches every connection; order is irrelevant
+		conns = append(conns, conn)
+	}
+	return conns
 }
 
 // session serves one connection: read a frame, submit it, write the
